@@ -1,0 +1,40 @@
+//! Baseline DVFS governors for the SSMDVFS comparison (Section V-B/C).
+//!
+//! * [`PcstallGovernor`] — the analytical frequency-sensitivity method
+//!   (Bharadwaj et al., ASPLOS 2022), modified per the paper to select the
+//!   minimum frequency that keeps predicted performance loss under a
+//!   preset.
+//! * [`FlemmaGovernor`] — the hierarchical actor-critic RL method (Zou et
+//!   al., MLCAD 2020), modified per the paper with a reduced throughput
+//!   baseline and a shortened update cycle.
+//! * [`OndemandGovernor`] — a Linux-`ondemand`-style utilization governor
+//!   (extension; shows why CPU-style policies fail on GPUs).
+//! * [`run_oracle`] — a one-step-lookahead oracle (upper-bound ablation,
+//!   not in the paper).
+//!
+//! The static default-point baseline lives in
+//! [`gpu_sim::StaticGovernor`].
+//!
+//! # Examples
+//!
+//! ```
+//! use dvfs_baselines::{PcstallConfig, PcstallGovernor};
+//! use gpu_power::VfTable;
+//! use gpu_sim::{DvfsGovernor, EpochCounters};
+//!
+//! let mut governor = PcstallGovernor::new(PcstallConfig::new(0.10));
+//! let idx = governor.decide(0, &EpochCounters::zeroed(), &VfTable::titan_x());
+//! assert!(idx < 6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod flemma;
+mod ondemand;
+mod oracle;
+mod pcstall;
+
+pub use flemma::{FlemmaConfig, FlemmaGovernor};
+pub use ondemand::{OndemandConfig, OndemandGovernor};
+pub use oracle::run_oracle;
+pub use pcstall::{PcstallConfig, PcstallEdpGovernor, PcstallGovernor};

@@ -1,0 +1,151 @@
+//! An ondemand-style utilization governor (extension; not in the paper).
+//!
+//! Modeled after the classic Linux `ondemand` cpufreq policy: jump to the
+//! highest frequency when utilization crosses an *up threshold*, step down
+//! one point at a time while utilization stays below a *down threshold*.
+//! It knows nothing about memory-boundedness — utilization on a GPU is high
+//! even when every warp waits on DRAM — which is precisely why
+//! counter-informed policies (PCSTALL, SSMDVFS) exist. Included as the
+//! "what a CPU-style governor would do" reference point.
+
+use gpu_power::VfTable;
+use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
+use serde::{Deserialize, Serialize};
+
+/// Ondemand tunables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OndemandConfig {
+    /// Issue-utilization fraction above which the governor jumps to the
+    /// fastest point.
+    pub up_threshold: f64,
+    /// Utilization fraction below which the governor steps one point down.
+    pub down_threshold: f64,
+}
+
+impl Default for OndemandConfig {
+    fn default() -> OndemandConfig {
+        OndemandConfig { up_threshold: 0.80, down_threshold: 0.40 }
+    }
+}
+
+/// The ondemand governor.
+///
+/// # Examples
+///
+/// ```
+/// use dvfs_baselines::{OndemandConfig, OndemandGovernor};
+/// use gpu_power::VfTable;
+/// use gpu_sim::{DvfsGovernor, EpochCounters};
+///
+/// let mut g = OndemandGovernor::new(OndemandConfig::default());
+/// let idx = g.decide(0, &EpochCounters::zeroed(), &VfTable::titan_x());
+/// assert!(idx < 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OndemandGovernor {
+    config: OndemandConfig,
+    current: Vec<Option<usize>>,
+}
+
+impl OndemandGovernor {
+    /// Creates an ondemand governor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= down_threshold < up_threshold <= 1`.
+    pub fn new(config: OndemandConfig) -> OndemandGovernor {
+        assert!(
+            (0.0..=1.0).contains(&config.up_threshold)
+                && (0.0..=1.0).contains(&config.down_threshold)
+                && config.down_threshold < config.up_threshold,
+            "thresholds must satisfy 0 <= down < up <= 1"
+        );
+        OndemandGovernor { config, current: Vec::new() }
+    }
+}
+
+impl DvfsGovernor for OndemandGovernor {
+    fn name(&self) -> &str {
+        "ondemand"
+    }
+
+    fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize {
+        if cluster >= self.current.len() {
+            self.current.resize(cluster + 1, None);
+        }
+        let cur = self.current[cluster].unwrap_or(table.default_index()).min(table.len() - 1);
+        let cycles = counters[CounterId::TotalCycles].max(1.0);
+        let utilization = counters[CounterId::IssuedCycles] / cycles;
+        let next = if utilization >= self.config.up_threshold {
+            table.len() - 1
+        } else if utilization < self.config.down_threshold {
+            cur.saturating_sub(1)
+        } else {
+            cur
+        };
+        self.current[cluster] = Some(next);
+        next
+    }
+
+    fn reset(&mut self) {
+        self.current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(utilization: f64) -> EpochCounters {
+        let mut c = EpochCounters::zeroed();
+        c[CounterId::TotalCycles] = 10_000.0;
+        c[CounterId::IssuedCycles] = utilization * 10_000.0;
+        c[CounterId::TotalInstrs] = utilization * 15_000.0;
+        c.recompute_derived();
+        c
+    }
+
+    #[test]
+    fn high_utilization_jumps_to_max() {
+        let table = VfTable::titan_x();
+        let mut g = OndemandGovernor::new(OndemandConfig::default());
+        // Drive it down first.
+        for _ in 0..4 {
+            g.decide(0, &counters(0.1), &table);
+        }
+        assert!(g.decide(0, &counters(0.95), &table) == table.len() - 1);
+    }
+
+    #[test]
+    fn low_utilization_steps_down_gradually() {
+        let table = VfTable::titan_x();
+        let mut g = OndemandGovernor::new(OndemandConfig::default());
+        let seq: Vec<usize> = (0..6).map(|_| g.decide(0, &counters(0.1), &table)).collect();
+        assert_eq!(seq, vec![4, 3, 2, 1, 0, 0], "one point per epoch down to the floor");
+    }
+
+    #[test]
+    fn mid_utilization_holds() {
+        let table = VfTable::titan_x();
+        let mut g = OndemandGovernor::new(OndemandConfig::default());
+        g.decide(0, &counters(0.1), &table);
+        let held = g.decide(0, &counters(0.6), &table);
+        assert_eq!(held, g.decide(0, &counters(0.6), &table));
+    }
+
+    #[test]
+    fn clusters_independent_and_reset_clears() {
+        let table = VfTable::titan_x();
+        let mut g = OndemandGovernor::new(OndemandConfig::default());
+        g.decide(0, &counters(0.1), &table);
+        assert_eq!(g.decide(1, &counters(0.95), &table), 5);
+        g.reset();
+        assert!(g.current.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn inverted_thresholds_rejected() {
+        OndemandGovernor::new(OndemandConfig { up_threshold: 0.3, down_threshold: 0.5 });
+    }
+}

@@ -1,0 +1,125 @@
+//! A one-step-lookahead oracle governor (not in the paper; an upper-bound
+//! ablation).
+//!
+//! At every epoch boundary the oracle clones the simulation once per
+//! operating point, steps each clone one epoch, and — because clusters are
+//! architecturally independent in this simulator — picks, per cluster, the
+//! lowest point whose measured single-epoch throughput stays within the
+//! preset of that cluster's default-point throughput. It then applies the
+//! chosen per-cluster vector to the real simulation. This is the best any
+//! 10 µs-granularity controller with perfect one-epoch foresight could do
+//! under the same objective, making it a useful ceiling for SSMDVFS.
+
+use gpu_sim::{CounterId, GpuConfig, SimResult, Simulation, Time, Workload};
+
+/// Runs `workload` to completion under the one-step-lookahead oracle and
+/// returns the run summary.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_oracle(
+    cfg: &GpuConfig,
+    workload: Workload,
+    preset: f64,
+    max_time: Time,
+) -> SimResult {
+    let table = cfg.vf_table.clone();
+    let default_idx = table.default_index();
+    let n = cfg.num_clusters;
+    let mut sim = Simulation::new(cfg.clone(), workload);
+
+    while !sim.is_complete() && sim.now() < max_time {
+        // Probe every operating point one epoch ahead.
+        let mut probe_instrs: Vec<Vec<f64>> = Vec::with_capacity(table.len());
+        let mut probe_energy: Vec<Vec<f64>> = Vec::with_capacity(table.len());
+        for op in 0..table.len() {
+            let mut probe = sim.clone();
+            let record = probe.step_epoch(&vec![op; n]);
+            probe_instrs.push(
+                record
+                    .clusters
+                    .iter()
+                    .map(|c| c.counters[CounterId::TotalInstrs])
+                    .collect(),
+            );
+            probe_energy.push(
+                record
+                    .clusters
+                    .iter()
+                    .map(|c| c.counters[CounterId::EnergyEpochJ])
+                    .collect(),
+            );
+        }
+        // Per cluster: the lowest-energy point whose throughput stays within
+        // the preset of the default point's throughput this epoch.
+        let ops: Vec<usize> = (0..n)
+            .map(|c| {
+                let reference = probe_instrs[default_idx][c];
+                let floor = reference * (1.0 - preset);
+                (0..table.len())
+                    .filter(|&op| probe_instrs[op][c] >= floor || reference == 0.0)
+                    .min_by(|&a, &b| probe_energy[a][c].total_cmp(&probe_energy[b][c]))
+                    .unwrap_or(default_idx)
+            })
+            .collect();
+        sim.step_epoch(&ops);
+    }
+    sim.result(&format!("oracle[{:.0}%]", preset * 100.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{BasicBlock, InstrClass, KernelSpec, MemoryBehavior, StaticGovernor};
+
+    fn memory_workload() -> Workload {
+        let k = KernelSpec::new(
+            "stream",
+            vec![BasicBlock::new(
+                vec![InstrClass::LoadGlobal, InstrClass::IntAlu],
+                1_200,
+                0.0,
+            )],
+            2,
+            16,
+            MemoryBehavior::streaming(64 << 20),
+        );
+        Workload::new("stream", vec![k])
+    }
+
+    #[test]
+    fn oracle_completes_and_beats_the_baseline_edp_on_memory_bound_work() {
+        let cfg = GpuConfig::small_test();
+        let horizon = Time::from_micros(3_000.0);
+        let oracle = run_oracle(&cfg, memory_workload(), 0.10, horizon);
+        assert!(oracle.completed);
+
+        let mut baseline_sim = Simulation::new(cfg.clone(), memory_workload());
+        let mut baseline_gov = StaticGovernor::default_point(&cfg.vf_table);
+        let baseline = baseline_sim.run(&mut baseline_gov, horizon);
+
+        assert!(
+            oracle.edp_report().edp() <= baseline.edp_report().edp() * 1.02,
+            "oracle EDP {:.3e} should not lose to the static default {:.3e}",
+            oracle.edp_report().edp(),
+            baseline.edp_report().edp()
+        );
+        // And it must keep the slowdown bounded (generous margin: the
+        // preset applies per-epoch, end-to-end drift can accumulate).
+        let loss = oracle.edp_report().performance_loss(&baseline.edp_report());
+        assert!(loss < 0.25, "oracle slowdown {loss:.3} out of control");
+    }
+
+    #[test]
+    fn oracle_uses_lower_points_on_memory_bound_work() {
+        let cfg = GpuConfig::small_test();
+        let r = run_oracle(&cfg, memory_workload(), 0.10, Time::from_micros(3_000.0));
+        let below_default: u64 = r.op_histogram[..cfg.vf_table.default_index()].iter().sum();
+        assert!(
+            below_default > 0,
+            "memory-bound work must pull the oracle below the default point: {:?}",
+            r.op_histogram
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! PCSTALL: the analytical frequency-sensitivity baseline.
+//!
+//! Modeled after Bharadwaj et al., "Predict; don't react: enabling
+//! efficient fine-grain DVFS in GPUs" (ASPLOS 2022), as adapted in Section
+//! V-B of the SSMDVFS paper: the original EDP-minimizing objective is
+//! replaced by "pick the minimum frequency whose predicted performance loss
+//! stays under the preset", using the same frequency-sensitivity machinery.
+//!
+//! The analytical core splits an epoch's cycles into frequency-scaling
+//! (compute) and frequency-insensitive (memory-stall) parts. If `s` is the
+//! insensitive fraction measured at the current clock `f_cur`, predicted
+//! execution time at clock `f` relative to the default `f0` is
+//!
+//! ```text
+//! T(f)/T(f0) = ((1 - s) · f_cur/f + s) / ((1 - s) · f_cur/f0 + s)
+//! ```
+//!
+//! Exploiting the iterative computation pattern of GPGPU kernels, `s` is
+//! smoothed with an exponential moving average across epochs.
+
+use gpu_power::VfTable;
+use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
+use serde::{Deserialize, Serialize};
+
+/// PCSTALL tunables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcstallConfig {
+    /// Allowed performance loss (e.g. 0.10).
+    pub preset: f64,
+    /// EWMA smoothing factor for the stall fraction, in (0, 1]; 1 = no
+    /// smoothing.
+    pub alpha: f64,
+}
+
+impl PcstallConfig {
+    /// A PCSTALL controller with the paper-style iterative smoothing.
+    pub fn new(preset: f64) -> PcstallConfig {
+        PcstallConfig { preset, alpha: 0.4 }
+    }
+}
+
+/// The PCSTALL governor.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::VfTable;
+/// use gpu_sim::{DvfsGovernor, EpochCounters};
+/// use dvfs_baselines::{PcstallConfig, PcstallGovernor};
+///
+/// let table = VfTable::titan_x();
+/// let mut g = PcstallGovernor::new(PcstallConfig::new(0.10));
+/// let idx = g.decide(0, &EpochCounters::zeroed(), &table);
+/// assert!(idx < table.len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcstallGovernor {
+    config: PcstallConfig,
+    /// Smoothed frequency-insensitive fraction per cluster.
+    stall_frac: Vec<Option<f64>>,
+    /// The op index this governor chose last, per cluster (the clock the
+    /// incoming counters were measured at).
+    last_op: Vec<Option<usize>>,
+    name: String,
+}
+
+impl PcstallGovernor {
+    /// Creates a PCSTALL governor.
+    pub fn new(config: PcstallConfig) -> PcstallGovernor {
+        let name = format!("pcstall[{:.0}%]", config.preset * 100.0);
+        PcstallGovernor { config, stall_frac: Vec::new(), last_op: Vec::new(), name }
+    }
+
+    /// The smoothed stall fraction currently estimated for `cluster`.
+    pub fn stall_fraction(&self, cluster: usize) -> Option<f64> {
+        self.stall_frac.get(cluster).copied().flatten()
+    }
+
+    fn ensure(&mut self, cluster: usize) {
+        if cluster >= self.stall_frac.len() {
+            self.stall_frac.resize(cluster + 1, None);
+            self.last_op.resize(cluster + 1, None);
+        }
+    }
+
+    /// Predicted `T(f)/T(f0) - 1` given the insensitive fraction `s`
+    /// measured at `f_cur`.
+    fn predicted_loss(s: f64, f_cur: f64, f: f64, f0: f64) -> f64 {
+        let t_f = (1.0 - s) * (f_cur / f) + s;
+        let t_f0 = (1.0 - s) * (f_cur / f0) + s;
+        t_f / t_f0 - 1.0
+    }
+}
+
+impl DvfsGovernor for PcstallGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize {
+        self.ensure(cluster);
+        let cycles = counters[CounterId::TotalCycles].max(1.0);
+        // Frequency-insensitive cycles: memory-hazard stalls plus the empty
+        // tail (no work would not go faster at a higher clock either).
+        let insensitive = counters[CounterId::StallMemLoad]
+            + counters[CounterId::StallMemOther]
+            + counters[CounterId::StallEmpty];
+        let measured = (insensitive / cycles).clamp(0.0, 1.0);
+        let smoothed = match self.stall_frac[cluster] {
+            Some(prev) => self.config.alpha * measured + (1.0 - self.config.alpha) * prev,
+            None => measured,
+        };
+        self.stall_frac[cluster] = Some(smoothed);
+
+        let f_cur = table
+            .point(self.last_op[cluster].unwrap_or(table.default_index()))
+            .freq_mhz();
+        let f0 = table.default_point().freq_mhz();
+        // Minimum frequency whose predicted loss fits the preset.
+        let mut choice = table.default_index();
+        for idx in 0..table.len() {
+            let f = table.point(idx).freq_mhz();
+            if Self::predicted_loss(smoothed, f_cur, f, f0) <= self.config.preset {
+                choice = idx;
+                break;
+            }
+        }
+        self.last_op[cluster] = Some(choice);
+        choice
+    }
+
+    fn reset(&mut self) {
+        self.stall_frac.clear();
+        self.last_op.clear();
+    }
+}
+
+/// The *original* PCSTALL objective (Bharadwaj et al. minimize EDP; the
+/// SSMDVFS paper modifies it into the preset-constrained form above —
+/// this governor keeps the unmodified objective for comparison).
+///
+/// Using the same frequency-sensitivity model, predicted EDP at point `f`
+/// relative to the current point is `E(f) · T(f)` with
+/// `T(f) ∝ (1-s)·f_cur/f + s` and a two-component energy estimate:
+/// frequency-proportional dynamic energy at `V²` plus time-proportional
+/// static energy.
+///
+/// # Examples
+///
+/// ```
+/// use dvfs_baselines::PcstallEdpGovernor;
+/// use gpu_power::VfTable;
+/// use gpu_sim::{DvfsGovernor, EpochCounters};
+///
+/// let mut g = PcstallEdpGovernor::new();
+/// let idx = g.decide(0, &EpochCounters::zeroed(), &VfTable::titan_x());
+/// assert!(idx < 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcstallEdpGovernor {
+    /// Smoothed frequency-insensitive fraction per cluster.
+    stall_frac: Vec<Option<f64>>,
+    last_op: Vec<Option<usize>>,
+    alpha: f64,
+}
+
+impl PcstallEdpGovernor {
+    /// Creates the EDP-objective PCSTALL governor.
+    pub fn new() -> PcstallEdpGovernor {
+        PcstallEdpGovernor { stall_frac: Vec::new(), last_op: Vec::new(), alpha: 0.4 }
+    }
+
+    fn predicted_edp(s: f64, f_cur: f64, table: &VfTable, idx: usize) -> f64 {
+        let op = table.point(idx);
+        let t = (1.0 - s) * (f_cur / op.freq_mhz()) + s;
+        // Dynamic energy per unit work ∝ V²; static energy ∝ V · T. The
+        // absolute constants cancel in the argmin; the 0.4 static share
+        // mirrors the calibrated power model.
+        let v = op.voltage_v();
+        let vnom = table.default_point().voltage_v();
+        let energy = 0.6 * (v / vnom).powi(2) + 0.4 * (v / vnom) * t;
+        energy * t
+    }
+}
+
+impl Default for PcstallEdpGovernor {
+    fn default() -> PcstallEdpGovernor {
+        PcstallEdpGovernor::new()
+    }
+}
+
+impl DvfsGovernor for PcstallEdpGovernor {
+    fn name(&self) -> &str {
+        "pcstall-edp"
+    }
+
+    fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize {
+        if cluster >= self.stall_frac.len() {
+            self.stall_frac.resize(cluster + 1, None);
+            self.last_op.resize(cluster + 1, None);
+        }
+        let cycles = counters[CounterId::TotalCycles].max(1.0);
+        let insensitive = counters[CounterId::StallMemLoad]
+            + counters[CounterId::StallMemOther]
+            + counters[CounterId::StallEmpty];
+        let measured = (insensitive / cycles).clamp(0.0, 1.0);
+        let smoothed = match self.stall_frac[cluster] {
+            Some(prev) => self.alpha * measured + (1.0 - self.alpha) * prev,
+            None => measured,
+        };
+        self.stall_frac[cluster] = Some(smoothed);
+        let f_cur = table
+            .point(self.last_op[cluster].unwrap_or(table.default_index()))
+            .freq_mhz();
+        let choice = (0..table.len())
+            .min_by(|&a, &b| {
+                Self::predicted_edp(smoothed, f_cur, table, a)
+                    .total_cmp(&Self::predicted_edp(smoothed, f_cur, table, b))
+            })
+            .expect("table is non-empty");
+        self.last_op[cluster] = Some(choice);
+        choice
+    }
+
+    fn reset(&mut self) {
+        self.stall_frac.clear();
+        self.last_op.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(stall_frac: f64) -> EpochCounters {
+        let mut c = EpochCounters::zeroed();
+        c[CounterId::TotalCycles] = 10_000.0;
+        c[CounterId::StallMemLoad] = stall_frac * 10_000.0;
+        c[CounterId::TotalInstrs] = (1.0 - stall_frac) * 10_000.0;
+        c.recompute_derived();
+        c
+    }
+
+    #[test]
+    fn compute_bound_stays_fast() {
+        let table = VfTable::titan_x();
+        let mut g = PcstallGovernor::new(PcstallConfig::new(0.10));
+        // No stalls: any down-clock costs proportionally; only points within
+        // 10% of the default qualify.
+        let idx = g.decide(0, &counters(0.0), &table);
+        assert!(idx >= 4, "compute-bound must stay near the default, got {idx}");
+    }
+
+    #[test]
+    fn memory_bound_drops_to_the_floor() {
+        let table = VfTable::titan_x();
+        let mut g = PcstallGovernor::new(PcstallConfig::new(0.10));
+        // 95% stalls: even 683 MHz predicted loss is tiny.
+        let idx = g.decide(0, &counters(0.95), &table);
+        assert_eq!(idx, 0, "memory-bound should take the lowest point");
+    }
+
+    #[test]
+    fn larger_preset_allows_lower_points() {
+        let table = VfTable::titan_x();
+        let mut tight = PcstallGovernor::new(PcstallConfig::new(0.05));
+        let mut loose = PcstallGovernor::new(PcstallConfig::new(0.30));
+        let c = counters(0.5);
+        assert!(loose.decide(0, &c, &table) <= tight.decide(0, &c, &table));
+    }
+
+    #[test]
+    fn prediction_formula_sanity() {
+        // s = 0: pure compute. At f = f0 the loss is 0; at half clock it
+        // doubles time.
+        assert!((PcstallGovernor::predicted_loss(0.0, 1000.0, 1000.0, 1000.0)).abs() < 1e-12);
+        assert!(
+            (PcstallGovernor::predicted_loss(0.0, 1000.0, 500.0, 1000.0) - 1.0).abs() < 1e-12
+        );
+        // s = 1: pure memory; no loss anywhere.
+        assert!((PcstallGovernor::predicted_loss(1.0, 1000.0, 500.0, 1000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accounts_for_measurement_clock() {
+        // Counters measured at a low clock show less stall fraction for the
+        // same workload; the formula must still predict vs the default.
+        let table = VfTable::titan_x();
+        let mut g = PcstallGovernor::new(PcstallConfig::new(0.10));
+        // First decision sends it to a lower point.
+        let first = g.decide(0, &counters(0.9), &table);
+        assert!(first < table.default_index());
+        // Second decision must use the new clock as the measurement clock.
+        let second = g.decide(0, &counters(0.9), &table);
+        assert!(second < table.len());
+    }
+
+    #[test]
+    fn edp_variant_downclocks_memory_bound_work() {
+        let table = VfTable::titan_x();
+        let mut g = PcstallEdpGovernor::new();
+        // Memory-bound: everything is stall time; the lowest voltage tier
+        // with the least time impact minimizes predicted EDP.
+        let idx = g.decide(0, &counters(0.95), &table);
+        assert!(idx <= 3, "memory-bound EDP optimum sits in the 1.0 V tier, got {idx}");
+        // Compute-bound: time dominates; stays at a fast point.
+        g.reset();
+        let idx = g.decide(0, &counters(0.0), &table);
+        assert!(idx >= 3, "compute-bound EDP optimum stays fast, got {idx}");
+    }
+
+    #[test]
+    fn ewma_smooths_jitter() {
+        let table = VfTable::titan_x();
+        let mut g = PcstallGovernor::new(PcstallConfig { preset: 0.1, alpha: 0.3 });
+        g.decide(0, &counters(0.9), &table);
+        let s1 = g.stall_fraction(0).unwrap();
+        g.decide(0, &counters(0.0), &table);
+        let s2 = g.stall_fraction(0).unwrap();
+        // One clean epoch must not erase the stall history.
+        assert!(s2 > 0.5 * s1, "EWMA should damp the swing: {s1} -> {s2}");
+        g.reset();
+        assert!(g.stall_fraction(0).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the baseline governors.
+
+use dvfs_baselines::{FlemmaConfig, FlemmaGovernor, PcstallConfig, PcstallGovernor};
+use gpu_power::VfTable;
+use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
+use proptest::prelude::*;
+
+fn counters(stall_frac: f64, ipc: f64, power: f64) -> EpochCounters {
+    let mut c = EpochCounters::zeroed();
+    c[CounterId::TotalCycles] = 10_000.0;
+    c[CounterId::TotalInstrs] = (ipc * 10_000.0).max(0.0);
+    c[CounterId::StallMemLoad] = (stall_frac * 10_000.0).max(0.0);
+    c[CounterId::PowerTotalW] = power;
+    c.recompute_derived();
+    c
+}
+
+proptest! {
+    /// PCSTALL always returns a valid index and is monotone in the stall
+    /// fraction: more memory stalls never force a higher frequency.
+    #[test]
+    fn pcstall_monotone_in_stall_fraction(
+        s_lo in 0.0f64..0.5,
+        ds in 0.0f64..0.5,
+        preset in 0.02f64..0.3,
+    ) {
+        let table = VfTable::titan_x();
+        // Fresh governors so the EWMA state does not couple the two queries.
+        let mut g_lo = PcstallGovernor::new(PcstallConfig::new(preset));
+        let mut g_hi = PcstallGovernor::new(PcstallConfig::new(preset));
+        let lo = g_lo.decide(0, &counters(s_lo, 1.0, 5.0), &table);
+        let hi = g_hi.decide(0, &counters(s_lo + ds, 1.0, 5.0), &table);
+        prop_assert!(lo < table.len() && hi < table.len());
+        prop_assert!(hi <= lo, "more stalls must not raise the frequency: {hi} > {lo}");
+    }
+
+    /// PCSTALL is monotone in the preset: a looser preset never forces a
+    /// higher frequency.
+    #[test]
+    fn pcstall_monotone_in_preset(s in 0.0f64..1.0, p_lo in 0.02f64..0.2, dp in 0.0f64..0.3) {
+        let table = VfTable::titan_x();
+        let mut g_tight = PcstallGovernor::new(PcstallConfig::new(p_lo));
+        let mut g_loose = PcstallGovernor::new(PcstallConfig::new(p_lo + dp));
+        let c = counters(s, 1.0, 5.0);
+        prop_assert!(g_loose.decide(0, &c, &table) <= g_tight.decide(0, &c, &table));
+    }
+
+    /// F-LEMMA decisions are always valid indices, for any counter values
+    /// and any number of epochs, and reset clears its state.
+    #[test]
+    fn flemma_decisions_always_valid(
+        seed in any::<u64>(),
+        epochs in 1usize..60,
+        stall in 0.0f64..1.0,
+    ) {
+        let table = VfTable::titan_x();
+        let mut g = FlemmaGovernor::new(FlemmaConfig { seed, ..FlemmaConfig::new(0.1) });
+        for _ in 0..epochs {
+            let idx = g.decide(0, &counters(stall, 1.0, 5.0), &table);
+            prop_assert!(idx < table.len());
+        }
+        prop_assert!(g.epsilon(0).is_some());
+        g.reset();
+        prop_assert!(g.epsilon(0).is_none());
+    }
+
+    /// PCSTALL state is per-cluster: feeding one cluster never changes
+    /// another cluster's estimate.
+    #[test]
+    fn pcstall_clusters_are_independent(s0 in 0.0f64..1.0, s1 in 0.0f64..1.0) {
+        let table = VfTable::titan_x();
+        let mut g = PcstallGovernor::new(PcstallConfig::new(0.1));
+        g.decide(0, &counters(s0, 1.0, 5.0), &table);
+        let before = g.stall_fraction(1);
+        g.decide(0, &counters(s1, 1.0, 5.0), &table);
+        prop_assert_eq!(g.stall_fraction(1), before);
+        prop_assert!(g.stall_fraction(0).is_some());
+    }
+}

@@ -1,0 +1,75 @@
+//! Per-epoch decision cost of every governor — the software path a real
+//! driver would execute every 10 µs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvfs_baselines::{FlemmaConfig, FlemmaGovernor, PcstallConfig, PcstallGovernor};
+use gpu_power::VfTable;
+use gpu_sim::{CounterId, DvfsGovernor, EpochCounters, StaticGovernor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssmdvfs::{CombinedModel, FeatureSet, ModelArch, SsmdvfsConfig, SsmdvfsGovernor};
+use tinynn::{Matrix, Mlp, Normalizer};
+
+fn busy_counters() -> EpochCounters {
+    let mut c = EpochCounters::zeroed();
+    c[CounterId::TotalInstrs] = 15_000.0;
+    c[CounterId::IntAluInstrs] = 8_000.0;
+    c[CounterId::FpAluInstrs] = 5_000.0;
+    c[CounterId::LoadGlobalInstrs] = 2_000.0;
+    c[CounterId::TotalCycles] = 11_650.0;
+    c[CounterId::StallMemLoad] = 2_500.0;
+    c[CounterId::L1ReadAccess] = 2_000.0;
+    c[CounterId::L1ReadMiss] = 400.0;
+    c[CounterId::PowerTotalW] = 6.5;
+    c.recompute_derived();
+    c
+}
+
+fn ssmdvfs_governor() -> SsmdvfsGovernor {
+    let fs = FeatureSet::refined();
+    let arch = ModelArch::paper_compressed();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut dec_sizes = vec![fs.len() + 1];
+    dec_sizes.extend(&arch.decision_hidden);
+    dec_sizes.push(6);
+    let mut cal_sizes = vec![fs.len() + 2];
+    cal_sizes.extend(&arch.calibrator_hidden);
+    cal_sizes.push(1);
+    let model = CombinedModel {
+        decision: Mlp::new(&dec_sizes, &mut rng),
+        calibrator: Mlp::new(&cal_sizes, &mut rng),
+        feature_set: fs.clone(),
+        decision_norm: Normalizer::fit(&Matrix::zeros(4, fs.len() + 1)),
+        calibrator_norm: Normalizer::fit(&Matrix::zeros(4, fs.len() + 2)),
+        instr_scale: 1000.0,
+        num_ops: 6,
+    };
+    SsmdvfsGovernor::new(model, SsmdvfsConfig::new(0.10))
+}
+
+fn bench_governors(c: &mut Criterion) {
+    let table = VfTable::titan_x();
+    let counters = busy_counters();
+    let mut group = c.benchmark_group("governor/decide");
+
+    let mut static_gov = StaticGovernor::default_point(&table);
+    group.bench_function("static", |b| {
+        b.iter(|| static_gov.decide(0, &counters, &table));
+    });
+    let mut pcstall = PcstallGovernor::new(PcstallConfig::new(0.10));
+    group.bench_function("pcstall", |b| {
+        b.iter(|| pcstall.decide(0, &counters, &table));
+    });
+    let mut flemma = FlemmaGovernor::new(FlemmaConfig::new(0.10));
+    group.bench_function("flemma", |b| {
+        b.iter(|| flemma.decide(0, &counters, &table));
+    });
+    let mut ssmdvfs = ssmdvfs_governor();
+    group.bench_function("ssmdvfs_compressed", |b| {
+        b.iter(|| ssmdvfs.decide(0, &counters, &table));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_governors);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Inference latency of the Decision-maker + Calibrator pair, uncompressed
+//! vs compressed — the software-side counterpart of the paper's Section V-D
+//! argument that one inference fits comfortably inside a 10 µs epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssmdvfs::{CombinedModel, FeatureSet, ModelArch};
+use tinynn::{prune_two_stage, Matrix, Mlp, Normalizer};
+
+fn model_for(arch: &ModelArch) -> CombinedModel {
+    let fs = FeatureSet::refined();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut dec_sizes = vec![fs.len() + 1];
+    dec_sizes.extend(&arch.decision_hidden);
+    dec_sizes.push(6);
+    let mut cal_sizes = vec![fs.len() + 2];
+    cal_sizes.extend(&arch.calibrator_hidden);
+    cal_sizes.push(1);
+    CombinedModel {
+        decision: Mlp::new(&dec_sizes, &mut rng),
+        calibrator: Mlp::new(&cal_sizes, &mut rng),
+        feature_set: fs.clone(),
+        decision_norm: Normalizer::fit(&Matrix::zeros(4, fs.len() + 1)),
+        calibrator_norm: Normalizer::fit(&Matrix::zeros(4, fs.len() + 2)),
+        instr_scale: 1000.0,
+        num_ops: 6,
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let features = [1.2f32, 5.5, 800.0, 50.0, 120.0];
+    let full = model_for(&ModelArch::paper_full());
+    let mut compressed = model_for(&ModelArch::paper_compressed());
+    compressed.decision = prune_two_stage(&compressed.decision, 0.6, 0.9);
+    compressed.calibrator = prune_two_stage(&compressed.calibrator, 0.6, 0.9);
+
+    let mut group = c.benchmark_group("inference/decide_and_predict");
+    for (name, model) in [("full_6400_flops", &full), ("compressed", &compressed)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let op = model.decide(&features, 0.1);
+                model.predict_instructions(&features, 0.1, op)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Compression-pipeline cost: magnitude pruning, neuron pruning and the
+//! combined two-stage pass over the paper's full architecture.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::{prune_magnitude, prune_neurons, prune_two_stage, Mlp};
+
+fn full_model() -> Mlp {
+    let mut rng = StdRng::seed_from_u64(5);
+    Mlp::new(&[6, 20, 20, 20, 20, 20, 6], &mut rng)
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.bench_function("magnitude_x1_0.6", |b| {
+        b.iter_batched(
+            full_model,
+            |mut mlp| {
+                prune_magnitude(&mut mlp, 0.6);
+                mlp
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("neuron_x2_0.9", |b| {
+        b.iter_batched(
+            || {
+                let mut mlp = full_model();
+                prune_magnitude(&mut mlp, 0.6);
+                mlp
+            },
+            |mlp| prune_neurons(&mlp, 0.9),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("two_stage", |b| {
+        b.iter_batched(full_model, |mlp| prune_two_stage(&mlp, 0.6, 0.9), BatchSize::SmallInput);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

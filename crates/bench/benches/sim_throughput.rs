@@ -1,0 +1,52 @@
+//! Simulator throughput: epoch stepping cost and full-run cost on the
+//! scaled-down test GPU, for compute- and memory-bound workloads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpu_sim::{GpuConfig, Simulation, StaticGovernor, Time};
+use gpu_workloads::by_name;
+
+fn bench_epoch_step(c: &mut Criterion) {
+    let cfg = GpuConfig::small_test();
+    let mut group = c.benchmark_group("sim/epoch_step");
+    group.sample_size(20);
+    for name in ["gemm", "lbm"] {
+        let bench = by_name(name).expect("benchmark exists").scaled(0.1);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
+                    let ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+                    // Warm one epoch so caches are realistic.
+                    sim.step_epoch(&ops);
+                    (sim, ops)
+                },
+                |(mut sim, ops)| {
+                    sim.step_epoch(&ops);
+                    sim
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let cfg = GpuConfig::small_test();
+    let mut group = c.benchmark_group("sim/full_run");
+    group.sample_size(10);
+    let bench = by_name("spmv").expect("spmv exists").scaled(0.05);
+    group.bench_function("spmv_scaled", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
+            let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+            let r = sim.run(&mut governor, Time::from_micros(20_000.0));
+            assert!(r.completed);
+            r.instructions
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch_step, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! **Extension — model diagnostics.**
+//!
+//! Loads the cached full model and prints the analysis a model debugger
+//! wants before trusting a DVFS controller: the Decision-maker's confusion
+//! matrix over the operating points, per-class recall, the mean *ordinal*
+//! error (how many table steps a miss jumps, which plain accuracy hides),
+//! and the Calibrator's relative-error distribution.
+
+use ssmdvfs::ModelArch;
+use ssmdvfs_bench::{build_or_load_dataset, format_table, train_or_load_model, PipelineConfig};
+use tinynn::{confusion_matrix, mean_class_distance};
+
+fn main() {
+    let config = PipelineConfig::default();
+    let dataset = build_or_load_dataset(&config, "main");
+    let (model, _) =
+        train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
+    let num_ops = model.num_ops;
+
+    // Decision head analysis over the full corpus.
+    let dec = dataset.decision_data(&model.feature_set, num_ops);
+    let logits = model.decision_forward_raw(&dec.x);
+    let cm = confusion_matrix(&logits, &dec.y, num_ops);
+
+    println!("\n=== Decision-maker confusion matrix (rows = truth, cols = predicted) ===\n");
+    let mut rows = Vec::new();
+    for (truth, row) in cm.iter().enumerate() {
+        let support: usize = row.iter().sum();
+        let recall = if support > 0 { row[truth] as f64 / support as f64 } else { 0.0 };
+        let mut cells = vec![format!("op{truth}")];
+        cells.extend(row.iter().map(ToString::to_string));
+        cells.push(support.to_string());
+        cells.push(format!("{:.1}%", recall * 100.0));
+        rows.push(cells);
+    }
+    let mut header: Vec<String> = vec!["truth".into()];
+    header.extend((0..num_ops).map(|i| format!("p{i}")));
+    header.push("support".into());
+    header.push("recall".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", format_table(&header_refs, &rows));
+
+    let distance = mean_class_distance(&logits, &dec.y);
+    let adjacent: usize = dec
+        .y
+        .iter()
+        .enumerate()
+        .filter(|(i, &l)| tinynn::argmax(logits.row(*i)).abs_diff(l) <= 1)
+        .count();
+    println!(
+        "mean ordinal error: {distance:.3} table steps | within one step of the truth: {:.1}%",
+        adjacent as f64 / dec.y.len() as f64 * 100.0
+    );
+
+    // Calibrator error distribution.
+    let cal = dataset.calibrator_data(&model.feature_set, num_ops, model.instr_scale);
+    let outputs = model.calibrator_forward_raw(&cal.x);
+    let mut errors: Vec<f64> = cal
+        .y
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t.abs() > 1e-6)
+        .map(|(i, &t)| f64::from((outputs.row(i)[0] - t).abs() / t.abs()))
+        .collect();
+    errors.sort_by(f64::total_cmp);
+    let pct = |p: f64| errors[((errors.len() - 1) as f64 * p) as usize] * 100.0;
+    println!("\n=== Calibrator relative-error distribution ===\n");
+    println!(
+        "p50 {:.2}% | p90 {:.2}% | p99 {:.2}% | max {:.2}%  ({} samples)",
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        errors.last().copied().unwrap_or(0.0) * 100.0,
+        errors.len()
+    );
+    println!(
+        "\n(the runtime violation detector fires on a smoothed shortfall above {:.0}%,\n\
+         so p90 of the calibrator's noise should sit well below that threshold)",
+        5.0
+    );
+}

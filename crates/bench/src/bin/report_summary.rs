@@ -1,0 +1,66 @@
+//! Gathers every experiment CSV in the artifact directory into one digest —
+//! a quick way to review a full experiment campaign without opening each
+//! file.
+//!
+//! ```sh
+//! cargo run --release -p ssmdvfs-bench --bin report_summary
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use ssmdvfs_bench::{artifacts_dir, format_table};
+
+fn show_csv(path: &Path, title: &str, max_rows: usize) -> bool {
+    let Ok(content) = fs::read_to_string(path) else { return false };
+    let mut lines = content.lines();
+    let Some(header) = lines.next() else { return false };
+    let header: Vec<&str> = header.split(',').collect();
+    let rows: Vec<Vec<String>> = lines
+        .take(max_rows)
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    if rows.is_empty() {
+        return false;
+    }
+    println!("## {title} ({})\n", path.file_name().unwrap_or_default().to_string_lossy());
+    println!("{}", format_table(&header, &rows));
+    true
+}
+
+fn main() {
+    let dir = artifacts_dir();
+    println!("# SSMDVFS experiment digest — {}\n", dir.display());
+    let mut found = 0;
+    let catalog: [(&str, &str, usize); 9] = [
+        ("fig4_preset10.csv", "Fig. 4 @ 10% preset (per benchmark)", 90),
+        ("fig4_preset20.csv", "Fig. 4 @ 20% preset (per benchmark)", 90),
+        ("fig3_compression.csv", "Fig. 3 compression curves", 30),
+        ("table1_features.csv", "Table I feature selection", 50),
+        ("table2_model.csv", "Table II model before/after", 10),
+        ("hw_cost.csv", "ASIC estimate (§V-D)", 10),
+        ("ablation.csv", "Ablation study", 15),
+        ("ablation_preset_sweep.csv", "Preset sweep", 10),
+        ("granularity_sweep.csv", "DVFS granularity sweep", 10),
+    ];
+    for (file, title, rows) in catalog {
+        if show_csv(&dir.join(file), title, rows) {
+            found += 1;
+        }
+    }
+    for (file, title) in [
+        ("overhead_sweep.csv", "Decision-overhead sweep"),
+        ("seed_variance.csv", "Seed robustness"),
+    ] {
+        if show_csv(&dir.join(file), title, 10) {
+            found += 1;
+        }
+    }
+    if found == 0 {
+        println!(
+            "no artifacts found — run the experiment binaries first (see EXPERIMENTS.md)"
+        );
+    } else {
+        println!("({found} artifact files summarized)");
+    }
+}

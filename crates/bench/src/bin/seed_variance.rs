@@ -1,0 +1,82 @@
+//! **Extension — seed robustness of the Fig. 4 ordering.**
+//!
+//! Reruns the SSMDVFS-vs-PCSTALL comparison under different workload seeds
+//! (which reshuffle every warp's address and divergence streams) to check
+//! that the reported ordering is not an artifact of one particular
+//! instruction-stream realization.
+
+use gpu_sim::{Simulation, StaticGovernor, Time};
+use gpu_workloads::by_name;
+use ssmdvfs::{ModelArch, SsmdvfsConfig, SsmdvfsGovernor};
+use ssmdvfs_bench::{
+    artifacts_dir, build_or_load_dataset, format_table, train_or_load_model, write_csv,
+    PipelineConfig,
+};
+use dvfs_baselines::{PcstallConfig, PcstallGovernor};
+
+const SUBSET: [&str; 4] = ["sgemm", "lbm", "spmv", "gemm"];
+const SEEDS: [u64; 3] = [0x55AA_1234, 0xBEEF, 0x1CEB00DA];
+
+fn main() {
+    let config = PipelineConfig::default();
+    let dataset = build_or_load_dataset(&config, "main");
+    let (model, _) =
+        train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
+
+    let mut rows = Vec::new();
+    let mut ssm_all = Vec::new();
+    let mut pc_all = Vec::new();
+    for seed in SEEDS {
+        let gpu = config.gpu.clone().with_seed(seed);
+        let mut ssm_sum = 0.0;
+        let mut pc_sum = 0.0;
+        for name in SUBSET {
+            let bench = by_name(name).expect("benchmark exists");
+            let mut base_sim = Simulation::new(gpu.clone(), bench.workload().clone());
+            let mut base_gov = StaticGovernor::default_point(&gpu.vf_table);
+            let base = base_sim
+                .run(&mut base_gov, Time::from_micros(3_000.0))
+                .edp_report();
+            let mut sim = Simulation::new(gpu.clone(), bench.workload().clone());
+            let mut governor = SsmdvfsGovernor::new(model.clone(), SsmdvfsConfig::new(0.10));
+            ssm_sum += sim
+                .run(&mut governor, Time::from_micros(3_000.0))
+                .edp_report()
+                .normalized_edp(&base);
+            let mut sim = Simulation::new(gpu.clone(), bench.workload().clone());
+            let mut governor = PcstallGovernor::new(PcstallConfig::new(0.10));
+            pc_sum += sim
+                .run(&mut governor, Time::from_micros(3_000.0))
+                .edp_report()
+                .normalized_edp(&base);
+        }
+        let n = SUBSET.len() as f64;
+        eprintln!("[seeds] {seed:#x} done");
+        ssm_all.push(ssm_sum / n);
+        pc_all.push(pc_sum / n);
+        rows.push(vec![
+            format!("{seed:#x}"),
+            format!("{:.4}", ssm_sum / n),
+            format!("{:.4}", pc_sum / n),
+        ]);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let std = |v: &[f64]| {
+        let m = mean(v);
+        (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+    };
+    println!("\n=== Seed robustness (subset {SUBSET:?}, preset 10%) ===\n");
+    println!("{}", format_table(&["workload_seed", "ssmdvfs_edp", "pcstall_edp"], &rows));
+    println!(
+        "ssmdvfs: {:.4} ± {:.4} | pcstall: {:.4} ± {:.4}",
+        mean(&ssm_all),
+        std(&ssm_all),
+        mean(&pc_all),
+        std(&pc_all)
+    );
+    write_csv(
+        artifacts_dir().join("seed_variance.csv"),
+        &["seed", "ssmdvfs_edp", "pcstall_edp"],
+        &rows,
+    );
+}

@@ -1,0 +1,142 @@
+//! The offline SSMDVFS pipeline with on-disk artifact caching.
+//!
+//! Data generation is the expensive step (~minutes of simulated replay), so
+//! its output — and the models trained from it — are cached as JSON under
+//! [`artifacts_dir`]. Experiment binaries share one pipeline invocation; a
+//! stale cache can be cleared by deleting the directory or setting
+//! `SSMDVFS_REFRESH=1`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use gpu_sim::GpuConfig;
+use gpu_workloads::training_set;
+use ssmdvfs::{
+    generate, train_combined, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch,
+    TrainSummary,
+};
+use tinynn::TrainConfig;
+
+/// Parameters of the shared offline pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// GPU configuration used for data generation.
+    pub gpu: GpuConfig,
+    /// Data-generation parameters.
+    pub datagen: DataGenConfig,
+    /// Benchmark scale factor (1.0 = the paper-sized ~300 µs programs;
+    /// smaller for smoke tests).
+    pub scale: f64,
+    /// Training hyperparameters.
+    pub train: TrainConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            gpu: GpuConfig::titan_x(),
+            datagen: DataGenConfig::default(),
+            scale: 1.0,
+            train: TrainConfig { epochs: 500, patience: 60, lr: 1.5e-3, ..TrainConfig::default() },
+        }
+    }
+}
+
+/// The directory experiment artifacts (datasets, models, CSV outputs) are
+/// written to. Override with the `SSMDVFS_ARTIFACTS` environment variable.
+pub fn artifacts_dir() -> PathBuf {
+    let dir = std::env::var_os("SSMDVFS_ARTIFACTS")
+        .map_or_else(|| PathBuf::from("target/ssmdvfs-artifacts"), PathBuf::from);
+    fs::create_dir_all(&dir).expect("artifact directory must be creatable");
+    dir
+}
+
+fn refresh_requested() -> bool {
+    std::env::var_os("SSMDVFS_REFRESH").is_some_and(|v| v != "0")
+}
+
+/// Generates (or loads from cache) the training dataset over the paper's
+/// training benchmarks.
+///
+/// # Panics
+///
+/// Panics if data generation produces no samples or the cache is
+/// unreadable/unwritable.
+pub fn build_or_load_dataset(config: &PipelineConfig, tag: &str) -> DvfsDataset {
+    let path = artifacts_dir().join(format!("dataset_{tag}.json"));
+    if !refresh_requested() {
+        if let Ok(data) = DvfsDataset::load(&path) {
+            eprintln!(
+                "[pipeline] loaded cached dataset ({} samples) from {}",
+                data.len(),
+                path.display()
+            );
+            return data;
+        }
+    }
+    let mut dataset = DvfsDataset::default();
+    for bench in training_set() {
+        let scaled = bench.scaled(config.scale);
+        let t0 = std::time::Instant::now();
+        let part = generate(&scaled, &config.gpu, &config.datagen);
+        eprintln!(
+            "[pipeline] datagen {}: {} samples in {:.1?}",
+            scaled.name(),
+            part.len(),
+            t0.elapsed()
+        );
+        dataset.extend(part);
+    }
+    assert!(!dataset.is_empty(), "data generation produced no samples");
+    dataset.save(&path).expect("dataset cache must be writable");
+    dataset
+}
+
+/// Trains (or loads from cache) a combined model of the given architecture
+/// on the dataset.
+///
+/// # Panics
+///
+/// Panics if training fails or the cache is unreadable/unwritable.
+pub fn train_or_load_model(
+    dataset: &DvfsDataset,
+    arch: &ModelArch,
+    config: &PipelineConfig,
+    tag: &str,
+) -> (CombinedModel, TrainSummary) {
+    let dir = artifacts_dir();
+    let model_path = dir.join(format!("model_{tag}.json"));
+    let summary_path = dir.join(format!("summary_{tag}.json"));
+    if !refresh_requested() {
+        if let (Ok(model), Ok(summary_json)) =
+            (CombinedModel::load(&model_path), fs::read_to_string(&summary_path))
+        {
+            if let Ok(summary) = serde_json::from_str::<TrainSummary>(&summary_json) {
+                eprintln!("[pipeline] loaded cached model '{tag}'");
+                return (model, summary);
+            }
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let (model, summary) = train_combined(
+        dataset,
+        &FeatureSet::refined(),
+        arch,
+        config.gpu.vf_table.len(),
+        &config.train,
+        0.25,
+    );
+    eprintln!(
+        "[pipeline] trained '{tag}' in {:.1?}: accuracy {:.2}%, MAPE {:.2}%",
+        t0.elapsed(),
+        summary.decision_accuracy * 100.0,
+        summary.calibrator_mape
+    );
+    model.save(&model_path).expect("model cache must be writable");
+    fs::write(
+        &summary_path,
+        serde_json::to_string_pretty(&summary).expect("summary serializes"),
+    )
+    .expect("summary cache must be writable");
+    (model, summary)
+}

@@ -1,0 +1,101 @@
+//! Plain-text table and CSV output helpers for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Formats a header plus rows as an aligned plain-text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// # Examples
+///
+/// ```
+/// let t = ssmdvfs_bench::format_table(
+///     &["name", "value"],
+///     &[vec!["a".into(), "1".into()], vec!["bb".into(), "2".into()]],
+/// );
+/// assert!(t.contains("name"));
+/// assert!(t.contains("bb"));
+/// ```
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match the header");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (w, cell) in widths.iter().zip(cells) {
+            let _ = write!(out, "{cell:<w$}  ");
+        }
+        let _ = writeln!(out);
+    };
+    write_row(&mut out, &header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Writes a header plus rows as a CSV file.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written or a row's length differs from the
+/// header's.
+pub fn write_csv(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<String>]) {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match the header");
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    fs::write(path.as_ref(), out)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.as_ref().display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(
+            &["a", "long_header"],
+            &[vec!["xxxx".into(), "1".into()], vec!["y".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have the same column start for the second field.
+        let pos_header = lines[0].find("long_header").unwrap();
+        let pos_row = lines[2].find('1').unwrap();
+        assert_eq!(pos_header, pos_row);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("ssmdvfs_report_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x", "y"], &[vec!["1".into(), "2".into()]]);
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        format_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

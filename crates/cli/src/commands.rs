@@ -1,0 +1,502 @@
+//! CLI subcommand implementations.
+//!
+//! Each command is a function from parsed [`Args`] to a `Result<String>`
+//! holding the text to print — pure enough to test without spawning a
+//! process.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use dvfs_baselines::{
+    run_oracle, FlemmaConfig, FlemmaGovernor, OndemandConfig, OndemandGovernor, PcstallConfig,
+    PcstallGovernor,
+};
+use gpu_sim::{
+    epoch_trace_csv, GpuConfig, SimResult, Simulation, StaticGovernor, Time,
+};
+use gpu_workloads::{by_name, suite, Benchmark};
+use ssmdvfs::{
+    compress_and_finetune, estimate_asic, evaluate, generate, train_combined, AsicConfig,
+    CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch, SsmdvfsConfig,
+    SsmdvfsGovernor,
+};
+use tinynn::TrainConfig;
+
+use crate::args::{Args, ParseArgsError};
+
+type CmdResult = Result<String, ParseArgsError>;
+
+fn err(message: impl Into<String>) -> ParseArgsError {
+    ParseArgsError::new(message)
+}
+
+/// Usage text shown by `help` and on unknown subcommands.
+pub fn usage() -> String {
+    "\
+ssmdvfs — microsecond-scale GPU DVFS with supervised, self-calibrated ML
+
+USAGE: ssmdvfs <COMMAND> [OPTIONS]
+
+COMMANDS:
+  list-benchmarks                     list the synthetic benchmark suite
+  simulate    --benchmark <name>      run one benchmark under a governor
+              [--governor static|pcstall|flemma|ondemand|oracle|ssmdvfs]
+              [--model <file>] [--preset 0.10] [--op <idx>]
+              [--clusters <n>] [--sms <n>] [--scale <f>] [--trace <out.csv>]
+  datagen     --out <file>            run the Fig. 2 data-generation pipeline
+              [--benchmarks a,b,c] [--scale <f>] [--clusters <n>]
+  train       --dataset <file> --out <model.json>
+              [--arch full|compressed] [--epochs <n>]
+  compress    --model <in> --dataset <file> --out <model.json>
+              [--x1 0.6] [--x2 0.9]
+  evaluate    --model <file> --dataset <file>
+  asic        --model <file> [--freq-mhz 1165]
+  help                                show this message
+"
+    .to_string()
+}
+
+fn gpu_config(args: &Args) -> Result<GpuConfig, ParseArgsError> {
+    let mut cfg = GpuConfig::titan_x();
+    cfg.num_clusters = args.get_usize("clusters", cfg.num_clusters)?;
+    cfg.sms_per_cluster = args.get_usize("sms", cfg.sms_per_cluster)?;
+    if cfg.num_clusters == 0 || cfg.sms_per_cluster == 0 {
+        return Err(err("--clusters and --sms must be at least 1"));
+    }
+    Ok(cfg)
+}
+
+fn benchmark(args: &Args) -> Result<Benchmark, ParseArgsError> {
+    let name = args.require("benchmark")?;
+    let bench = by_name(name).ok_or_else(|| {
+        err(format!("unknown benchmark '{name}'; see 'ssmdvfs list-benchmarks'"))
+    })?;
+    let scale = args.get_f64("scale", 1.0)?;
+    if scale <= 0.0 {
+        return Err(err("--scale must be positive"));
+    }
+    Ok(bench.scaled(scale))
+}
+
+fn load_model(path: &str) -> Result<CombinedModel, ParseArgsError> {
+    CombinedModel::load(path).map_err(|e| err(format!("cannot load model '{path}': {e}")))
+}
+
+fn load_dataset(path: &str) -> Result<DvfsDataset, ParseArgsError> {
+    DvfsDataset::load(path).map_err(|e| err(format!("cannot load dataset '{path}': {e}")))
+}
+
+/// `list-benchmarks`.
+pub fn list_benchmarks() -> CmdResult {
+    let mut out = format!(
+        "{:<14} {:<10} {:<10} {:>14}\n",
+        "name", "family", "character", "instructions"
+    );
+    for b in suite() {
+        let _ = writeln!(
+            out,
+            "{:<14} {:<10} {:<10} {:>14}",
+            b.name(),
+            b.family().to_string(),
+            b.character().to_string(),
+            b.workload().total_instructions()
+        );
+    }
+    Ok(out)
+}
+
+/// `simulate`.
+pub fn simulate(args: &Args) -> CmdResult {
+    let cfg = gpu_config(args)?;
+    let bench = benchmark(args)?;
+    let preset = args.get_f64("preset", 0.10)?;
+    let horizon = Time::from_micros(args.get_f64("horizon-us", 20_000.0)?);
+    let governor_name = args.get("governor").unwrap_or("static");
+
+    let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
+    let result: SimResult = match governor_name {
+        "static" => {
+            let idx = args.get_usize("op", cfg.vf_table.default_index())?;
+            if idx >= cfg.vf_table.len() {
+                return Err(err(format!(
+                    "--op {idx} out of range (table has {} points)",
+                    cfg.vf_table.len()
+                )));
+            }
+            sim.run(&mut StaticGovernor::new(idx), horizon)
+        }
+        "pcstall" => sim.run(&mut PcstallGovernor::new(PcstallConfig::new(preset)), horizon),
+        "flemma" => sim.run(&mut FlemmaGovernor::new(FlemmaConfig::new(preset)), horizon),
+        "ondemand" => sim.run(&mut OndemandGovernor::new(OndemandConfig::default()), horizon),
+        "oracle" => run_oracle(&cfg, bench.workload().clone(), preset, horizon),
+        "ssmdvfs" => {
+            let model = load_model(args.require("model")?)?;
+            let mut governor = SsmdvfsGovernor::new(model, SsmdvfsConfig::new(preset));
+            sim.run(&mut governor, horizon)
+        }
+        other => {
+            return Err(err(format!(
+                "unknown governor '{other}' (static|pcstall|flemma|ondemand|oracle|ssmdvfs)"
+            )))
+        }
+    };
+
+    if let Some(trace_path) = args.get("trace") {
+        // The oracle path runs its own simulation; its trace is not exposed.
+        if governor_name == "oracle" {
+            return Err(err("--trace is not available with the oracle governor"));
+        }
+        fs::write(trace_path, epoch_trace_csv(sim.records()))
+            .map_err(|e| err(format!("cannot write trace '{trace_path}': {e}")))?;
+    }
+
+    let report = result.edp_report();
+    let mut out = String::new();
+    let _ = writeln!(out, "benchmark : {bench}");
+    let _ = writeln!(out, "governor  : {}", result.governor);
+    let _ = writeln!(out, "completed : {}", result.completed);
+    let _ = writeln!(out, "time      : {:.2} µs", report.time_s() * 1e6);
+    let _ = writeln!(out, "energy    : {:.4} mJ", report.energy().millijoules());
+    let _ = writeln!(out, "EDP       : {:.4e} J·s", report.edp());
+    let _ = writeln!(out, "op usage  : {:?}", result.op_histogram);
+    Ok(out)
+}
+
+/// `datagen`.
+pub fn datagen(args: &Args) -> CmdResult {
+    let cfg = gpu_config(args)?;
+    let out_path = args.require("out")?;
+    let scale = args.get_f64("scale", 1.0)?;
+    let benches: Vec<Benchmark> = match args.get("benchmarks") {
+        None => gpu_workloads::training_set(),
+        Some(spec) => spec
+            .split(',')
+            .map(|n| {
+                by_name(n.trim())
+                    .ok_or_else(|| err(format!("unknown benchmark '{}'", n.trim())))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let dg = DataGenConfig::default();
+    let mut dataset = DvfsDataset::default();
+    let mut out = String::new();
+    for b in benches {
+        let scaled = b.scaled(scale);
+        let part = generate(&scaled, &cfg, &dg);
+        let _ = writeln!(out, "{:<14} {:>6} samples", scaled.name(), part.len());
+        dataset.extend(part);
+    }
+    dataset
+        .save(out_path)
+        .map_err(|e| err(format!("cannot write '{out_path}': {e}")))?;
+    let _ = writeln!(out, "total: {} samples -> {out_path}", dataset.len());
+    Ok(out)
+}
+
+fn arch(args: &Args) -> Result<ModelArch, ParseArgsError> {
+    match args.get("arch").unwrap_or("full") {
+        "full" => Ok(ModelArch::paper_full()),
+        "compressed" => Ok(ModelArch::paper_compressed()),
+        other => Err(err(format!("unknown --arch '{other}' (full|compressed)"))),
+    }
+}
+
+/// `train`.
+pub fn train(args: &Args) -> CmdResult {
+    let dataset = load_dataset(args.require("dataset")?)?;
+    let out_path = args.require("out")?;
+    let train_cfg = TrainConfig {
+        epochs: args.get_usize("epochs", 300)?,
+        ..TrainConfig::default()
+    };
+    let (model, summary) =
+        train_combined(&dataset, &FeatureSet::refined(), &arch(args)?, 6, &train_cfg, 0.25);
+    model
+        .save(out_path)
+        .map_err(|e| err(format!("cannot write model '{out_path}': {e}")))?;
+    Ok(format!(
+        "trained on {} samples: accuracy {:.2}%, MAPE {:.2}%, {} FLOPs -> {out_path}\n",
+        summary.samples,
+        summary.decision_accuracy * 100.0,
+        summary.calibrator_mape,
+        summary.flops
+    ))
+}
+
+/// `compress`.
+pub fn compress(args: &Args) -> CmdResult {
+    let model = load_model(args.require("model")?)?;
+    let dataset = load_dataset(args.require("dataset")?)?;
+    let out_path = args.require("out")?;
+    let x1 = args.get_f64("x1", 0.6)? as f32;
+    let x2 = args.get_f64("x2", 0.9)? as f32;
+    if !(0.0..=1.0).contains(&x1) || !(0.0..=1.0).contains(&x2) {
+        return Err(err("--x1 and --x2 must be in [0, 1]"));
+    }
+    let finetune = TrainConfig { epochs: args.get_usize("epochs", 80)?, ..TrainConfig::default() };
+    let compressed = compress_and_finetune(&model, &dataset, x1, x2, &finetune);
+    compressed
+        .save(out_path)
+        .map_err(|e| err(format!("cannot write model '{out_path}': {e}")))?;
+    Ok(format!(
+        "compressed {} -> {} FLOPs ({:.1}% reduction) -> {out_path}\n",
+        model.flops(),
+        compressed.sparse_flops(),
+        (1.0 - compressed.sparse_flops() as f64 / model.flops() as f64) * 100.0
+    ))
+}
+
+/// `evaluate`.
+pub fn eval_cmd(args: &Args) -> CmdResult {
+    let model = load_model(args.require("model")?)?;
+    let dataset = load_dataset(args.require("dataset")?)?;
+    let (acc, mape) = evaluate(&model, &dataset);
+    Ok(format!(
+        "decision accuracy {:.2}%, calibrator MAPE {:.2}% over {} samples ({} sparse FLOPs)\n",
+        acc * 100.0,
+        mape,
+        dataset.len(),
+        model.sparse_flops()
+    ))
+}
+
+/// `asic`.
+pub fn asic(args: &Args) -> CmdResult {
+    let model = load_model(args.require("model")?)?;
+    let freq = args.get_f64("freq-mhz", 1165.0)?;
+    if freq <= 0.0 {
+        return Err(err("--freq-mhz must be positive"));
+    }
+    let r = estimate_asic(&model, &AsicConfig::tsmc65(), freq, 10.0);
+    Ok(format!(
+        "cycles/inference: {}\nlatency: {:.3} µs ({:.2}% of a 10 µs epoch)\narea: {:.4} mm² @65nm, {:.4} mm² @28nm\npower: {:.4} W, energy/inference: {:.3e} J\n",
+        r.cycles_per_inference,
+        r.latency_us,
+        r.epoch_fraction * 100.0,
+        r.area_65nm_mm2,
+        r.area_28nm_mm2,
+        r.power_w,
+        r.energy_per_inference_j
+    ))
+}
+
+/// Dispatches a parsed argument set to its subcommand.
+///
+/// # Errors
+///
+/// Returns a [`ParseArgsError`] describing any invalid input or I/O failure.
+pub fn dispatch(args: &Args) -> CmdResult {
+    match args.command() {
+        "list-benchmarks" => list_benchmarks(),
+        "simulate" => simulate(args),
+        "datagen" => datagen(args),
+        "train" => train(args),
+        "compress" => compress(args),
+        "evaluate" => eval_cmd(args),
+        "asic" => asic(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(err(format!("unknown command '{other}'\n\n{}", usage()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_benchmarks_contains_suite_members() {
+        let out = list_benchmarks().unwrap();
+        assert!(out.contains("sgemm"));
+        assert!(out.contains("lbm"));
+        assert!(out.contains("polybench"));
+    }
+
+    #[test]
+    fn simulate_static_small() {
+        let args = Args::parse([
+            "simulate",
+            "--benchmark",
+            "lbm",
+            "--clusters",
+            "2",
+            "--scale",
+            "0.05",
+        ])
+        .unwrap();
+        let out = simulate(&args).unwrap();
+        assert!(out.contains("completed : true"), "{out}");
+        assert!(out.contains("EDP"));
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_benchmark_and_governor() {
+        let args =
+            Args::parse(["simulate", "--benchmark", "nope", "--clusters", "2"]).unwrap();
+        assert!(simulate(&args).unwrap_err().to_string().contains("unknown benchmark"));
+        let args = Args::parse([
+            "simulate",
+            "--benchmark",
+            "lbm",
+            "--clusters",
+            "2",
+            "--scale",
+            "0.05",
+            "--governor",
+            "magic",
+        ])
+        .unwrap();
+        assert!(simulate(&args).unwrap_err().to_string().contains("unknown governor"));
+    }
+
+    #[test]
+    fn datagen_train_evaluate_roundtrip() {
+        let dir = std::env::temp_dir().join("ssmdvfs_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.json");
+        let model_path = dir.join("model.json");
+
+        let args = Args::parse([
+            "datagen",
+            "--out",
+            data_path.to_str().unwrap(),
+            "--benchmarks",
+            "lbm,sgemm",
+            "--scale",
+            "0.05",
+            "--clusters",
+            "2",
+        ])
+        .unwrap();
+        let out = datagen(&args).unwrap();
+        assert!(out.contains("total:"), "{out}");
+
+        let args = Args::parse([
+            "train",
+            "--dataset",
+            data_path.to_str().unwrap(),
+            "--out",
+            model_path.to_str().unwrap(),
+            "--epochs",
+            "10",
+            "--arch",
+            "compressed",
+        ])
+        .unwrap();
+        let out = train(&args).unwrap();
+        assert!(out.contains("accuracy"), "{out}");
+
+        let args = Args::parse([
+            "evaluate",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--dataset",
+            data_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = eval_cmd(&args).unwrap();
+        assert!(out.contains("decision accuracy"));
+
+        let args = Args::parse(["asic", "--model", model_path.to_str().unwrap()]).unwrap();
+        let out = asic(&args).unwrap();
+        assert!(out.contains("cycles/inference"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dispatch_help_and_unknown() {
+        let args = Args::parse(["help"]).unwrap();
+        assert!(dispatch(&args).unwrap().contains("USAGE"));
+        let args = Args::parse(["frobnicate"]).unwrap();
+        assert!(dispatch(&args).unwrap_err().to_string().contains("unknown command"));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::args::Args;
+
+    #[test]
+    fn simulate_writes_a_trace_csv() {
+        let dir = std::env::temp_dir().join("ssmdvfs_cli_trace_test");
+        fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.csv");
+        let args = Args::parse([
+            "simulate",
+            "--benchmark",
+            "lbm",
+            "--clusters",
+            "2",
+            "--scale",
+            "0.05",
+            "--governor",
+            "pcstall",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        simulate(&args).unwrap();
+        let csv = fs::read_to_string(&trace).unwrap();
+        assert!(csv.starts_with("epoch,cluster"));
+        assert!(csv.lines().count() > 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_with_oracle_is_rejected() {
+        let args = Args::parse([
+            "simulate",
+            "--benchmark",
+            "lbm",
+            "--clusters",
+            "2",
+            "--scale",
+            "0.05",
+            "--governor",
+            "oracle",
+            "--trace",
+            "/tmp/never-written.csv",
+        ])
+        .unwrap();
+        let e = simulate(&args).unwrap_err();
+        assert!(e.to_string().contains("oracle"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_op_index() {
+        let args = Args::parse([
+            "simulate",
+            "--benchmark",
+            "lbm",
+            "--clusters",
+            "2",
+            "--scale",
+            "0.05",
+            "--op",
+            "99",
+        ])
+        .unwrap();
+        assert!(simulate(&args).unwrap_err().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn ondemand_and_flemma_paths_run() {
+        for gov in ["ondemand", "flemma"] {
+            let args = Args::parse([
+                "simulate",
+                "--benchmark",
+                "histo",
+                "--clusters",
+                "2",
+                "--scale",
+                "0.05",
+                "--governor",
+                gov,
+            ])
+            .unwrap();
+            let out = simulate(&args).unwrap();
+            assert!(out.contains("completed : true"), "{gov}: {out}");
+        }
+    }
+}

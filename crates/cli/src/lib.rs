@@ -1,0 +1,23 @@
+//! Library backing the `ssmdvfs` command-line tool.
+//!
+//! Exposes the argument parser and subcommand implementations so they can be
+//! tested directly; the binary in `main.rs` is a thin shell around
+//! [`dispatch`].
+//!
+//! ```sh
+//! ssmdvfs list-benchmarks
+//! ssmdvfs simulate --benchmark lbm --governor pcstall --preset 0.10
+//! ssmdvfs datagen  --out data.json --benchmarks sgemm,lbm --scale 0.2
+//! ssmdvfs train    --dataset data.json --out model.json
+//! ssmdvfs simulate --benchmark mvt --governor ssmdvfs --model model.json
+//! ```
+
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{Args, ParseArgsError};
+pub use commands::{
+    asic, compress, datagen, dispatch, eval_cmd, list_benchmarks, simulate, train, usage,
+};

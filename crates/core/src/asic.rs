@@ -1,0 +1,239 @@
+//! Hardware cost model of the SSMDVFS inference module (Section V-D).
+//!
+//! The paper implements the compressed model as a 65 nm TSMC ASIC and scales
+//! the results to 28 nm with DeepScaleTool, reporting 192 cycles per
+//! inference (0.16 µs at 1165 MHz), 0.0080 mm² and 0.0025 W. We reproduce
+//! those numbers analytically: the MAC schedule determines cycles, and
+//! published per-operation energy/area constants at 65 nm — scaled with
+//! [`TechScaler`] — determine area and power.
+
+use gpu_power::TechScaler;
+use serde::{Deserialize, Serialize};
+
+use crate::model::CombinedModel;
+
+/// Parameters of the inference ASIC at the synthesis node (65 nm).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsicConfig {
+    /// FP32 MAC units operating in parallel.
+    pub mac_units: usize,
+    /// Pipeline fill/drain overhead per layer, in cycles.
+    pub layer_overhead_cycles: u64,
+    /// Energy per FP32 MAC at 65 nm, in picojoules.
+    pub e_mac_pj: f64,
+    /// Energy per weight fetched from local SRAM at 65 nm, in picojoules.
+    pub e_sram_pj: f64,
+    /// Leakage power of the module at 65 nm, in milliwatts.
+    pub leakage_mw: f64,
+    /// Area of one FP32 MAC at 65 nm, in mm².
+    pub mac_area_mm2: f64,
+    /// SRAM area per stored weight byte at 65 nm, in mm².
+    pub sram_area_per_byte_mm2: f64,
+    /// Fixed control/IO area at 65 nm, in mm².
+    pub control_area_mm2: f64,
+    /// Bytes of SRAM per stored weight (4 for FP32, 1 for INT8).
+    pub bytes_per_weight: u64,
+}
+
+impl AsicConfig {
+    /// Constants representative of a small FP32 MAC datapath in 65 nm TSMC.
+    pub fn tsmc65() -> AsicConfig {
+        AsicConfig {
+            mac_units: 1,
+            layer_overhead_cycles: 4,
+            e_mac_pj: 6.0,
+            e_sram_pj: 2.5,
+            leakage_mw: 0.3,
+            mac_area_mm2: 0.012,
+            sram_area_per_byte_mm2: 1.2e-5,
+            control_area_mm2: 0.004,
+            bytes_per_weight: 4,
+        }
+    }
+
+    /// An INT8 variant of the datapath (extension; the paper's module is
+    /// FP32): multipliers are ~5x smaller and cheaper, weights store in a
+    /// quarter of the SRAM.
+    pub fn tsmc65_int8() -> AsicConfig {
+        AsicConfig {
+            e_mac_pj: 1.2,
+            e_sram_pj: 0.8,
+            mac_area_mm2: 0.0025,
+            bytes_per_weight: 1,
+            ..AsicConfig::tsmc65()
+        }
+    }
+}
+
+impl Default for AsicConfig {
+    fn default() -> AsicConfig {
+        AsicConfig::tsmc65()
+    }
+}
+
+/// The synthesized-module report (the quantities of Section V-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsicReport {
+    /// Clock cycles per combined (decision + calibrator) inference.
+    pub cycles_per_inference: u64,
+    /// Inference latency in microseconds at the given clock.
+    pub latency_us: f64,
+    /// Fraction of one DVFS epoch spent on inference.
+    pub epoch_fraction: f64,
+    /// Module area at 65 nm, in mm².
+    pub area_65nm_mm2: f64,
+    /// Module area scaled to 28 nm, in mm².
+    pub area_28nm_mm2: f64,
+    /// Average power during inference at 28 nm, in watts.
+    pub power_w: f64,
+    /// Energy per inference at 28 nm, in joules.
+    pub energy_per_inference_j: f64,
+}
+
+/// Estimates the inference module's cycles, area and power for a model.
+///
+/// `freq_mhz` is the module clock (the paper uses the GPU's default
+/// 1165 MHz) and `epoch_us` the DVFS period (10 µs).
+///
+/// # Panics
+///
+/// Panics if `freq_mhz` or `epoch_us` is not positive.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ssmdvfs::{estimate_asic, AsicConfig, CombinedModel};
+///
+/// # fn demo(model: &CombinedModel) {
+/// let report = estimate_asic(model, &AsicConfig::tsmc65(), 1165.0, 10.0);
+/// println!("{} cycles, {:.4} mm² @28nm", report.cycles_per_inference, report.area_28nm_mm2);
+/// # }
+/// ```
+pub fn estimate_asic(
+    model: &CombinedModel,
+    config: &AsicConfig,
+    freq_mhz: f64,
+    epoch_us: f64,
+) -> AsicReport {
+    assert!(freq_mhz > 0.0, "clock frequency must be positive");
+    assert!(epoch_us > 0.0, "epoch length must be positive");
+
+    // One MAC per non-zero weight; biases and activations ride in the
+    // layer overhead.
+    let macs = (model.sparse_flops() / 2).max(1);
+    let layers = (model.decision.layers().len() + model.calibrator.layers().len()) as u64;
+    let cycles = macs.div_ceil(config.mac_units as u64)
+        + layers * config.layer_overhead_cycles;
+
+    let latency_us = cycles as f64 / freq_mhz; // cycles / (MHz) = µs
+    let epoch_fraction = latency_us / epoch_us;
+
+    let weight_bytes = (model.decision.nonzero_weights()
+        + model.calibrator.nonzero_weights())
+        * config.bytes_per_weight;
+    let area_65 = config.mac_area_mm2 * config.mac_units as f64
+        + config.sram_area_per_byte_mm2 * weight_bytes as f64
+        + config.control_area_mm2;
+
+    let scaler = TechScaler::tsmc65_to_28();
+    let area_28 = scaler.scale_area_mm2(area_65);
+
+    // Energy at 65 nm, scaled to 28 nm.
+    let e_dynamic_65_pj = macs as f64 * (config.e_mac_pj + config.e_sram_pj);
+    let e_dynamic_28 = scaler.scale_energy(e_dynamic_65_pj) * 1e-12;
+    let leakage_28_w = scaler.scale_energy(config.leakage_mw * 1e-3);
+    let energy = e_dynamic_28 + leakage_28_w * latency_us * 1e-6;
+    let power_w = energy / (latency_us * 1e-6);
+
+    AsicReport {
+        cycles_per_inference: cycles,
+        latency_us,
+        epoch_fraction,
+        area_65nm_mm2: area_65,
+        area_28nm_mm2: area_28,
+        power_w,
+        energy_per_inference_j: energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tinynn::{Matrix, Mlp, Normalizer};
+
+    fn model_with_sparse_flops() -> CombinedModel {
+        let fs = FeatureSet::refined();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut decision = Mlp::new(&[fs.len() + 1, 12, 10, 6], &mut rng);
+        let calibrator = Mlp::new(&[fs.len() + 2, 11, 1], &mut rng);
+        // Sparsify the decision head to imitate the pruned model.
+        tinynn::prune_magnitude(&mut decision, 0.5);
+        let n1 = Normalizer::fit(&Matrix::zeros(2, fs.len() + 1));
+        let n2 = Normalizer::fit(&Matrix::zeros(2, fs.len() + 2));
+        CombinedModel {
+            decision,
+            calibrator,
+            feature_set: fs,
+            decision_norm: n1,
+            calibrator_norm: n2,
+            instr_scale: 1_000.0,
+            num_ops: 6,
+        }
+    }
+
+    #[test]
+    fn report_is_in_the_papers_ballpark() {
+        let model = model_with_sparse_flops();
+        let r = estimate_asic(&model, &AsicConfig::tsmc65(), 1165.0, 10.0);
+        // Paper: 192 cycles, 0.16 µs, 0.0080 mm², 0.0025 W. Same order of
+        // magnitude is the bar here.
+        assert!((50..1_000).contains(&r.cycles_per_inference), "{} cycles", r.cycles_per_inference);
+        assert!(r.latency_us < 1.0);
+        assert!(r.epoch_fraction < 0.1, "inference must be a small epoch fraction");
+        assert!(r.area_28nm_mm2 < 0.05, "area {:.4} mm²", r.area_28nm_mm2);
+        assert!(r.power_w < 0.05, "power {:.4} W", r.power_w);
+    }
+
+    #[test]
+    fn int8_variant_is_smaller_and_cheaper() {
+        let model = model_with_sparse_flops();
+        let fp32 = estimate_asic(&model, &AsicConfig::tsmc65(), 1165.0, 10.0);
+        let int8 = estimate_asic(&model, &AsicConfig::tsmc65_int8(), 1165.0, 10.0);
+        assert!(int8.area_28nm_mm2 < fp32.area_28nm_mm2);
+        assert!(int8.energy_per_inference_j < fp32.energy_per_inference_j);
+        assert_eq!(int8.cycles_per_inference, fp32.cycles_per_inference);
+    }
+
+    #[test]
+    fn more_mac_units_reduce_cycles() {
+        let model = model_with_sparse_flops();
+        let one = estimate_asic(&model, &AsicConfig::tsmc65(), 1165.0, 10.0);
+        let four = estimate_asic(
+            &model,
+            &AsicConfig { mac_units: 4, ..AsicConfig::tsmc65() },
+            1165.0,
+            10.0,
+        );
+        assert!(four.cycles_per_inference < one.cycles_per_inference);
+        assert!(four.area_65nm_mm2 > one.area_65nm_mm2);
+    }
+
+    #[test]
+    fn scaling_shrinks_area() {
+        let model = model_with_sparse_flops();
+        let r = estimate_asic(&model, &AsicConfig::tsmc65(), 1165.0, 10.0);
+        assert!(r.area_28nm_mm2 < r.area_65nm_mm2);
+    }
+
+    #[test]
+    fn latency_tracks_frequency() {
+        let model = model_with_sparse_flops();
+        let fast = estimate_asic(&model, &AsicConfig::tsmc65(), 1165.0, 10.0);
+        let slow = estimate_asic(&model, &AsicConfig::tsmc65(), 683.0, 10.0);
+        assert!(slow.latency_us > fast.latency_us);
+        assert_eq!(slow.cycles_per_inference, fast.cycles_per_inference);
+    }
+}

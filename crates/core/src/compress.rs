@@ -1,0 +1,275 @@
+//! Model combination and compression (Section IV): the layer-wise
+//! architecture sweep and the two-stage pruning sweep behind Fig. 3, and
+//! the final compression pipeline behind Table II.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tinynn::{
+    prune_magnitude, prune_neurons, train_classifier_masked, train_regressor_masked,
+    TrainConfig, ZeroMask,
+};
+
+use crate::datagen::DvfsDataset;
+use crate::features::FeatureSet;
+use crate::model::{CombinedModel, ModelArch};
+use crate::train::{evaluate, train_combined};
+
+/// One point on a FLOPs-vs-quality curve (the axes of Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressionPoint {
+    /// A short description of the configuration.
+    pub label: String,
+    /// FLOPs per inference at this point (sparse FLOPs for pruned models).
+    pub flops: u64,
+    /// Decision-maker accuracy, in [0, 1].
+    pub accuracy: f64,
+    /// Calibrator MAPE, in percent.
+    pub mape: f64,
+}
+
+/// Sweeps uniform architectures (hidden-layer count × width), training each
+/// from scratch — the "layer-wise compression" series of Fig. 3.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `shapes` is empty.
+pub fn layerwise_sweep(
+    dataset: &DvfsDataset,
+    features: &FeatureSet,
+    shapes: &[(usize, usize)],
+    num_ops: usize,
+    config: &TrainConfig,
+) -> Vec<CompressionPoint> {
+    assert!(!shapes.is_empty(), "the sweep needs at least one shape");
+    shapes
+        .iter()
+        .map(|&(layers, neurons)| {
+            let arch = ModelArch::uniform(layers, neurons);
+            let (model, summary) =
+                train_combined(dataset, features, &arch, num_ops, config, 0.25);
+            CompressionPoint {
+                label: format!("{layers}x{neurons}"),
+                flops: model.flops(),
+                accuracy: summary.decision_accuracy,
+                mape: summary.calibrator_mape,
+            }
+        })
+        .collect()
+}
+
+/// Applies the paper's two-stage pruning to both heads of a trained model:
+/// magnitude pruning at `x1`, then removal of neurons whose incoming weights
+/// are at least `x2` zeros. No fine-tuning — see
+/// [`compress_and_finetune`] for the recovery step used by the final
+/// pipeline.
+pub fn compress_model(model: &CombinedModel, x1: f32, x2: f32) -> CombinedModel {
+    let mut out = model.clone();
+    prune_magnitude(&mut out.decision, x1);
+    prune_magnitude(&mut out.calibrator, x1);
+    let (decision, _) = prune_neurons(&out.decision, x2);
+    let (calibrator, _) = prune_neurons(&out.calibrator, x2);
+    out.decision = decision;
+    out.calibrator = calibrator;
+    out
+}
+
+/// The full compression pipeline: two-stage pruning followed by a short
+/// sparsity-preserving fine-tune of both heads on the dataset (pruned
+/// weights stay frozen at zero, so the FLOPs reduction survives the
+/// recovery training).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn compress_and_finetune(
+    model: &CombinedModel,
+    dataset: &DvfsDataset,
+    x1: f32,
+    x2: f32,
+    config: &TrainConfig,
+) -> CombinedModel {
+    let mut out = compress_model(model, x1, x2);
+    // Recovery training uses a gentler step than from-scratch training: the
+    // weights are already near a solution and the sparsity mask amplifies
+    // effective step sizes on the surviving weights.
+    let config = &TrainConfig { lr: config.lr * 0.3, ..config.clone() };
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF17E);
+
+    let dec_data = dataset.decision_data(&out.feature_set, out.num_ops);
+    let dec_data = tinynn::ClassificationData::new(
+        out.decision_norm.transform(&dec_data.x),
+        dec_data.y,
+        out.num_ops,
+    );
+    let (dec_train, dec_val) = dec_data.split(0.25, &mut rng);
+    let dec_mask = ZeroMask::from_zeros(&out.decision);
+    train_classifier_masked(&mut out.decision, &dec_train, &dec_val, config, Some(&dec_mask));
+
+    let cal_data = dataset.calibrator_data(&out.feature_set, out.num_ops, out.instr_scale);
+    let cal_data =
+        tinynn::RegressionData::new(out.calibrator_norm.transform(&cal_data.x), cal_data.y);
+    let (cal_train, cal_val) = cal_data.split(0.25, &mut rng);
+    let cal_mask = ZeroMask::from_zeros(&out.calibrator);
+    train_regressor_masked(&mut out.calibrator, &cal_train, &cal_val, config, Some(&cal_mask));
+    out
+}
+
+/// Quantizes both heads to INT8 weights (extension; the paper's module is
+/// FP32), returning a model whose weights carry the quantization error so
+/// the accuracy cost of an INT8 datapath can be measured with
+/// [`evaluate`].
+pub fn quantize_model(model: &CombinedModel) -> CombinedModel {
+    let mut out = model.clone();
+    out.decision = tinynn::QuantizedMlp::quantize(&out.decision).dequantize();
+    out.calibrator = tinynn::QuantizedMlp::quantize(&out.calibrator).dequantize();
+    out
+}
+
+/// Sweeps `(x1, x2)` pruning parameters over a trained model, evaluating
+/// each pruned variant on the dataset — the "pruning" series of Fig. 3.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `params` is empty.
+pub fn pruning_sweep(
+    model: &CombinedModel,
+    dataset: &DvfsDataset,
+    params: &[(f32, f32)],
+    finetune: &TrainConfig,
+) -> Vec<CompressionPoint> {
+    assert!(!params.is_empty(), "the sweep needs at least one parameter pair");
+    params
+        .iter()
+        .map(|&(x1, x2)| {
+            let pruned = compress_and_finetune(model, dataset, x1, x2, finetune);
+            let (accuracy, mape) = evaluate(&pruned, dataset);
+            CompressionPoint {
+                label: format!("x1={x1:.2},x2={x2:.2}"),
+                flops: pruned.sparse_flops(),
+                accuracy,
+                mape,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::RawSample;
+    use gpu_sim::{CounterId, EpochCounters};
+
+    fn tiny_dataset(n: usize) -> DvfsDataset {
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let stall = (i % 10) as f64 / 10.0;
+            let mut c = EpochCounters::zeroed();
+            c[CounterId::Ipc] = 2.0 - stall;
+            c[CounterId::PowerTotalW] = 3.0 + stall;
+            c[CounterId::StallMemLoad] = stall * 5_000.0;
+            c[CounterId::StallMemOther] = stall * 400.0;
+            c[CounterId::L1ReadMiss] = stall * 300.0;
+            samples.push(RawSample {
+                benchmark: "t".into(),
+                cluster: 0,
+                breakpoint: i,
+                counters: c.clone(),
+                scaled_counters: c,
+                op_index: if stall > 0.5 { 1 } else { 4 },
+                perf_loss: 0.05,
+                instructions: 8_000 + i as u64,
+            });
+        }
+        DvfsDataset { samples, ..DvfsDataset::default() }
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig { epochs: 10, ..TrainConfig::default() }
+    }
+
+    #[test]
+    fn layerwise_sweep_orders_flops_by_size() {
+        let data = tiny_dataset(120);
+        let pts = layerwise_sweep(
+            &data,
+            &FeatureSet::refined(),
+            &[(1, 6), (2, 12), (3, 20)],
+            6,
+            &quick_config(),
+        );
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].flops < pts[1].flops);
+        assert!(pts[1].flops < pts[2].flops);
+        for p in &pts {
+            assert!((0.0..=1.0).contains(&p.accuracy));
+            assert!(p.mape.is_finite());
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_sparse_flops_monotonically_in_x1() {
+        let data = tiny_dataset(120);
+        let (model, _) = train_combined(
+            &data,
+            &FeatureSet::refined(),
+            &ModelArch::paper_compressed(),
+            6,
+            &quick_config(),
+            0.25,
+        );
+        let pts = pruning_sweep(
+            &model,
+            &data,
+            &[(0.2, 0.95), (0.5, 0.95), (0.8, 0.95)],
+            &quick_config(),
+        );
+        assert!(pts[0].flops >= pts[1].flops);
+        assert!(pts[1].flops >= pts[2].flops);
+    }
+
+    #[test]
+    fn quantization_keeps_decisions_and_sparsity() {
+        let data = tiny_dataset(120);
+        let (model, _) = train_combined(
+            &data,
+            &FeatureSet::refined(),
+            &ModelArch::paper_compressed(),
+            6,
+            &quick_config(),
+            0.25,
+        );
+        let pruned = compress_model(&model, 0.5, 0.9);
+        let quantized = quantize_model(&pruned);
+        // Sparsity survives (zero weights quantize to zero).
+        assert_eq!(quantized.sparse_flops(), pruned.sparse_flops());
+        // Decision agreement stays high over the dataset.
+        let (acc_p, _) = evaluate(&pruned, &data);
+        let (acc_q, _) = evaluate(&quantized, &data);
+        assert!(
+            (acc_p - acc_q).abs() < 0.08,
+            "INT8 should barely move accuracy: {acc_p:.3} vs {acc_q:.3}"
+        );
+    }
+
+    #[test]
+    fn compress_model_preserves_io_shapes() {
+        let data = tiny_dataset(80);
+        let (model, _) = train_combined(
+            &data,
+            &FeatureSet::refined(),
+            &ModelArch::paper_full(),
+            6,
+            &quick_config(),
+            0.25,
+        );
+        let pruned = compress_model(&model, 0.6, 0.9);
+        assert_eq!(pruned.decision.input_size(), model.decision.input_size());
+        assert_eq!(pruned.decision.output_size(), 6);
+        assert_eq!(pruned.calibrator.output_size(), 1);
+        assert!(pruned.sparse_flops() < model.flops());
+        // A pruned model still makes valid decisions.
+        let idx = pruned.decide(&[1.0, 4.0, 100.0, 10.0, 20.0], 0.1);
+        assert!(idx < 6);
+    }
+}

@@ -1,0 +1,323 @@
+//! The runtime SSMDVFS governor: per-epoch inference plus the
+//! self-calibration loop of Fig. 1.
+//!
+//! Every 10 µs epoch, per cluster:
+//!
+//! 1. Compare the instruction count the Calibrator predicted for the epoch
+//!    that just ended against the actual count. If the prediction exceeds
+//!    reality, the cluster is running slower than the model expected, so the
+//!    *effective* preset is tightened (guiding the Decision-maker toward a
+//!    faster point); if reality meets the prediction, the effective preset
+//!    relaxes back toward the user's original preset.
+//! 2. Feed the epoch's counters plus the effective preset to the
+//!    Decision-maker to pick the next epoch's operating point.
+//! 3. Feed the counters, the *original* preset and the chosen point to the
+//!    Calibrator to produce the next prediction.
+
+use gpu_power::VfTable;
+use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
+use serde::{Deserialize, Serialize};
+
+use crate::model::CombinedModel;
+
+/// Tunables of the runtime controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsmdvfsConfig {
+    /// The user's performance-loss preset (0.10 = allow 10 % slowdown).
+    pub preset: f64,
+    /// Whether the Calibrator feedback loop is active (the paper's
+    /// with/without-Calibrator ablation).
+    pub calibration: bool,
+    /// Proportional gain applied to the relative prediction error when
+    /// tightening the effective preset.
+    pub gain: f64,
+    /// Additive recovery applied when the cluster meets its prediction,
+    /// relaxing the effective preset back toward `preset`.
+    pub recovery: f64,
+    /// Lower clamp for the effective preset (0 = "no loss allowed").
+    pub min_preset: f64,
+    /// Relative prediction-error deadband: shortfalls smaller than this are
+    /// treated as calibration noise and do not tighten the preset.
+    pub deadband: f64,
+    /// Use plain argmax instead of ordinal decoding for the Decision-maker
+    /// output (ablation switch; ordinal is the default).
+    pub argmax_decode: bool,
+}
+
+impl SsmdvfsConfig {
+    /// A controller allowing `preset` performance loss with calibration on.
+    pub fn new(preset: f64) -> SsmdvfsConfig {
+        SsmdvfsConfig {
+            preset,
+            calibration: true,
+            gain: 1.0,
+            recovery: 0.10,
+            min_preset: 0.005,
+            deadband: 0.05,
+            argmax_decode: false,
+        }
+    }
+
+    /// Disables the Calibrator feedback loop.
+    pub fn without_calibration(mut self) -> SsmdvfsConfig {
+        self.calibration = false;
+        self
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClusterState {
+    effective_preset: f64,
+    predicted_instructions: Option<f32>,
+    /// Exponentially smoothed relative prediction error; single-epoch
+    /// throughput variance (cache bursts, CTA boundaries) must not trigger
+    /// calibration, persistent shortfalls must.
+    err_ewma: f64,
+}
+
+/// The SSMDVFS DVFS governor.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gpu_sim::{GpuConfig, Simulation, Time};
+/// use ssmdvfs::{CombinedModel, SsmdvfsConfig, SsmdvfsGovernor};
+///
+/// # fn demo(model: CombinedModel, sim: &mut Simulation) {
+/// let mut governor = SsmdvfsGovernor::new(model, SsmdvfsConfig::new(0.10));
+/// let result = sim.run(&mut governor, Time::from_micros(2_000.0));
+/// println!("EDP: {:.3e}", result.edp_report().edp());
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsmdvfsGovernor {
+    model: CombinedModel,
+    config: SsmdvfsConfig,
+    clusters: Vec<ClusterState>,
+    name: String,
+}
+
+impl SsmdvfsGovernor {
+    /// Creates a governor around a trained model.
+    pub fn new(model: CombinedModel, config: SsmdvfsConfig) -> SsmdvfsGovernor {
+        let name = if config.calibration {
+            format!("ssmdvfs[{:.0}%]", config.preset * 100.0)
+        } else {
+            format!("ssmdvfs-nocal[{:.0}%]", config.preset * 100.0)
+        };
+        SsmdvfsGovernor { model, config, clusters: Vec::new(), name }
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &SsmdvfsConfig {
+        &self.config
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &CombinedModel {
+        &self.model
+    }
+
+    /// The effective preset currently applied to `cluster` (equals the
+    /// original preset until calibration adjusts it).
+    pub fn effective_preset(&self, cluster: usize) -> f64 {
+        self.clusters
+            .get(cluster)
+            .map_or(self.config.preset, |s| s.effective_preset)
+    }
+
+    fn state_mut(&mut self, cluster: usize) -> &mut ClusterState {
+        if cluster >= self.clusters.len() {
+            self.clusters.resize(
+                cluster + 1,
+                ClusterState {
+                    effective_preset: self.config.preset,
+                    predicted_instructions: None,
+                    err_ewma: 0.0,
+                },
+            );
+        }
+        &mut self.clusters[cluster]
+    }
+}
+
+impl DvfsGovernor for SsmdvfsGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize {
+        let features = self.model.feature_set.extract(counters);
+        let preset = self.config.preset;
+        let (gain, recovery, min_preset, deadband, calibration) = (
+            self.config.gain,
+            self.config.recovery,
+            self.config.min_preset,
+            self.config.deadband,
+            self.config.calibration,
+        );
+
+        // Epochs dominated by empty-pipeline stalls (the cluster ran out of
+        // work, e.g. at a kernel boundary) are excluded from calibration: an
+        // instruction shortfall there signals missing work, not a slow clock.
+        let cycles = counters[CounterId::TotalCycles].max(1.0);
+        let starved = counters[CounterId::StallEmpty] / cycles > 0.2;
+
+        let state = self.state_mut(cluster);
+        // Self-calibration on the epoch that just ended.
+        if calibration && !starved {
+            if let Some(predicted) = state.predicted_instructions {
+                let actual = counters.total_instructions() as f32;
+                if predicted > 0.0 {
+                    let rel_err = f64::from((predicted - actual) / predicted);
+                    state.err_ewma = 0.7 * state.err_ewma + 0.3 * rel_err;
+                    if state.err_ewma > deadband {
+                        // Persistently slower than the preset expectation:
+                        // tighten the effective preset.
+                        state.effective_preset = (state.effective_preset
+                            - gain * (state.err_ewma - deadband) * preset)
+                            .max(min_preset);
+                    } else {
+                        // On or ahead of expectation: relax toward the
+                        // original preset.
+                        state.effective_preset =
+                            (state.effective_preset + recovery * preset).min(preset);
+                    }
+                }
+            }
+        }
+        let effective = state.effective_preset as f32;
+
+        let op = if self.config.argmax_decode {
+            self.model.decide_argmax(&features, effective).min(table.len() - 1)
+        } else {
+            self.model.decide(&features, effective).min(table.len() - 1)
+        };
+        // The Calibrator always sees the original preset.
+        let predicted = self.model.predict_instructions(&features, preset as f32, op);
+        self.state_mut(cluster).predicted_instructions = Some(predicted);
+        op
+    }
+
+    fn reset(&mut self) {
+        self.clusters.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSet;
+    use gpu_sim::CounterId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tinynn::{Matrix, Mlp, Normalizer};
+
+    fn identity_normalizer(n: usize) -> Normalizer {
+        // Fit on rows with mean 0, std 1 per column.
+        let mut lo = vec![0.0f32; n];
+        let hi = vec![2.0f32; n];
+        for v in &mut lo {
+            *v = -2.0;
+        }
+        Normalizer::fit(&Matrix::from_rows(&[&lo, &hi]))
+    }
+
+    fn dummy_model() -> CombinedModel {
+        let fs = FeatureSet::refined();
+        let mut rng = StdRng::seed_from_u64(9);
+        CombinedModel {
+            decision: Mlp::new(&[fs.len() + 1, 8, 6], &mut rng),
+            calibrator: Mlp::new(&[fs.len() + 2, 8, 1], &mut rng),
+            feature_set: fs.clone(),
+            decision_norm: identity_normalizer(fs.len() + 1),
+            calibrator_norm: identity_normalizer(fs.len() + 2),
+            instr_scale: 1_000.0,
+            num_ops: 6,
+        }
+    }
+
+    fn counters_with(instrs: f64) -> EpochCounters {
+        let mut c = EpochCounters::zeroed();
+        c[CounterId::TotalInstrs] = instrs;
+        c[CounterId::TotalCycles] = 10_000.0;
+        c.recompute_derived();
+        c
+    }
+
+    #[test]
+    fn decisions_are_valid_indices() {
+        let table = VfTable::titan_x();
+        let mut gov = SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1));
+        for cluster in 0..3 {
+            let idx = gov.decide(cluster, &counters_with(5_000.0), &table);
+            assert!(idx < table.len());
+        }
+    }
+
+    #[test]
+    fn calibration_tightens_preset_when_running_slow() {
+        let table = VfTable::titan_x();
+        let model = dummy_model();
+        let mut gov = SsmdvfsGovernor::new(model.clone(), SsmdvfsConfig::new(0.1));
+        // First decision primes a prediction.
+        gov.decide(0, &counters_with(8_000.0), &table);
+        let predicted = gov.clusters[0].predicted_instructions.unwrap();
+        assert!(predicted >= 0.0);
+        // Report far fewer instructions than predicted: preset must shrink
+        // (if the model predicted anything positive).
+        if predicted > 0.0 {
+            let before = gov.effective_preset(0);
+            gov.decide(0, &counters_with(0.0), &table);
+            assert!(gov.effective_preset(0) < before);
+        }
+    }
+
+    #[test]
+    fn calibration_recovers_when_meeting_predictions() {
+        let table = VfTable::titan_x();
+        let mut gov = SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1));
+        gov.decide(0, &counters_with(5_000.0), &table);
+        // Force a tightened state, then exceed the prediction.
+        gov.clusters[0].effective_preset = 0.02;
+        gov.clusters[0].predicted_instructions = Some(100.0);
+        gov.decide(0, &counters_with(1_000_000.0), &table);
+        assert!(gov.effective_preset(0) > 0.02);
+        assert!(gov.effective_preset(0) <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn no_calibration_keeps_preset_fixed() {
+        let table = VfTable::titan_x();
+        let mut gov =
+            SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1).without_calibration());
+        gov.decide(0, &counters_with(5_000.0), &table);
+        gov.clusters[0].predicted_instructions = Some(1_000_000.0);
+        gov.decide(0, &counters_with(1.0), &table);
+        assert_eq!(gov.effective_preset(0), 0.1);
+        assert!(gov.name().contains("nocal"));
+    }
+
+    #[test]
+    fn reset_clears_per_run_state() {
+        let table = VfTable::titan_x();
+        let mut gov = SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1));
+        gov.decide(0, &counters_with(5_000.0), &table);
+        assert!(!gov.clusters.is_empty());
+        gov.reset();
+        assert!(gov.clusters.is_empty());
+        assert_eq!(gov.effective_preset(0), 0.1);
+    }
+
+    #[test]
+    fn clusters_calibrate_independently() {
+        let table = VfTable::titan_x();
+        let mut gov = SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1));
+        gov.decide(0, &counters_with(5_000.0), &table);
+        gov.decide(1, &counters_with(5_000.0), &table);
+        gov.clusters[0].predicted_instructions = Some(1_000_000.0);
+        gov.decide(0, &counters_with(10.0), &table);
+        assert!(gov.effective_preset(0) < 0.1);
+        assert_eq!(gov.effective_preset(1), 0.1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Performance-counter → feature-vector mapping.
+//!
+//! The data-generation step collects all 47 counters; Table I's RFE stage
+//! narrows the model inputs to five: **IPC** (instructions per core),
+//! **PPC** (power per core), **MH** (memory hazards), **MH\L** (memory
+//! hazards from other than load) and **L1CRM** (L1 cache read misses).
+//! [`FeatureSet`] names an arbitrary subset of the counters so the feature
+//! selection experiment can sweep candidates, and the refined set is
+//! provided as [`FeatureSet::refined`].
+
+use gpu_sim::{CounterId, EpochCounters};
+use serde::{Deserialize, Serialize};
+
+/// An ordered subset of the 47 performance counters used as model features.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::EpochCounters;
+/// use ssmdvfs::FeatureSet;
+///
+/// let full = FeatureSet::full();
+/// assert_eq!(full.len(), 47);
+/// let refined = FeatureSet::refined();
+/// assert_eq!(refined.len(), 5);
+/// let v = refined.extract(&EpochCounters::zeroed());
+/// assert_eq!(v.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    counters: Vec<CounterId>,
+}
+
+impl FeatureSet {
+    /// Creates a feature set from explicit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or contains duplicates.
+    pub fn new(counters: Vec<CounterId>) -> FeatureSet {
+        assert!(!counters.is_empty(), "a feature set needs at least one counter");
+        let mut seen = std::collections::HashSet::new();
+        for c in &counters {
+            assert!(seen.insert(*c), "duplicate counter {} in feature set", c.name());
+        }
+        FeatureSet { counters }
+    }
+
+    /// All 47 counters, in [`CounterId::ALL`] order.
+    pub fn full() -> FeatureSet {
+        FeatureSet { counters: CounterId::ALL.to_vec() }
+    }
+
+    /// The paper's Table I selection: IPC, PPC, MH, MH\L, L1CRM.
+    pub fn refined() -> FeatureSet {
+        FeatureSet {
+            counters: vec![
+                CounterId::Ipc,
+                CounterId::PowerTotalW,
+                CounterId::StallMemLoad,
+                CounterId::StallMemOther,
+                CounterId::L1ReadMiss,
+            ],
+        }
+    }
+
+    /// Creates a feature set from indices into [`CounterId::ALL`] (the
+    /// representation RFE works in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn from_indices(indices: &[usize]) -> FeatureSet {
+        FeatureSet::new(indices.iter().map(|&i| CounterId::ALL[i]).collect())
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Returns `true` if the set is empty (never true for a constructed
+    /// set).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The counters in order.
+    pub fn counters(&self) -> &[CounterId] {
+        &self.counters
+    }
+
+    /// The counter names in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.counters.iter().map(|c| c.name()).collect()
+    }
+
+    /// Extracts the feature vector from one epoch's counters.
+    pub fn extract(&self, counters: &EpochCounters) -> Vec<f32> {
+        self.counters.iter().map(|&c| counters[c] as f32).collect()
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> FeatureSet {
+        FeatureSet::refined()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refined_matches_table_i() {
+        let names = FeatureSet::refined().names();
+        assert_eq!(names, vec!["ipc", "power_total_w", "stall_mem_load", "stall_mem_other", "l1_read_miss"]);
+    }
+
+    #[test]
+    fn extract_reads_the_right_counters() {
+        let mut c = EpochCounters::zeroed();
+        c[CounterId::Ipc] = 1.5;
+        c[CounterId::L1ReadMiss] = 42.0;
+        let v = FeatureSet::refined().extract(&c);
+        assert_eq!(v[0], 1.5);
+        assert_eq!(v[4], 42.0);
+    }
+
+    #[test]
+    fn from_indices_roundtrip() {
+        let fs = FeatureSet::from_indices(&[0, 10, 46]);
+        assert_eq!(fs.counters()[0], CounterId::ALL[0]);
+        assert_eq!(fs.counters()[2], CounterId::ALL[46]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate counter")]
+    fn duplicates_rejected() {
+        FeatureSet::new(vec![CounterId::Ipc, CounterId::Ipc]);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn full_set_covers_every_counter_once() {
+        let fs = FeatureSet::full();
+        let mut names = fs.names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CounterId::COUNT);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn empty_set_rejected() {
+        FeatureSet::new(Vec::new());
+    }
+
+    #[test]
+    fn default_is_the_refined_set() {
+        assert_eq!(FeatureSet::default(), FeatureSet::refined());
+    }
+}

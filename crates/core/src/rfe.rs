@@ -1,0 +1,187 @@
+//! RFE-based feature selection over the 47 performance counters (Table I).
+//!
+//! Following the paper, the power counter (PPC) is treated as a *direct*
+//! feature and always kept; RFE refines the *indirect* features
+//! (instruction and stall metrics) by repeatedly retraining the
+//! Decision-maker, measuring each feature's permutation importance, and
+//! eliminating the weakest until the target count remains.
+
+use gpu_sim::{CounterCategory, CounterId};
+use serde::{Deserialize, Serialize};
+use tinynn::{
+    accuracy, permutation_importance, train_classifier, ClassificationData, Matrix, Mlp,
+    Normalizer, TrainConfig,
+};
+
+use crate::datagen::DvfsDataset;
+use crate::features::FeatureSet;
+use crate::model::ModelArch;
+
+/// Result of the feature-selection experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSelection {
+    /// The selected feature set (always includes the direct power feature).
+    pub selected: FeatureSet,
+    /// Elimination order of the rejected candidates (first eliminated
+    /// first), as counter names.
+    pub eliminated: Vec<String>,
+    /// Validation accuracy of a model trained on the full candidate set.
+    pub full_accuracy: f64,
+    /// Validation accuracy of a model trained on the selected set.
+    pub selected_accuracy: f64,
+}
+
+/// The candidate counters RFE may select from: the *indirect* features
+/// (instruction + stall + cache categories). Power is excluded because it
+/// is always kept as the direct feature.
+pub fn candidate_counters() -> Vec<CounterId> {
+    CounterId::ALL
+        .iter()
+        .copied()
+        .filter(|c| c.category() != CounterCategory::Power)
+        .collect()
+}
+
+fn train_and_score(
+    data: &ClassificationData,
+    seed: u64,
+    config: &TrainConfig,
+) -> (Mlp, Normalizer, ClassificationData, f64) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let norm = Normalizer::fit(&data.x);
+    let normalized =
+        ClassificationData::new(norm.transform(&data.x), data.y.clone(), data.num_classes);
+    let (train, val) = normalized.split(0.25, &mut rng);
+    let arch = ModelArch::paper_full();
+    let mut sizes = vec![data.x.cols()];
+    sizes.extend(&arch.decision_hidden);
+    sizes.push(data.num_classes);
+    let mut mlp = Mlp::new(&sizes, &mut rng);
+    let report = train_classifier(&mut mlp, &train, &val, config);
+    (mlp, norm, val, report.best_metric)
+}
+
+/// Runs RFE on the Decision-maker task, keeping `keep_indirect` indirect
+/// features plus the direct PPC feature — reproducing Table I (which keeps
+/// four indirect features: IPC, MH, MH\L, L1CRM).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `keep_indirect` is not smaller than
+/// the candidate count.
+pub fn select_features(
+    dataset: &DvfsDataset,
+    num_ops: usize,
+    keep_indirect: usize,
+    config: &TrainConfig,
+) -> FeatureSelection {
+    let candidates = candidate_counters();
+    assert!(
+        keep_indirect < candidates.len(),
+        "keep_indirect must be below the candidate count"
+    );
+    let candidate_set = FeatureSet::new(candidates.clone());
+    let full_data = dataset.decision_data(&candidate_set, num_ops);
+    let (_, _, _, full_accuracy) = train_and_score(&full_data, config.seed, config);
+
+    let mut active: Vec<usize> = (0..candidates.len()).collect();
+    let mut eliminated = Vec::new();
+    while active.len() > keep_indirect {
+        // Retrain on the active subset (+ the preset column, which always
+        // rides along as the last input).
+        let mut cols: Vec<usize> = active.clone();
+        cols.push(candidates.len()); // the preset column in full_data.x
+        let x = full_data.x.select_columns(&cols);
+        let data = ClassificationData::new(x, full_data.y.clone(), num_ops);
+        let (mlp, norm, val, _) = train_and_score(&data, config.seed ^ active.len() as u64, config);
+        // Permutation importance on the validation split; the preset column
+        // (last) is never a removal candidate.
+        let score = |m: &Matrix| accuracy(&mlp.forward(m), &val.y);
+        let _ = norm; // val is already normalized by train_and_score
+        let importance = permutation_importance(&val.x, score, 3, config.seed ^ 0xFE);
+        let weakest = importance[..active.len()]
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("active set is non-empty");
+        let removed = active.remove(weakest);
+        eliminated.push(candidates[removed].name().to_string());
+    }
+
+    // Final selected set: surviving indirect features + the direct PPC.
+    let mut selected: Vec<CounterId> = active.iter().map(|&i| candidates[i]).collect();
+    selected.push(CounterId::PowerTotalW);
+    let selected_set = FeatureSet::new(selected);
+    let selected_data = dataset.decision_data(&selected_set, num_ops);
+    let (_, _, _, selected_accuracy) = train_and_score(&selected_data, config.seed ^ 7, config);
+
+    FeatureSelection {
+        selected: selected_set,
+        eliminated,
+        full_accuracy,
+        selected_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::RawSample;
+    use gpu_sim::EpochCounters;
+
+    /// Samples where only IPC and StallMemLoad carry label signal.
+    fn signal_dataset(n: usize) -> DvfsDataset {
+        let mut samples = Vec::with_capacity(n);
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / f64::from(u32::MAX / 2)
+        };
+        for i in 0..n {
+            let stall = next().min(1.0);
+            let mut c = EpochCounters::zeroed();
+            c[CounterId::Ipc] = 2.0 - 1.8 * stall;
+            c[CounterId::StallMemLoad] = stall * 9_000.0;
+            // Noise counters.
+            c[CounterId::BranchInstrs] = next() * 100.0;
+            c[CounterId::SharedAccesses] = next() * 100.0;
+            let op = if stall > 0.5 { 0 } else { 5 };
+            samples.push(RawSample {
+                benchmark: "s".into(),
+                cluster: 0,
+                breakpoint: i,
+                counters: c.clone(),
+                scaled_counters: c,
+                op_index: op,
+                perf_loss: 0.1 * (1.0 - stall),
+                instructions: 5_000,
+            });
+        }
+        DvfsDataset { samples, ..DvfsDataset::default() }
+    }
+
+    #[test]
+    fn candidates_exclude_power() {
+        let c = candidate_counters();
+        assert!(c.iter().all(|c| c.category() != CounterCategory::Power));
+        assert_eq!(c.len(), 40);
+    }
+
+    #[test]
+    fn selection_keeps_signal_features() {
+        let data = signal_dataset(240);
+        let cfg = TrainConfig { epochs: 8, ..TrainConfig::default() };
+        let sel = select_features(&data, 6, 4, &cfg);
+        assert_eq!(sel.selected.len(), 5, "4 indirect + PPC");
+        let names = sel.selected.names();
+        assert!(names.contains(&"power_total_w"), "PPC always kept");
+        assert!(
+            names.contains(&"ipc") || names.contains(&"stall_mem_load"),
+            "at least one signal feature must survive, got {names:?}"
+        );
+        assert_eq!(sel.eliminated.len(), 40 - 4);
+        assert!((0.0..=1.0).contains(&sel.full_accuracy));
+        assert!((0.0..=1.0).contains(&sel.selected_accuracy));
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline training of the combined model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tinynn::{
+    accuracy, mape, train_classifier, train_regressor, Mlp, Normalizer, TrainConfig,
+};
+
+use crate::datagen::DvfsDataset;
+use crate::features::FeatureSet;
+use crate::model::{CombinedModel, ModelArch};
+
+/// Everything known about a completed training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainSummary {
+    /// Validation accuracy of the Decision-maker, in [0, 1].
+    pub decision_accuracy: f64,
+    /// Validation MAPE of the Calibrator, in percent.
+    pub calibrator_mape: f64,
+    /// Dense FLOPs of the trained model.
+    pub flops: u64,
+    /// Number of training samples used.
+    pub samples: usize,
+}
+
+/// Instruction-count scale shared by training and inference; per-cluster,
+/// per-epoch instruction counts are O(10⁴), so dividing by 1000 keeps the
+/// regression target O(10).
+pub const INSTR_SCALE: f32 = 1_000.0;
+
+/// Trains a [`CombinedModel`] of the given architecture on a generated
+/// dataset, holding out `val_frac` of the samples for early stopping and
+/// for the reported metrics.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `num_ops < 2`.
+pub fn train_combined(
+    dataset: &DvfsDataset,
+    features: &FeatureSet,
+    arch: &ModelArch,
+    num_ops: usize,
+    config: &TrainConfig,
+    val_frac: f64,
+) -> (CombinedModel, TrainSummary) {
+    assert!(num_ops >= 2, "need at least two operating points");
+    assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5A5A);
+
+    // Decision head.
+    let dec_data = dataset.decision_data(features, num_ops);
+    let dec_norm = Normalizer::fit(&dec_data.x);
+    let dec_data = tinynn::ClassificationData::new(
+        dec_norm.transform(&dec_data.x),
+        dec_data.y,
+        num_ops,
+    );
+    let (dec_train, dec_val) = dec_data.split(val_frac, &mut rng);
+    // The minimum-frequency labels are dominated by the lowest point
+    // (memory-tolerant contexts qualify at almost every preset), so the
+    // decision head always trains class-balanced.
+    let config = &TrainConfig { class_balance: true, ..config.clone() };
+    let mut dec_sizes = vec![features.len() + 1];
+    dec_sizes.extend(&arch.decision_hidden);
+    dec_sizes.push(num_ops);
+    let mut decision = Mlp::new(&dec_sizes, &mut rng);
+    let dec_report = train_classifier(&mut decision, &dec_train, &dec_val, config);
+
+    // Calibrator head.
+    let cal_data = dataset.calibrator_data(features, num_ops, INSTR_SCALE);
+    let cal_norm = Normalizer::fit(&cal_data.x);
+    let cal_data = tinynn::RegressionData::new(cal_norm.transform(&cal_data.x), cal_data.y);
+    let (cal_train, cal_val) = cal_data.split(val_frac, &mut rng);
+    let mut cal_sizes = vec![features.len() + 2];
+    cal_sizes.extend(&arch.calibrator_hidden);
+    cal_sizes.push(1);
+    let mut calibrator = Mlp::new(&cal_sizes, &mut rng);
+    let cal_report = train_regressor(&mut calibrator, &cal_train, &cal_val, config);
+
+    let model = CombinedModel {
+        decision,
+        calibrator,
+        feature_set: features.clone(),
+        decision_norm: dec_norm,
+        calibrator_norm: cal_norm,
+        instr_scale: INSTR_SCALE,
+        num_ops,
+    };
+    let summary = TrainSummary {
+        decision_accuracy: dec_report.best_metric,
+        calibrator_mape: cal_report.best_metric,
+        flops: model.flops(),
+        samples: dataset.len(),
+    };
+    (model, summary)
+}
+
+/// Re-evaluates an existing model on a dataset (e.g. after pruning),
+/// returning `(decision accuracy, calibrator MAPE%)`.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn evaluate(model: &CombinedModel, dataset: &DvfsDataset) -> (f64, f64) {
+    assert!(!dataset.is_empty(), "cannot evaluate on an empty dataset");
+    let dec_data = dataset.decision_data(&model.feature_set, model.num_ops);
+    let logits = model.decision_forward_raw(&dec_data.x);
+    let acc = accuracy(&logits, &dec_data.y);
+    let cal_data =
+        dataset.calibrator_data(&model.feature_set, model.num_ops, model.instr_scale);
+    let outputs = model.calibrator_forward_raw(&cal_data.x);
+    let m = mape(&outputs, &cal_data.y);
+    (acc, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::RawSample;
+    use gpu_sim::{CounterId, EpochCounters};
+
+    /// A synthetic dataset with a learnable rule: high memory-stall share
+    /// tolerates low frequency (label 0..2), low stall share needs high
+    /// frequency (label 3..5); instruction count tracks IPC and frequency.
+    fn synthetic_dataset(n: usize) -> DvfsDataset {
+        let mut samples = Vec::with_capacity(n);
+        let mut state = 0x1234u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        for i in 0..n {
+            let stall_frac = next().min(1.0);
+            let ipc = 2.0 * (1.0 - stall_frac) + 0.1;
+            let op = if stall_frac > 0.66 {
+                i % 3
+            } else if stall_frac > 0.33 {
+                2 + i % 2
+            } else {
+                4 + i % 2
+            };
+            let freq_ratio = 0.6 + 0.08 * op as f64;
+            let mut c = EpochCounters::zeroed();
+            c[CounterId::Ipc] = ipc;
+            c[CounterId::PowerTotalW] = 2.0 + 3.0 * ipc;
+            c[CounterId::StallMemLoad] = stall_frac * 10_000.0;
+            c[CounterId::StallMemOther] = stall_frac * 1_000.0;
+            c[CounterId::L1ReadMiss] = stall_frac * 500.0;
+            samples.push(RawSample {
+                benchmark: "synthetic".into(),
+                cluster: 0,
+                breakpoint: i,
+                counters: c.clone(),
+                scaled_counters: c,
+                op_index: op,
+                perf_loss: (1.0 - stall_frac) * (1.0 - freq_ratio) * 0.5,
+                instructions: (ipc * freq_ratio * 10_000.0) as u64,
+            });
+        }
+        DvfsDataset { samples, ..DvfsDataset::default() }
+    }
+
+    #[test]
+    fn training_learns_the_synthetic_rule() {
+        let data = synthetic_dataset(600);
+        let cfg = TrainConfig { epochs: 80, ..TrainConfig::default() };
+        let (model, summary) = train_combined(
+            &data,
+            &FeatureSet::refined(),
+            &ModelArch::paper_compressed(),
+            6,
+            &cfg,
+            0.25,
+        );
+        assert!(
+            summary.decision_accuracy > 0.5,
+            "decision accuracy {:.3} too low for a learnable rule",
+            summary.decision_accuracy
+        );
+        assert!(
+            summary.calibrator_mape < 30.0,
+            "calibrator MAPE {:.1}% too high",
+            summary.calibrator_mape
+        );
+        assert_eq!(model.num_ops, 6);
+        assert_eq!(summary.samples, 600);
+    }
+
+    #[test]
+    fn paper_full_arch_flops_are_near_the_reported_6960() {
+        let data = synthetic_dataset(200);
+        let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+        let (model, _) = train_combined(
+            &data,
+            &FeatureSet::refined(),
+            &ModelArch::paper_full(),
+            6,
+            &cfg,
+            0.25,
+        );
+        // 5 features + preset, five/four 20-wide hidden layers.
+        let flops = model.flops();
+        assert!(
+            (5_000..9_000).contains(&flops),
+            "full model FLOPs {flops} should be near the paper's 6960"
+        );
+    }
+
+    #[test]
+    fn evaluate_matches_training_metrics_scale() {
+        let data = synthetic_dataset(400);
+        let cfg = TrainConfig { epochs: 40, ..TrainConfig::default() };
+        let (model, _) = train_combined(
+            &data,
+            &FeatureSet::refined(),
+            &ModelArch::paper_compressed(),
+            6,
+            &cfg,
+            0.25,
+        );
+        let (acc, m) = evaluate(&model, &data);
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(m >= 0.0 && m.is_finite());
+    }
+}

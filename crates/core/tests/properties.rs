@@ -1,0 +1,136 @@
+//! Property-based tests for the SSMDVFS dataset construction and model
+//! plumbing.
+
+use gpu_sim::{CounterId, EpochCounters};
+use proptest::prelude::*;
+use ssmdvfs::{DvfsDataset, FeatureSet, RawSample};
+use tinynn::argmax;
+
+/// Builds one context (six samples sharing a breakpoint) with the given
+/// per-op losses and instruction counts.
+fn context(losses: &[f64; 6], instrs: &[u64; 6], breakpoint: usize) -> Vec<RawSample> {
+    (0..6)
+        .map(|op| {
+            let mut c = EpochCounters::zeroed();
+            c[CounterId::Ipc] = 1.0;
+            c[CounterId::PowerTotalW] = 5.0;
+            RawSample {
+                benchmark: "p".into(),
+                cluster: 0,
+                breakpoint,
+                counters: c.clone(),
+                scaled_counters: c,
+                op_index: op,
+                perf_loss: losses[op],
+                instructions: instrs[op],
+            }
+        })
+        .collect()
+}
+
+fn arb_losses() -> impl Strategy<Value = [f64; 6]> {
+    // Monotone non-increasing losses in op order (faster point, less loss),
+    // as physics dictates.
+    prop::collection::vec(0.0f64..0.8, 6).prop_map(|mut v| {
+        v.sort_by(|a, b| b.total_cmp(a));
+        let mut out = [0.0; 6];
+        out.copy_from_slice(&v);
+        out[5] = 0.0; // the default point loses nothing against itself
+        out
+    })
+}
+
+proptest! {
+    /// Decision labels are monotone: a larger preset never forces a higher
+    /// (faster) operating point.
+    #[test]
+    fn decision_labels_monotone_in_preset(losses in arb_losses()) {
+        let dataset = DvfsDataset { samples: context(&losses, &[10_000; 6], 0), ..DvfsDataset::default() };
+        let fs = FeatureSet::refined();
+        let data = dataset.decision_data(&fs, 6);
+        // Rows within one feature variant share features; sort by the preset
+        // column and check the label ordering.
+        let mut rows: Vec<(f32, usize)> = (0..data.len())
+            .map(|i| (data.x.row(i)[fs.len()], data.y[i]))
+            .collect();
+        rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in rows.windows(2) {
+            // Same context: higher preset => label (min satisfying op) does
+            // not increase.
+            prop_assert!(
+                pair[1].1 <= pair[0].1,
+                "label must be non-increasing in preset: {:?}",
+                rows
+            );
+        }
+    }
+
+    /// Every decision label actually satisfies its preset under the measured
+    /// losses (or is the fastest point when nothing satisfies it).
+    #[test]
+    fn decision_labels_satisfy_the_preset(losses in arb_losses()) {
+        let dataset = DvfsDataset { samples: context(&losses, &[10_000; 6], 0), ..DvfsDataset::default() };
+        let fs = FeatureSet::refined();
+        let data = dataset.decision_data(&fs, 6);
+        for i in 0..data.len() {
+            let preset = f64::from(data.x.row(i)[fs.len()]);
+            let label = data.y[i];
+            prop_assert!(
+                losses[label] <= preset + 1e-9 || label == 5,
+                "label {label} (loss {}) violates preset {preset}",
+                losses[label]
+            );
+            // And it is minimal: no slower point satisfies the preset.
+            for &loss_below in &losses[..label] {
+                prop_assert!(loss_below > preset - 1e-9);
+            }
+        }
+    }
+
+    /// Calibrator targets always correspond to the instruction count of the
+    /// point the decision criterion picks.
+    #[test]
+    fn calibrator_targets_track_the_decision(losses in arb_losses(), scale in 1u64..4) {
+        let instrs: [u64; 6] = std::array::from_fn(|i| 5_000 + 1_000 * i as u64 * scale);
+        let dataset = DvfsDataset { samples: context(&losses, &instrs, 0), ..DvfsDataset::default() };
+        let fs = FeatureSet::refined();
+        let data = dataset.calibrator_data(&fs, 6, 1_000.0);
+        let valid: std::collections::HashSet<u64> =
+            instrs.iter().copied().collect();
+        for &y in &data.y {
+            let raw = (y * 1_000.0).round() as u64;
+            prop_assert!(valid.contains(&raw), "target {raw} is not a measured count");
+        }
+    }
+
+    /// Dataset conversions never panic and keep shapes consistent for any
+    /// number of contexts.
+    #[test]
+    fn conversions_shape_consistent(n_contexts in 1usize..5) {
+        let mut samples = Vec::new();
+        for b in 0..n_contexts {
+            samples.extend(context(&[0.5, 0.4, 0.3, 0.2, 0.1, 0.0], &[8_000; 6], b));
+        }
+        let dataset = DvfsDataset { samples, ..DvfsDataset::default() };
+        let fs = FeatureSet::refined();
+        let dec = dataset.decision_data(&fs, 6);
+        prop_assert_eq!(dec.x.cols(), fs.len() + 1);
+        prop_assert_eq!(dec.x.rows(), dec.y.len());
+        let cal = dataset.calibrator_data(&fs, 6, 1_000.0);
+        prop_assert_eq!(cal.x.cols(), fs.len() + 2);
+        prop_assert_eq!(cal.x.rows(), cal.y.len());
+    }
+}
+
+#[test]
+fn feature_sets_and_argmax_are_consistent() {
+    // Deterministic companion check: extraction order equals counter order.
+    let fs = FeatureSet::full();
+    let mut counters = EpochCounters::zeroed();
+    for (i, id) in CounterId::ALL.into_iter().enumerate() {
+        counters[id] = i as f64;
+    }
+    let v = fs.extract(&counters);
+    assert_eq!(argmax(&v), 46);
+    assert_eq!(v[0], 0.0);
+}

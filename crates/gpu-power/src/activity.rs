@@ -1,0 +1,177 @@
+//! The per-epoch activity vector consumed by the power model.
+
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Everything one cluster did during one DVFS epoch, as far as energy is
+/// concerned.
+///
+/// The timing simulator fills one of these per cluster per epoch; the
+/// [`PowerModel`](crate::PowerModel) converts it into an
+/// [`EnergyBreakdown`](crate::EnergyBreakdown).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::Activity;
+///
+/// let mut a = Activity::default();
+/// a.int_alu = 100;
+/// a.l1_accesses = 20;
+/// assert_eq!(a.total_instructions(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Activity {
+    /// Integer ALU warp-instructions executed.
+    pub int_alu: u64,
+    /// FP32 warp-instructions executed.
+    pub fp_alu: u64,
+    /// Special-function-unit warp-instructions executed.
+    pub sfu: u64,
+    /// Global/local memory load warp-instructions executed.
+    pub load: u64,
+    /// Global/local memory store warp-instructions executed.
+    pub store: u64,
+    /// Shared-memory warp-instructions executed.
+    pub shared: u64,
+    /// Branch / control warp-instructions executed.
+    pub branch: u64,
+    /// Barrier / synchronization warp-instructions executed.
+    pub barrier: u64,
+    /// L1 data cache accesses (reads + writes).
+    pub l1_accesses: u64,
+    /// L1 data cache misses.
+    pub l1_misses: u64,
+    /// L2 accesses from this cluster's slice.
+    pub l2_accesses: u64,
+    /// L2 misses (DRAM fills) from this cluster's slice.
+    pub l2_misses: u64,
+    /// DRAM read transactions.
+    pub dram_reads: u64,
+    /// DRAM write transactions.
+    pub dram_writes: u64,
+    /// Core cycles in which at least one instruction issued.
+    pub active_cycles: u64,
+    /// Total core cycles elapsed in the epoch at this cluster's frequency.
+    pub total_cycles: u64,
+}
+
+impl Activity {
+    /// Total warp-instructions of all classes executed during the epoch.
+    pub fn total_instructions(&self) -> u64 {
+        self.int_alu
+            + self.fp_alu
+            + self.sfu
+            + self.load
+            + self.store
+            + self.shared
+            + self.branch
+            + self.barrier
+    }
+
+    /// Fraction of cycles in which the cluster issued work, in [0, 1].
+    /// Returns 0 when no cycles elapsed.
+    pub fn duty_factor(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.active_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+impl Add for Activity {
+    type Output = Activity;
+    fn add(self, rhs: Activity) -> Activity {
+        Activity {
+            int_alu: self.int_alu + rhs.int_alu,
+            fp_alu: self.fp_alu + rhs.fp_alu,
+            sfu: self.sfu + rhs.sfu,
+            load: self.load + rhs.load,
+            store: self.store + rhs.store,
+            shared: self.shared + rhs.shared,
+            branch: self.branch + rhs.branch,
+            barrier: self.barrier + rhs.barrier,
+            l1_accesses: self.l1_accesses + rhs.l1_accesses,
+            l1_misses: self.l1_misses + rhs.l1_misses,
+            l2_accesses: self.l2_accesses + rhs.l2_accesses,
+            l2_misses: self.l2_misses + rhs.l2_misses,
+            dram_reads: self.dram_reads + rhs.dram_reads,
+            dram_writes: self.dram_writes + rhs.dram_writes,
+            active_cycles: self.active_cycles + rhs.active_cycles,
+            total_cycles: self.total_cycles + rhs.total_cycles,
+        }
+    }
+}
+
+impl AddAssign for Activity {
+    fn add_assign(&mut self, rhs: Activity) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Activity {
+        Activity {
+            int_alu: 1,
+            fp_alu: 2,
+            sfu: 3,
+            load: 4,
+            store: 5,
+            shared: 6,
+            branch: 7,
+            barrier: 8,
+            l1_accesses: 9,
+            l1_misses: 10,
+            l2_accesses: 11,
+            l2_misses: 12,
+            dram_reads: 13,
+            dram_writes: 14,
+            active_cycles: 15,
+            total_cycles: 30,
+        }
+    }
+
+    #[test]
+    fn total_instructions_sums_all_classes() {
+        assert_eq!(sample().total_instructions(), 36);
+    }
+
+    #[test]
+    fn duty_factor() {
+        assert_eq!(sample().duty_factor(), 0.5);
+        assert_eq!(Activity::default().duty_factor(), 0.0);
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let two = sample() + sample();
+        assert_eq!(two.total_instructions(), 72);
+        assert_eq!(two.total_cycles, 60);
+        let mut acc = sample();
+        acc += sample();
+        assert_eq!(acc, two);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn duty_factor_saturates_at_one() {
+        let a = Activity { active_cycles: 10, total_cycles: 10, ..Activity::default() };
+        assert_eq!(a.duty_factor(), 1.0);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let a = Activity::default();
+        assert_eq!(a.total_instructions(), 0);
+        assert_eq!(a.duty_factor(), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Energy-delay-product reporting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Energy;
+
+/// The end-of-run energy/performance summary every experiment in the paper is
+/// scored on.
+///
+/// The paper's primary metric is the energy-delay product (EDP = `E · T`);
+/// latency (`T` normalized to the baseline run) is reported alongside it to
+/// check that performance loss stayed under the preset.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::{EdpReport, Energy};
+///
+/// let baseline = EdpReport::new(Energy::from_joules(2.0), 1.0, 1_000_000);
+/// let tuned = EdpReport::new(Energy::from_joules(1.5), 1.1, 1_000_000);
+/// assert!(tuned.edp() < baseline.edp());
+/// assert!((tuned.normalized_edp(&baseline) - 0.825).abs() < 1e-12);
+/// assert!((tuned.normalized_latency(&baseline) - 1.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdpReport {
+    energy: Energy,
+    time_s: f64,
+    instructions: u64,
+}
+
+impl EdpReport {
+    /// Creates a report from total energy, total execution time in seconds,
+    /// and total instructions executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_s` is non-positive or non-finite.
+    pub fn new(energy: Energy, time_s: f64, instructions: u64) -> EdpReport {
+        assert!(
+            time_s.is_finite() && time_s > 0.0,
+            "execution time must be positive and finite, got {time_s}"
+        );
+        EdpReport { energy, time_s, instructions }
+    }
+
+    /// Total energy consumed.
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// Total execution time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Total instructions executed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Energy-delay product in joule-seconds.
+    pub fn edp(&self) -> f64 {
+        self.energy.joules() * self.time_s
+    }
+
+    /// Energy-delay-squared product in joule-seconds².
+    pub fn ed2p(&self) -> f64 {
+        self.energy.joules() * self.time_s * self.time_s
+    }
+
+    /// This run's EDP divided by the baseline run's EDP (1.0 = parity,
+    /// lower is better).
+    pub fn normalized_edp(&self, baseline: &EdpReport) -> f64 {
+        self.edp() / baseline.edp()
+    }
+
+    /// This run's execution time divided by the baseline run's (1.0 =
+    /// parity; 1.1 means 10 % performance loss).
+    pub fn normalized_latency(&self, baseline: &EdpReport) -> f64 {
+        self.time_s / baseline.time_s
+    }
+
+    /// Performance loss relative to the baseline, e.g. 0.1 for 10 % slower.
+    /// Negative values mean this run was faster than the baseline.
+    pub fn performance_loss(&self, baseline: &EdpReport) -> f64 {
+        self.normalized_latency(baseline) - 1.0
+    }
+}
+
+impl fmt::Display for EdpReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "E = {}, T = {:.3} µs, EDP = {:.3e} J·s, {} instrs",
+            self.energy,
+            self.time_s * 1e6,
+            self.edp(),
+            self.instructions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_and_ed2p() {
+        let r = EdpReport::new(Energy::from_joules(3.0), 2.0, 10);
+        assert_eq!(r.edp(), 6.0);
+        assert_eq!(r.ed2p(), 12.0);
+        assert_eq!(r.instructions(), 10);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let base = EdpReport::new(Energy::from_joules(4.0), 1.0, 100);
+        let run = EdpReport::new(Energy::from_joules(3.0), 1.2, 100);
+        assert!((run.normalized_edp(&base) - 0.9).abs() < 1e-12);
+        assert!((run.performance_loss(&base) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_run_has_negative_loss() {
+        let base = EdpReport::new(Energy::from_joules(4.0), 1.0, 100);
+        let run = EdpReport::new(Energy::from_joules(4.0), 0.9, 100);
+        assert!(run.performance_loss(&base) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "execution time must be positive")]
+    fn zero_time_rejected() {
+        EdpReport::new(Energy::from_joules(1.0), 0.0, 1);
+    }
+
+    #[test]
+    fn display_contains_metrics() {
+        let r = EdpReport::new(Energy::from_joules(1.0), 3e-4, 42);
+        let s = format!("{r}");
+        assert!(s.contains("EDP"));
+        assert!(s.contains("42 instrs"));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn edp_is_order_sensitive_in_both_factors() {
+        // Halving energy or halving time halves EDP; ED²P weights time more.
+        let base = EdpReport::new(Energy::from_joules(2.0), 2.0, 1);
+        let cheap = EdpReport::new(Energy::from_joules(1.0), 2.0, 1);
+        let fast = EdpReport::new(Energy::from_joules(2.0), 1.0, 1);
+        assert_eq!(cheap.edp(), base.edp() / 2.0);
+        assert_eq!(fast.edp(), base.edp() / 2.0);
+        assert_eq!(fast.ed2p(), base.ed2p() / 4.0);
+    }
+
+    #[test]
+    fn self_normalization_is_identity() {
+        let r = EdpReport::new(Energy::from_joules(3.0), 0.5, 10);
+        assert_eq!(r.normalized_edp(&r), 1.0);
+        assert_eq!(r.normalized_latency(&r), 1.0);
+        assert_eq!(r.performance_loss(&r), 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Strongly typed energy and power quantities.
+//!
+//! Joules and watts are easy to mix up when a model juggles per-epoch energy,
+//! per-epoch average power and instantaneous component power. The [`Energy`]
+//! and [`Power`] newtypes keep the units straight at compile time while
+//! remaining thin wrappers around `f64`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An amount of energy in joules.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::{Energy, Power};
+///
+/// let e = Energy::from_joules(2.0) + Energy::from_joules(3.0);
+/// assert_eq!(e.joules(), 5.0);
+/// // Average power over 10 seconds.
+/// let p: Power = e / 10.0;
+/// assert_eq!(p.watts(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from a value in joules.
+    pub fn from_joules(joules: f64) -> Energy {
+        Energy(joules)
+    }
+
+    /// Creates an energy from a value in picojoules.
+    pub fn from_picojoules(pj: f64) -> Energy {
+        Energy(pj * 1e-12)
+    }
+
+    /// Creates an energy from a value in nanojoules.
+    pub fn from_nanojoules(nj: f64) -> Energy {
+        Energy(nj * 1e-9)
+    }
+
+    /// Returns the energy in joules.
+    pub fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the energy in millijoules.
+    pub fn millijoules(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the energy in microjoules.
+    pub fn microjoules(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns `true` if the value is finite and non-negative.
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1e-3 {
+            write!(f, "{:.6} J", self.0)
+        } else if self.0.abs() >= 1e-6 {
+            write!(f, "{:.3} mJ", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3} µJ", self.0 * 1e6)
+        }
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+/// Dividing energy by time (seconds) yields average power.
+impl Div<f64> for Energy {
+    type Output = Power;
+    fn div(self, seconds: f64) -> Power {
+        Power(self.0 / seconds)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+/// A power in watts.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::Power;
+///
+/// // 2 W applied for 5 seconds is 10 J.
+/// let e = Power::from_watts(2.0).over_seconds(5.0);
+/// assert_eq!(e.joules(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power from a value in watts.
+    pub fn from_watts(watts: f64) -> Power {
+        Power(watts)
+    }
+
+    /// Creates a power from a value in milliwatts.
+    pub fn from_milliwatts(mw: f64) -> Power {
+        Power(mw * 1e-3)
+    }
+
+    /// Returns the power in watts.
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the power in milliwatts.
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Integrates this power over a duration in seconds, yielding energy.
+    pub fn over_seconds(self, seconds: f64) -> Energy {
+        Energy(self.0 * seconds)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1.0 {
+            write!(f, "{:.3} W", self.0)
+        } else {
+            write!(f, "{:.3} mW", self.0 * 1e3)
+        }
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_arithmetic() {
+        let a = Energy::from_joules(1.5);
+        let b = Energy::from_joules(0.5);
+        assert_eq!((a + b).joules(), 2.0);
+        assert_eq!((a - b).joules(), 1.0);
+        assert_eq!((a * 2.0).joules(), 3.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((Energy::from_picojoules(1e12).joules() - 1.0).abs() < 1e-12);
+        assert!((Energy::from_nanojoules(1e9).joules() - 1.0).abs() < 1e-12);
+        assert!((Power::from_milliwatts(1500.0).watts() - 1.5).abs() < 1e-12);
+        assert!((Energy::from_joules(0.002).millijoules() - 2.0).abs() < 1e-12);
+        assert!((Energy::from_joules(2e-6).microjoules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_energy_roundtrip() {
+        let p = Power::from_watts(3.0);
+        let e = p.over_seconds(4.0);
+        assert_eq!(e.joules(), 12.0);
+        let back = e / 4.0;
+        assert_eq!(back.watts(), 3.0);
+    }
+
+    #[test]
+    fn sums() {
+        let total: Energy = (0..4).map(|i| Energy::from_joules(i as f64)).sum();
+        assert_eq!(total.joules(), 6.0);
+        let total: Power = (0..4).map(|i| Power::from_watts(i as f64)).sum();
+        assert_eq!(total.watts(), 6.0);
+    }
+
+    #[test]
+    fn physical_check() {
+        assert!(Energy::from_joules(1.0).is_physical());
+        assert!(Energy::ZERO.is_physical());
+        assert!(!Energy::from_joules(-1.0).is_physical());
+        assert!(!Energy::from_joules(f64::NAN).is_physical());
+    }
+
+    #[test]
+    fn display_scales() {
+        assert!(format!("{}", Energy::from_joules(0.5)).contains('J'));
+        assert!(format!("{}", Energy::from_joules(5e-4)).contains("mJ"));
+        assert!(format!("{}", Energy::from_joules(5e-7)).contains("µJ"));
+        assert!(format!("{}", Power::from_watts(0.5)).contains("mW"));
+        assert!(format!("{}", Power::from_watts(2.0)).contains('W'));
+    }
+}

@@ -1,0 +1,376 @@
+//! The component-level power/energy model.
+//!
+//! Energy for one epoch is the sum of:
+//!
+//! * **switching energy** — a per-warp-instruction energy for each
+//!   instruction class plus a common fetch/decode/register-file overhead,
+//!   all scaled by `(V / V_nom)²`;
+//! * **clock & pipeline overhead power** — `c_clk · V² · f`, paid for every
+//!   cycle whether or not work issued (clock gating is imperfect);
+//! * **leakage power** — `k_leak · V · e^(β (V − 1 V))`, independent of
+//!   frequency: this is why racing to idle at high `f` is not always optimal
+//!   and why lowering `V` (not just `f`) matters;
+//! * **memory hierarchy energy** — per-access energies for L1/L2/DRAM plus a
+//!   constant DRAM background power, none of which scale with core frequency.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Activity, Energy, OperatingPoint, Power};
+
+/// Tunable constants of the power model. All per-operation energies are at
+/// the nominal voltage [`PowerModelConfig::nominal_voltage_v`] and in
+/// nanojoules per warp-instruction or per access.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModelConfig {
+    /// Voltage at which per-op energies are specified, in volts.
+    pub nominal_voltage_v: f64,
+    /// Integer ALU energy per warp-instruction (nJ).
+    pub e_int_alu_nj: f64,
+    /// FP32 energy per warp-instruction (nJ).
+    pub e_fp_alu_nj: f64,
+    /// SFU energy per warp-instruction (nJ).
+    pub e_sfu_nj: f64,
+    /// Load pipe energy per warp-instruction (nJ), excluding cache/DRAM.
+    pub e_load_nj: f64,
+    /// Store pipe energy per warp-instruction (nJ), excluding cache/DRAM.
+    pub e_store_nj: f64,
+    /// Shared-memory energy per warp-instruction (nJ).
+    pub e_shared_nj: f64,
+    /// Branch energy per warp-instruction (nJ).
+    pub e_branch_nj: f64,
+    /// Barrier energy per warp-instruction (nJ).
+    pub e_barrier_nj: f64,
+    /// Fetch/decode/register-file overhead per warp-instruction of any class (nJ).
+    pub e_overhead_nj: f64,
+    /// L1 access energy (nJ).
+    pub e_l1_access_nj: f64,
+    /// L2 access energy (nJ).
+    pub e_l2_access_nj: f64,
+    /// DRAM transaction energy per 128-byte line (nJ).
+    pub e_dram_nj: f64,
+    /// Clock-tree/pipeline coefficient `c_clk` in W / (V² · Hz).
+    pub clock_coeff_w_per_v2hz: f64,
+    /// Leakage coefficient `k_leak` in W / V.
+    pub leakage_coeff_w_per_v: f64,
+    /// Leakage voltage exponent `β` in 1/V.
+    pub leakage_beta_per_v: f64,
+    /// Per-cluster share of the DRAM background power (W).
+    pub dram_background_w: f64,
+}
+
+impl PowerModelConfig {
+    /// Constants calibrated so a 24-cluster GPU lands in the GTX Titan X
+    /// power envelope (~150 W under load, 250 W TDP) with plausible
+    /// dynamic/leakage/memory shares.
+    pub fn titan_x() -> PowerModelConfig {
+        PowerModelConfig {
+            nominal_voltage_v: 1.155,
+            e_int_alu_nj: 0.80,
+            e_fp_alu_nj: 1.10,
+            e_sfu_nj: 2.20,
+            e_load_nj: 0.60,
+            e_store_nj: 0.60,
+            e_shared_nj: 0.90,
+            e_branch_nj: 0.50,
+            e_barrier_nj: 0.20,
+            e_overhead_nj: 0.90,
+            e_l1_access_nj: 0.15,
+            e_l2_access_nj: 0.70,
+            e_dram_nj: 15.0,
+            clock_coeff_w_per_v2hz: 1.42e-9,
+            leakage_coeff_w_per_v: 0.762,
+            leakage_beta_per_v: 2.0,
+            dram_background_w: 0.60,
+        }
+    }
+}
+
+impl Default for PowerModelConfig {
+    fn default() -> PowerModelConfig {
+        PowerModelConfig::titan_x()
+    }
+}
+
+/// Per-component energy for one cluster over one epoch.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::{Activity, PowerModel, VfTable};
+///
+/// let model = PowerModel::titan_x();
+/// let table = VfTable::titan_x();
+/// let mut a = Activity::default();
+/// a.fp_alu = 10_000;
+/// a.total_cycles = 11_650;
+/// let b = model.epoch_energy(&a, table.default_point(), 10e-6);
+/// assert!(b.dynamic().joules() > 0.0);
+/// assert!(b.leakage.joules() > 0.0);
+/// assert_eq!(b.total(), b.dynamic() + b.leakage + b.memory());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Switching energy of the execution units (all instruction classes).
+    pub compute: Energy,
+    /// Fetch/decode/register-file overhead energy.
+    pub overhead: Energy,
+    /// Clock-tree and pipeline overhead energy.
+    pub clock: Energy,
+    /// Leakage energy.
+    pub leakage: Energy,
+    /// L1 cache access energy.
+    pub l1: Energy,
+    /// L2 cache access energy.
+    pub l2: Energy,
+    /// DRAM transaction energy.
+    pub dram: Energy,
+    /// DRAM background energy.
+    pub dram_background: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across every component.
+    pub fn total(&self) -> Energy {
+        self.dynamic() + self.leakage + self.memory()
+    }
+
+    /// Core dynamic energy (compute + overhead + clock).
+    pub fn dynamic(&self) -> Energy {
+        self.compute + self.overhead + self.clock
+    }
+
+    /// Memory-hierarchy energy (L1 + L2 + DRAM dynamic + DRAM background).
+    pub fn memory(&self) -> Energy {
+        self.l1 + self.l2 + self.dram + self.dram_background
+    }
+
+    /// Average power over `duration_s` seconds.
+    pub fn average_power(&self, duration_s: f64) -> Power {
+        self.total() / duration_s
+    }
+
+    /// Sums two breakdowns component-wise.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.compute += other.compute;
+        self.overhead += other.overhead;
+        self.clock += other.clock;
+        self.leakage += other.leakage;
+        self.l1 += other.l1;
+        self.l2 += other.l2;
+        self.dram += other.dram;
+        self.dram_background += other.dram_background;
+    }
+}
+
+/// Converts per-epoch [`Activity`] into an [`EnergyBreakdown`] at a given
+/// [`OperatingPoint`].
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::{Activity, PowerModel, VfTable};
+///
+/// let model = PowerModel::titan_x();
+/// let table = VfTable::titan_x();
+/// let mut a = Activity::default();
+/// a.int_alu = 1_000;
+/// a.total_cycles = 6_830;
+///
+/// // The same work costs less switching energy at lower voltage.
+/// let hi = model.epoch_energy(&a, table.max_point(), 10e-6);
+/// let lo = model.epoch_energy(&a, table.min_point(), 10e-6);
+/// assert!(lo.compute < hi.compute);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    config: PowerModelConfig,
+}
+
+impl PowerModel {
+    /// Creates a power model from explicit constants.
+    pub fn new(config: PowerModelConfig) -> PowerModel {
+        PowerModel { config }
+    }
+
+    /// Creates the GTX-Titan-X-calibrated model used throughout the
+    /// reproduction.
+    pub fn titan_x() -> PowerModel {
+        PowerModel::new(PowerModelConfig::titan_x())
+    }
+
+    /// The model constants.
+    pub fn config(&self) -> &PowerModelConfig {
+        &self.config
+    }
+
+    /// Energy consumed by one cluster over one epoch of `duration_s` seconds
+    /// at operating point `op`, given the work in `activity`.
+    pub fn epoch_energy(
+        &self,
+        activity: &Activity,
+        op: OperatingPoint,
+        duration_s: f64,
+    ) -> EnergyBreakdown {
+        let c = &self.config;
+        let v = op.voltage_v();
+        let v_scale = (v / c.nominal_voltage_v).powi(2);
+
+        let nj = |count: u64, e_nj: f64| Energy::from_nanojoules(count as f64 * e_nj * v_scale);
+
+        let compute = nj(activity.int_alu, c.e_int_alu_nj)
+            + nj(activity.fp_alu, c.e_fp_alu_nj)
+            + nj(activity.sfu, c.e_sfu_nj)
+            + nj(activity.load, c.e_load_nj)
+            + nj(activity.store, c.e_store_nj)
+            + nj(activity.shared, c.e_shared_nj)
+            + nj(activity.branch, c.e_branch_nj)
+            + nj(activity.barrier, c.e_barrier_nj);
+        let overhead = nj(activity.total_instructions(), c.e_overhead_nj);
+
+        let clock_power =
+            Power::from_watts(c.clock_coeff_w_per_v2hz * v * v * op.freq_hz());
+        let clock = clock_power.over_seconds(duration_s);
+
+        let leakage_power = Power::from_watts(
+            c.leakage_coeff_w_per_v * v * (c.leakage_beta_per_v * (v - 1.0)).exp(),
+        );
+        let leakage = leakage_power.over_seconds(duration_s);
+
+        // Cache/DRAM arrays run on their own voltage domain; their access
+        // energy does not scale with core V/f.
+        let l1 = Energy::from_nanojoules(activity.l1_accesses as f64 * c.e_l1_access_nj);
+        let l2 = Energy::from_nanojoules(activity.l2_accesses as f64 * c.e_l2_access_nj);
+        let dram = Energy::from_nanojoules(
+            (activity.dram_reads + activity.dram_writes) as f64 * c.e_dram_nj,
+        );
+        let dram_background =
+            Power::from_watts(c.dram_background_w).over_seconds(duration_s);
+
+        EnergyBreakdown {
+            compute,
+            overhead,
+            clock,
+            leakage,
+            l1,
+            l2,
+            dram,
+            dram_background,
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> PowerModel {
+        PowerModel::titan_x()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VfTable;
+
+    const EPOCH_S: f64 = 10e-6;
+
+    fn busy_activity(cycles: u64) -> Activity {
+        Activity {
+            int_alu: cycles / 3,
+            fp_alu: cycles / 3,
+            load: cycles / 10,
+            store: cycles / 20,
+            l1_accesses: cycles / 8,
+            l1_misses: cycles / 40,
+            l2_accesses: cycles / 40,
+            l2_misses: cycles / 200,
+            dram_reads: cycles / 200,
+            active_cycles: cycles * 8 / 10,
+            total_cycles: cycles,
+            ..Activity::default()
+        }
+    }
+
+    #[test]
+    fn energy_is_positive_and_finite() {
+        let model = PowerModel::titan_x();
+        let table = VfTable::titan_x();
+        for op in table.iter() {
+            let cycles = op.cycles_in(EPOCH_S);
+            let b = model.epoch_energy(&busy_activity(cycles), op, EPOCH_S);
+            assert!(b.total().is_physical());
+            assert!(b.total().joules() > 0.0);
+        }
+    }
+
+    #[test]
+    fn voltage_scaling_reduces_switching_energy_for_fixed_work() {
+        let model = PowerModel::titan_x();
+        let table = VfTable::titan_x();
+        let work = busy_activity(10_000);
+        let hi = model.epoch_energy(&work, table.max_point(), EPOCH_S);
+        let lo = model.epoch_energy(&work, table.min_point(), EPOCH_S);
+        assert!(lo.compute < hi.compute);
+        assert!(lo.overhead < hi.overhead);
+        assert!(lo.clock < hi.clock);
+        assert!(lo.leakage < hi.leakage);
+        // Memory energy is tied to traffic, not core V/f.
+        assert_eq!(lo.l1, hi.l1);
+        assert_eq!(lo.dram, hi.dram);
+    }
+
+    #[test]
+    fn full_gpu_power_in_titan_x_envelope() {
+        // 24 busy clusters at the default point should land well inside the
+        // 250 W TDP but clearly above idle.
+        let model = PowerModel::titan_x();
+        let table = VfTable::titan_x();
+        let op = table.default_point();
+        let cycles = op.cycles_in(EPOCH_S);
+        let b = model.epoch_energy(&busy_activity(cycles), op, EPOCH_S);
+        let per_cluster = b.average_power(EPOCH_S).watts();
+        let total = per_cluster * 24.0;
+        assert!(
+            (60.0..250.0).contains(&total),
+            "modeled GPU power {total:.1} W outside plausible envelope"
+        );
+    }
+
+    #[test]
+    fn idle_cluster_still_burns_static_and_clock_power() {
+        let model = PowerModel::titan_x();
+        let table = VfTable::titan_x();
+        let op = table.default_point();
+        let idle = Activity {
+            total_cycles: op.cycles_in(EPOCH_S),
+            ..Activity::default()
+        };
+        let b = model.epoch_energy(&idle, op, EPOCH_S);
+        assert_eq!(b.compute, Energy::ZERO);
+        assert!(b.clock.joules() > 0.0);
+        assert!(b.leakage.joules() > 0.0);
+    }
+
+    #[test]
+    fn breakdown_accumulate_matches_sum() {
+        let model = PowerModel::titan_x();
+        let table = VfTable::titan_x();
+        let a = busy_activity(5_000);
+        let one = model.epoch_energy(&a, table.default_point(), EPOCH_S);
+        let mut acc = EnergyBreakdown::default();
+        acc.accumulate(&one);
+        acc.accumulate(&one);
+        let diff = (acc.total().joules() - 2.0 * one.total().joules()).abs();
+        assert!(diff < 1e-15);
+    }
+
+    #[test]
+    fn leakage_is_frequency_independent() {
+        let model = PowerModel::titan_x();
+        let a = Activity::default();
+        let op_a = OperatingPoint::new(1.0, 683.0);
+        let op_b = OperatingPoint::new(1.0, 975.0);
+        let ea = model.epoch_energy(&a, op_a, EPOCH_S);
+        let eb = model.epoch_energy(&a, op_b, EPOCH_S);
+        assert_eq!(ea.leakage, eb.leakage);
+        assert!(eb.clock > ea.clock);
+    }
+}

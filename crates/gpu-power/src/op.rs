@@ -1,0 +1,298 @@
+//! Voltage/frequency operating points and the DVFS table.
+//!
+//! The SSMDVFS paper evaluates on an Nvidia GTX-Titan-X-class GPU with six
+//! operating points taken from Guerreiro et al. (HPCA 2018), ranging from the
+//! default (1.155 V, 1165 MHz) down to (1.0 V, 683 MHz). [`VfTable::titan_x`]
+//! reproduces that table.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single voltage/frequency operating point.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::OperatingPoint;
+///
+/// let op = OperatingPoint::new(1.0, 683.0);
+/// assert_eq!(op.voltage_v(), 1.0);
+/// assert_eq!(op.freq_mhz(), 683.0);
+/// assert!((op.cycle_time_ns() - 1.464).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    voltage_v: f64,
+    freq_mhz: f64,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point from a core voltage in volts and a core
+    /// frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is non-positive or non-finite.
+    pub fn new(voltage_v: f64, freq_mhz: f64) -> OperatingPoint {
+        assert!(
+            voltage_v.is_finite() && voltage_v > 0.0,
+            "voltage must be positive and finite, got {voltage_v}"
+        );
+        assert!(
+            freq_mhz.is_finite() && freq_mhz > 0.0,
+            "frequency must be positive and finite, got {freq_mhz}"
+        );
+        OperatingPoint { voltage_v, freq_mhz }
+    }
+
+    /// Core voltage in volts.
+    pub fn voltage_v(self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Core frequency in MHz.
+    pub fn freq_mhz(self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// Core frequency in Hz.
+    pub fn freq_hz(self) -> f64 {
+        self.freq_mhz * 1e6
+    }
+
+    /// Duration of one core clock cycle in nanoseconds.
+    pub fn cycle_time_ns(self) -> f64 {
+        1e3 / self.freq_mhz
+    }
+
+    /// Duration of one core clock cycle in picoseconds.
+    pub fn cycle_time_ps(self) -> f64 {
+        1e6 / self.freq_mhz
+    }
+
+    /// Number of whole core cycles that fit in `duration_s` seconds.
+    pub fn cycles_in(self, duration_s: f64) -> u64 {
+        (duration_s * self.freq_hz()).floor() as u64
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3} V, {:.0} MHz)", self.voltage_v, self.freq_mhz)
+    }
+}
+
+/// An ordered table of DVFS operating points, lowest frequency first.
+///
+/// The table is the action space of every DVFS governor in this workspace:
+/// governors return an index into it.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::VfTable;
+///
+/// let table = VfTable::titan_x();
+/// assert_eq!(table.len(), 6);
+/// assert_eq!(table.default_index(), 5);
+/// assert_eq!(table.default_point().freq_mhz(), 1165.0);
+/// assert_eq!(table.point(0).freq_mhz(), 683.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfTable {
+    points: Vec<OperatingPoint>,
+    default_index: usize,
+}
+
+impl VfTable {
+    /// Creates a table from a list of points sorted by ascending frequency,
+    /// with `default_index` naming the point a cluster boots at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty, not sorted by ascending frequency, or if
+    /// `default_index` is out of range.
+    pub fn new(points: Vec<OperatingPoint>, default_index: usize) -> VfTable {
+        assert!(!points.is_empty(), "a VfTable needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].freq_mhz() < w[1].freq_mhz()),
+            "operating points must be sorted by strictly ascending frequency"
+        );
+        assert!(
+            default_index < points.len(),
+            "default index {default_index} out of range for {} points",
+            points.len()
+        );
+        VfTable { points, default_index }
+    }
+
+    /// The six GTX Titan X operating points used in the paper
+    /// (Guerreiro et al., HPCA 2018), highest point being the default.
+    pub fn titan_x() -> VfTable {
+        let points = vec![
+            OperatingPoint::new(1.000, 683.0),
+            OperatingPoint::new(1.000, 780.0),
+            OperatingPoint::new(1.000, 878.0),
+            OperatingPoint::new(1.000, 975.0),
+            OperatingPoint::new(1.100, 1100.0),
+            OperatingPoint::new(1.155, 1165.0),
+        ];
+        let default_index = points.len() - 1;
+        VfTable::new(points, default_index)
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the table has no points (never true for a
+    /// constructed table, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The operating point at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn point(&self, index: usize) -> OperatingPoint {
+        self.points[index]
+    }
+
+    /// The operating point at `index`, or `None` if out of range.
+    pub fn get(&self, index: usize) -> Option<OperatingPoint> {
+        self.points.get(index).copied()
+    }
+
+    /// Index of the default (boot) operating point.
+    pub fn default_index(&self) -> usize {
+        self.default_index
+    }
+
+    /// The default (boot) operating point.
+    pub fn default_point(&self) -> OperatingPoint {
+        self.points[self.default_index]
+    }
+
+    /// The lowest-frequency point.
+    pub fn min_point(&self) -> OperatingPoint {
+        self.points[0]
+    }
+
+    /// The highest-frequency point.
+    pub fn max_point(&self) -> OperatingPoint {
+        self.points[self.points.len() - 1]
+    }
+
+    /// Iterates over the points in ascending frequency order.
+    pub fn iter(&self) -> impl Iterator<Item = OperatingPoint> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Frequency of `index` relative to the default frequency, in (0, 1].
+    pub fn relative_freq(&self, index: usize) -> f64 {
+        self.points[index].freq_mhz() / self.default_point().freq_mhz()
+    }
+
+    /// Index of the slowest point whose frequency ratio (vs. the default)
+    /// is at least `min_ratio`. Clamps to the fastest point if none qualify.
+    pub fn slowest_at_least(&self, min_ratio: f64) -> usize {
+        for (i, _) in self.points.iter().enumerate() {
+            if self.relative_freq(i) >= min_ratio {
+                return i;
+            }
+        }
+        self.points.len() - 1
+    }
+}
+
+impl Default for VfTable {
+    fn default() -> VfTable {
+        VfTable::titan_x()
+    }
+}
+
+impl fmt::Display for VfTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VfTable[")?;
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i == self.default_index {
+                write!(f, "*{p}")?;
+            } else {
+                write!(f, "{p}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_matches_paper() {
+        let t = VfTable::titan_x();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.min_point().freq_mhz(), 683.0);
+        assert_eq!(t.min_point().voltage_v(), 1.0);
+        assert_eq!(t.max_point().freq_mhz(), 1165.0);
+        assert_eq!(t.max_point().voltage_v(), 1.155);
+        assert_eq!(t.default_index(), 5);
+    }
+
+    #[test]
+    fn cycle_time() {
+        let op = OperatingPoint::new(1.0, 1000.0);
+        assert!((op.cycle_time_ns() - 1.0).abs() < 1e-12);
+        assert!((op.cycle_time_ps() - 1000.0).abs() < 1e-9);
+        assert_eq!(op.cycles_in(1e-6), 1000);
+    }
+
+    #[test]
+    fn relative_freq_ordering() {
+        let t = VfTable::titan_x();
+        let ratios: Vec<f64> = (0..t.len()).map(|i| t.relative_freq(i)).collect();
+        assert!(ratios.windows(2).all(|w| w[0] < w[1]));
+        assert!((ratios[5] - 1.0).abs() < 1e-12);
+        assert!((ratios[0] - 683.0 / 1165.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowest_at_least_picks_minimum_satisfying() {
+        let t = VfTable::titan_x();
+        // 90% of 1165 MHz is 1048.5 MHz; the slowest point at or above that
+        // ratio is 1100 MHz (index 4).
+        assert_eq!(t.slowest_at_least(0.90), 4);
+        assert_eq!(t.slowest_at_least(0.0), 0);
+        // Impossible ratios clamp to the fastest point.
+        assert_eq!(t.slowest_at_least(1.5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending frequency")]
+    fn unsorted_table_rejected() {
+        VfTable::new(
+            vec![OperatingPoint::new(1.0, 800.0), OperatingPoint::new(1.0, 700.0)],
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage must be positive")]
+    fn bad_voltage_rejected() {
+        OperatingPoint::new(0.0, 1000.0);
+    }
+
+    #[test]
+    fn display_marks_default() {
+        let s = format!("{}", VfTable::titan_x());
+        assert!(s.contains("*(1.155 V, 1165 MHz)"));
+    }
+}

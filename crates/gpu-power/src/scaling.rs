@@ -1,0 +1,175 @@
+//! Technology-node scaling in the style of DeepScaleTool.
+//!
+//! Section V-D of the paper synthesizes the SSMDVFS inference module at
+//! 65 nm TSMC and scales area and power to 28 nm (the GPU's node) with
+//! DeepScaleTool (Sarangi & Baas, ISCAS 2021). This module provides the same
+//! kind of published-constant scaling so the [`asic`
+//! model](https://docs.rs/ssmdvfs) can report 28 nm numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Scales area, capacitance-driven energy and voltage between process nodes
+/// using tabulated per-node factors (relative to a 65 nm reference).
+///
+/// The factors follow the general-purpose scaling tables popularized by
+/// DeepScaleTool: area shrinks roughly with the square of the drawn feature
+/// ratio (with a density saturation at the newer end), and switching energy
+/// shrinks with capacitance and V².
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::TechScaler;
+///
+/// let scaler = TechScaler::new(65.0, 28.0)?;
+/// // A 0.04 mm² block at 65 nm becomes much smaller at 28 nm.
+/// let a28 = scaler.scale_area_mm2(0.04);
+/// assert!(a28 < 0.04 && a28 > 0.0);
+/// # Ok::<(), gpu_power::UnsupportedNodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechScaler {
+    from_nm: f64,
+    to_nm: f64,
+    area_factor: f64,
+    energy_factor: f64,
+}
+
+/// Error returned when a requested process node is not in the scaling table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedNodeError {
+    node_nm: u32,
+}
+
+impl std::fmt::Display for UnsupportedNodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "process node {} nm is not in the scaling table", self.node_nm)
+    }
+}
+
+impl std::error::Error for UnsupportedNodeError {}
+
+/// `(node_nm, relative_area, relative_switching_energy)` vs. the 65 nm
+/// reference. Derived from published logic-density and energy-per-op
+/// trends (DeepScaleTool's calibrated trajectory).
+const NODE_TABLE: &[(f64, f64, f64)] = &[
+    (90.0, 1.90, 1.75),
+    (65.0, 1.00, 1.00),
+    (45.0, 0.52, 0.62),
+    (40.0, 0.42, 0.55),
+    (32.0, 0.28, 0.42),
+    (28.0, 0.22, 0.35),
+    (22.0, 0.15, 0.28),
+    (16.0, 0.10, 0.20),
+    (14.0, 0.088, 0.18),
+    (7.0, 0.035, 0.095),
+];
+
+fn lookup(node_nm: f64) -> Result<(f64, f64), UnsupportedNodeError> {
+    NODE_TABLE
+        .iter()
+        .find(|(n, _, _)| (*n - node_nm).abs() < 1e-9)
+        .map(|(_, a, e)| (*a, *e))
+        .ok_or(UnsupportedNodeError { node_nm: node_nm as u32 })
+}
+
+impl TechScaler {
+    /// Creates a scaler from `from_nm` to `to_nm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedNodeError`] if either node is not one of the
+    /// tabulated nodes (90, 65, 45, 40, 32, 28, 22, 16, 14, 7 nm).
+    pub fn new(from_nm: f64, to_nm: f64) -> Result<TechScaler, UnsupportedNodeError> {
+        let (a_from, e_from) = lookup(from_nm)?;
+        let (a_to, e_to) = lookup(to_nm)?;
+        Ok(TechScaler {
+            from_nm,
+            to_nm,
+            area_factor: a_to / a_from,
+            energy_factor: e_to / e_from,
+        })
+    }
+
+    /// The scaler used in the paper: 65 nm synthesis results → 28 nm.
+    pub fn tsmc65_to_28() -> TechScaler {
+        TechScaler::new(65.0, 28.0).expect("65 nm and 28 nm are tabulated nodes")
+    }
+
+    /// Source node in nanometers.
+    pub fn from_nm(&self) -> f64 {
+        self.from_nm
+    }
+
+    /// Destination node in nanometers.
+    pub fn to_nm(&self) -> f64 {
+        self.to_nm
+    }
+
+    /// Multiplicative area factor applied when moving between the nodes.
+    pub fn area_factor(&self) -> f64 {
+        self.area_factor
+    }
+
+    /// Multiplicative switching-energy factor between the nodes.
+    pub fn energy_factor(&self) -> f64 {
+        self.energy_factor
+    }
+
+    /// Scales a silicon area in mm².
+    pub fn scale_area_mm2(&self, area_mm2: f64) -> f64 {
+        area_mm2 * self.area_factor
+    }
+
+    /// Scales a switching energy (or, at fixed frequency, dynamic power).
+    pub fn scale_energy(&self, energy: f64) -> f64 {
+        energy * self.energy_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_scaling() {
+        let s = TechScaler::new(65.0, 65.0).unwrap();
+        assert_eq!(s.area_factor(), 1.0);
+        assert_eq!(s.energy_factor(), 1.0);
+    }
+
+    #[test]
+    fn paper_node_pair() {
+        let s = TechScaler::tsmc65_to_28();
+        assert!(s.area_factor() < 0.3, "28 nm should be ~4.5x denser than 65 nm");
+        assert!(s.energy_factor() < 0.5);
+        assert_eq!(s.from_nm(), 65.0);
+        assert_eq!(s.to_nm(), 28.0);
+    }
+
+    #[test]
+    fn scaling_down_then_up_roundtrips() {
+        let down = TechScaler::new(65.0, 28.0).unwrap();
+        let up = TechScaler::new(28.0, 65.0).unwrap();
+        let a = down.scale_area_mm2(up.scale_area_mm2(1.0));
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let err = TechScaler::new(65.0, 3.0).unwrap_err();
+        assert!(err.to_string().contains("3 nm"));
+    }
+
+    #[test]
+    fn newer_nodes_are_smaller_and_cheaper() {
+        let mut prev_area = f64::INFINITY;
+        let mut prev_energy = f64::INFINITY;
+        for (_, a, e) in NODE_TABLE {
+            assert!(*a < prev_area);
+            assert!(*e < prev_energy);
+            prev_area = *a;
+            prev_energy = *e;
+        }
+    }
+}

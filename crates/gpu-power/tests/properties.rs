@@ -1,0 +1,88 @@
+//! Property-based tests for the power model.
+
+use gpu_power::{Activity, Energy, OperatingPoint, PowerModel, VfTable};
+use proptest::prelude::*;
+
+fn arb_activity() -> impl Strategy<Value = Activity> {
+    (
+        0u64..100_000,
+        0u64..100_000,
+        0u64..10_000,
+        0u64..20_000,
+        0u64..20_000,
+        0u64..20_000,
+        0u64..5_000,
+    )
+        .prop_map(|(int_alu, fp_alu, sfu, load, store, l1, dram)| Activity {
+            int_alu,
+            fp_alu,
+            sfu,
+            load,
+            store,
+            shared: load / 2,
+            branch: int_alu / 10,
+            barrier: 0,
+            l1_accesses: l1,
+            l1_misses: l1 / 4,
+            l2_accesses: l1 / 4,
+            l2_misses: l1 / 16,
+            dram_reads: dram,
+            dram_writes: dram / 2,
+            active_cycles: 5_000,
+            total_cycles: 11_650,
+        })
+}
+
+proptest! {
+    /// Energy is finite and non-negative for any activity at any table point.
+    #[test]
+    fn energy_is_physical(activity in arb_activity(), idx in 0usize..6) {
+        let model = PowerModel::titan_x();
+        let op = VfTable::titan_x().point(idx);
+        let b = model.epoch_energy(&activity, op, 10e-6);
+        prop_assert!(b.total().is_physical());
+        prop_assert!(b.dynamic().is_physical());
+        prop_assert!(b.leakage.is_physical());
+        prop_assert!(b.memory().is_physical());
+    }
+
+    /// At fixed work, switching energy is monotone non-decreasing in voltage.
+    #[test]
+    fn switching_energy_monotone_in_voltage(
+        activity in arb_activity(),
+        v_lo in 0.8f64..1.0,
+        dv in 0.01f64..0.4,
+    ) {
+        let model = PowerModel::titan_x();
+        let lo = model.epoch_energy(&activity, OperatingPoint::new(v_lo, 1000.0), 10e-6);
+        let hi = model.epoch_energy(&activity, OperatingPoint::new(v_lo + dv, 1000.0), 10e-6);
+        prop_assert!(hi.compute >= lo.compute);
+        prop_assert!(hi.clock >= lo.clock);
+        prop_assert!(hi.leakage >= lo.leakage);
+    }
+
+    /// Clock energy is monotone in frequency; leakage is frequency-blind.
+    #[test]
+    fn frequency_dependence(activity in arb_activity(), f_lo in 400.0f64..900.0, df in 10.0f64..600.0) {
+        let model = PowerModel::titan_x();
+        let lo = model.epoch_energy(&activity, OperatingPoint::new(1.0, f_lo), 10e-6);
+        let hi = model.epoch_energy(&activity, OperatingPoint::new(1.0, f_lo + df), 10e-6);
+        prop_assert!(hi.clock > lo.clock);
+        prop_assert_eq!(hi.leakage, lo.leakage);
+        // Instruction-tied energy is frequency-independent at fixed work.
+        prop_assert_eq!(hi.compute, lo.compute);
+    }
+
+    /// Energy scales linearly with duplicated activity (switching part).
+    #[test]
+    fn switching_energy_is_additive(activity in arb_activity()) {
+        let model = PowerModel::titan_x();
+        let op = VfTable::titan_x().default_point();
+        let one = model.epoch_energy(&activity, op, 10e-6);
+        let double = model.epoch_energy(&(activity + activity), op, 10e-6);
+        let ratio = double.compute.joules() / one.compute.joules().max(1e-30);
+        if one.compute > Energy::ZERO {
+            prop_assert!((ratio - 2.0).abs() < 1e-6, "ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! One DVFS-controllable cluster: one or more SMs, their memory slices and
+//! a shared clock domain.
+//!
+//! The paper's Titan X setup uses 24 single-SM clusters; grouping several
+//! SMs under one clock domain (`sms_per_cluster > 1`) coarsens the DVFS
+//! granularity — the `granularity_sweep` experiment uses this to show why
+//! per-cluster control beats chip-wide control.
+
+use gpu_power::{Activity, OperatingPoint, PowerModel};
+use serde::{Deserialize, Serialize};
+
+use crate::counters::{CounterId, EpochCounters};
+use crate::isa::LatencyTable;
+use crate::kernel::KernelSpec;
+use crate::memory::{ClusterMemory, MemoryConfig};
+use crate::sm::SmCore;
+use crate::time::Time;
+
+/// One cluster of the GPU: the unit at which DVFS decisions are applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    id: usize,
+    /// SMs sharing this cluster's clock domain; each owns a private memory
+    /// slice (L1 + L2 slice + DRAM channel share).
+    sms: Vec<(SmCore, ClusterMemory)>,
+    lat: LatencyTable,
+    op_index: usize,
+    cum_instructions: u64,
+}
+
+impl Cluster {
+    /// Creates an idle cluster running at operating point `op_index`.
+    pub fn new(
+        id: usize,
+        max_warps: usize,
+        issue_width: usize,
+        memory: MemoryConfig,
+        lat: LatencyTable,
+        op_index: usize,
+    ) -> Cluster {
+        Cluster::with_sms(id, 1, max_warps, issue_width, memory, lat, op_index)
+    }
+
+    /// Creates a cluster with `num_sms` SMs sharing one clock domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sms` is zero.
+    pub fn with_sms(
+        id: usize,
+        num_sms: usize,
+        max_warps: usize,
+        issue_width: usize,
+        memory: MemoryConfig,
+        lat: LatencyTable,
+        op_index: usize,
+    ) -> Cluster {
+        assert!(num_sms > 0, "a cluster needs at least one SM");
+        let sms = (0..num_sms)
+            .map(|_| (SmCore::new(max_warps, issue_width), ClusterMemory::new(memory.clone())))
+            .collect();
+        Cluster { id, sms, lat, op_index, cum_instructions: 0 }
+    }
+
+    /// Number of SMs in the cluster.
+    pub fn num_sms(&self) -> usize {
+        self.sms.len()
+    }
+
+    /// The cluster's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The operating-point index the cluster currently runs at.
+    pub fn op_index(&self) -> usize {
+        self.op_index
+    }
+
+    /// Total warp-instructions retired since construction.
+    pub fn cum_instructions(&self) -> u64 {
+        self.cum_instructions
+    }
+
+    /// Returns `true` when the cluster has no work left.
+    pub fn is_idle(&self) -> bool {
+        self.sms.iter().all(|(sm, _)| sm.is_idle())
+    }
+
+    /// Absolute time the cluster last ran out of work (the latest of its
+    /// SMs' finish times; `None` unless every SM has finished).
+    pub fn finish_time(&self) -> Option<Time> {
+        self.sms
+            .iter()
+            .map(|(sm, _)| sm.finish_time())
+            .collect::<Option<Vec<Time>>>()
+            .and_then(|times| times.into_iter().max())
+    }
+
+    /// Assigns a kernel and this cluster's share of its CTAs, distributed
+    /// round-robin over the cluster's SMs.
+    pub fn assign_kernel(&mut self, kernel: KernelSpec, cta_ids: Vec<u64>, seed: u64) {
+        let num_sms = self.sms.len();
+        for (i, (sm, _)) in self.sms.iter_mut().enumerate() {
+            let share: Vec<u64> = cta_ids
+                .iter()
+                .enumerate()
+                .filter(|(pos, _)| pos % num_sms == i)
+                .map(|(_, id)| *id)
+                .collect();
+            sm.assign_kernel(kernel.clone(), share, seed);
+        }
+    }
+
+    /// Runs one epoch of `epoch_len` wall time starting at `epoch_start`,
+    /// switching to operating point `op_index` first. A change of operating
+    /// point stalls the cluster for `transition` (the integrated voltage
+    /// regulator's settling time).
+    ///
+    /// Returns the epoch's counters, including power metrics computed by
+    /// `power`.
+    pub fn step_epoch(
+        &mut self,
+        epoch_start: Time,
+        epoch_len: Time,
+        op_index: usize,
+        op: OperatingPoint,
+        transition: Time,
+        power: &PowerModel,
+    ) -> EpochCounters {
+        let switching = op_index != self.op_index;
+        self.op_index = op_index;
+        let period_ps = op.cycle_time_ps().round() as u64;
+        let usable = if switching { epoch_len.saturating_sub(transition) } else { epoch_len };
+        let start = if switching { epoch_start + transition } else { epoch_start };
+        let cycles = usable.cycles_at(period_ps);
+
+        let mut counters = EpochCounters::zeroed();
+        // Occupancy and average memory latency are not additive; aggregate
+        // them explicitly (mean / access-weighted mean over the SMs).
+        let mut occupancy_sum = 0.0;
+        let mut lat_weighted = 0.0;
+        let mut lat_weight = 0.0;
+        for (sm, mem) in &mut self.sms {
+            let mut sm_counters = EpochCounters::zeroed();
+            let outcome =
+                sm.run_epoch(start, cycles, period_ps, mem, &self.lat, &mut sm_counters);
+            self.cum_instructions += outcome.instructions;
+            occupancy_sum += sm_counters[CounterId::Occupancy];
+            let accesses = sm_counters[CounterId::L1ReadAccess];
+            lat_weighted += sm_counters[CounterId::AvgMemLatencyNs] * accesses;
+            lat_weight += accesses;
+            counters.merge(&sm_counters);
+        }
+        counters[CounterId::Occupancy] = occupancy_sum / self.sms.len() as f64;
+        if lat_weight > 0.0 {
+            counters[CounterId::AvgMemLatencyNs] = lat_weighted / lat_weight;
+        }
+
+        self.fill_power(&mut counters, op, epoch_len, power);
+        counters
+    }
+
+    fn fill_power(
+        &self,
+        counters: &mut EpochCounters,
+        op: OperatingPoint,
+        epoch_len: Time,
+        power: &PowerModel,
+    ) {
+        use CounterId::*;
+        let activity = Activity {
+            int_alu: counters[IntAluInstrs] as u64,
+            fp_alu: counters[FpAluInstrs] as u64,
+            sfu: counters[SfuInstrs] as u64,
+            load: counters[LoadGlobalInstrs] as u64,
+            store: counters[StoreGlobalInstrs] as u64,
+            shared: counters[SharedAccesses] as u64,
+            branch: counters[BranchInstrs] as u64,
+            barrier: counters[BarrierInstrs] as u64,
+            l1_accesses: (counters[L1ReadAccess] + counters[L1WriteAccess]) as u64,
+            l1_misses: (counters[L1ReadMiss] + counters[L1WriteMiss]) as u64,
+            l2_accesses: counters[L2Access] as u64,
+            l2_misses: counters[L2Miss] as u64,
+            dram_reads: counters[DramReads] as u64,
+            dram_writes: counters[DramWrites] as u64,
+            active_cycles: counters[ActiveCycles] as u64,
+            total_cycles: counters[TotalCycles] as u64,
+        };
+        let secs = epoch_len.as_secs();
+        let breakdown = power.epoch_energy(&activity, op, secs);
+        counters[PowerTotalW] = breakdown.average_power(secs).watts();
+        counters[PowerDynamicW] = (breakdown.dynamic() / secs).watts();
+        counters[PowerLeakageW] = (breakdown.leakage / secs).watts();
+        counters[PowerComputeW] = ((breakdown.compute + breakdown.overhead) / secs).watts();
+        counters[PowerClockW] = (breakdown.clock / secs).watts();
+        counters[PowerMemoryW] = (breakdown.memory() / secs).watts();
+        counters[EnergyEpochJ] = breakdown.total().joules();
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::InstrClass;
+    use crate::kernel::{BasicBlock, MemoryBehavior, KernelSpec};
+    use gpu_power::VfTable;
+
+    fn kernel() -> KernelSpec {
+        KernelSpec::new(
+            "k",
+            vec![BasicBlock::new(vec![InstrClass::IntAlu, InstrClass::LoadGlobal], 200, 0.0)],
+            2,
+            8,
+            MemoryBehavior::streaming(1 << 20),
+        )
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(0, 8, 2, MemoryConfig::titan_x(), LatencyTable::titan_x(), 5)
+    }
+
+    #[test]
+    fn epoch_produces_counters_and_power() {
+        let table = VfTable::titan_x();
+        let power = PowerModel::titan_x();
+        let mut c = cluster();
+        c.assign_kernel(kernel(), (0..8).collect(), 1);
+        let counters = c.step_epoch(
+            Time::ZERO,
+            Time::from_micros(10.0),
+            table.default_index(),
+            table.default_point(),
+            Time::from_nanos(100.0),
+            &power,
+        );
+        assert!(counters[CounterId::TotalInstrs] > 0.0);
+        assert!(counters[CounterId::PowerTotalW] > 0.0);
+        assert!(counters[CounterId::EnergyEpochJ] > 0.0);
+        assert_eq!(c.cum_instructions(), counters[CounterId::TotalInstrs] as u64);
+    }
+
+    #[test]
+    fn op_transition_costs_cycles() {
+        let table = VfTable::titan_x();
+        let power = PowerModel::titan_x();
+        let run = |switch: bool| {
+            let mut c = cluster();
+            c.assign_kernel(kernel(), (0..8).collect(), 1);
+            let idx = if switch { 0 } else { 5 };
+            let counters = c.step_epoch(
+                Time::ZERO,
+                Time::from_micros(10.0),
+                idx,
+                table.point(idx),
+                Time::from_micros(2.0), // exaggerated settle time
+                &power,
+            );
+            counters[CounterId::TotalCycles]
+        };
+        let stay = run(false);
+        let switch = run(true);
+        // Switching to index 0 both lowers the clock and eats the settle
+        // time, so far fewer cycles fit in the epoch.
+        assert!(switch < stay * 0.7, "switch={switch}, stay={stay}");
+    }
+
+    #[test]
+    fn lower_op_reduces_power() {
+        let table = VfTable::titan_x();
+        let power = PowerModel::titan_x();
+        let watts_at = |idx: usize| {
+            let mut c = cluster();
+            c.assign_kernel(kernel(), (0..8).collect(), 1);
+            // Let caches warm up one epoch, measure the second.
+            c.step_epoch(
+                Time::ZERO,
+                Time::from_micros(10.0),
+                idx,
+                table.point(idx),
+                Time::ZERO,
+                &power,
+            );
+            let counters = c.step_epoch(
+                Time::from_micros(10.0),
+                Time::from_micros(10.0),
+                idx,
+                table.point(idx),
+                Time::ZERO,
+                &power,
+            );
+            counters[CounterId::PowerTotalW]
+        };
+        assert!(watts_at(0) < watts_at(5));
+    }
+}
+
+#[cfg(test)]
+mod multi_sm_tests {
+    use super::*;
+    use crate::counters::CounterId;
+    use crate::isa::InstrClass;
+    use crate::kernel::{BasicBlock, KernelSpec, MemoryBehavior};
+    use gpu_power::{PowerModel, VfTable};
+
+    fn kernel() -> KernelSpec {
+        KernelSpec::new(
+            "k",
+            vec![BasicBlock::new(
+                vec![InstrClass::IntAlu, InstrClass::LoadGlobal],
+                500,
+                0.0,
+            )],
+            2,
+            8,
+            MemoryBehavior::streaming(1 << 20),
+        )
+    }
+
+    fn run_all(mut c: Cluster) -> (u64, f64, Time) {
+        let table = VfTable::titan_x();
+        let power = PowerModel::titan_x();
+        let mut start = Time::ZERO;
+        let mut occupancy;
+        for _ in 0..200 {
+            let counters = c.step_epoch(
+                start,
+                Time::from_micros(10.0),
+                table.default_index(),
+                table.default_point(),
+                Time::ZERO,
+                &power,
+            );
+            occupancy = counters[CounterId::Occupancy];
+            start += Time::from_micros(10.0);
+            if c.is_idle() {
+                return (c.cum_instructions(), occupancy, c.finish_time().expect("idle"));
+            }
+        }
+        panic!("did not finish");
+    }
+
+    #[test]
+    fn multi_sm_cluster_executes_all_work_faster() {
+        let mem = crate::memory::MemoryConfig::titan_x();
+        let lat = LatencyTable::titan_x();
+        let one = Cluster::with_sms(0, 1, 16, 2, mem.clone(), lat.clone(), 5);
+        let four = Cluster::with_sms(0, 4, 16, 2, mem, lat, 5);
+        let assign = |c: &mut Cluster| c.assign_kernel(kernel(), (0..8).collect(), 1);
+        let (mut c1, mut c4) = (one, four);
+        assign(&mut c1);
+        assign(&mut c4);
+        let (instr1, _, t1) = run_all(c1);
+        let (instr4, _, t4) = run_all(c4);
+        assert_eq!(instr1, instr4, "total work is SM-count invariant");
+        assert!(t4 < t1, "4 SMs must finish sooner: {t4} vs {t1}");
+    }
+
+    #[test]
+    fn occupancy_is_averaged_not_summed() {
+        let mem = crate::memory::MemoryConfig::titan_x();
+        let lat = LatencyTable::titan_x();
+        let mut c = Cluster::with_sms(0, 4, 16, 2, mem, lat, 5);
+        c.assign_kernel(kernel(), (0..16).collect(), 1);
+        let table = VfTable::titan_x();
+        let power = PowerModel::titan_x();
+        let counters = c.step_epoch(
+            Time::ZERO,
+            Time::from_micros(10.0),
+            table.default_index(),
+            table.default_point(),
+            Time::ZERO,
+            &power,
+        );
+        assert!(
+            counters[CounterId::Occupancy] <= 1.0,
+            "occupancy stays a fraction: {}",
+            counters[CounterId::Occupancy]
+        );
+        assert!(counters[CounterId::Occupancy] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn zero_sms_rejected() {
+        Cluster::with_sms(
+            0,
+            0,
+            16,
+            2,
+            crate::memory::MemoryConfig::titan_x(),
+            LatencyTable::titan_x(),
+            5,
+        );
+    }
+}

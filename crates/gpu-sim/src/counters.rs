@@ -1,0 +1,312 @@
+//! The per-epoch performance-counter set.
+//!
+//! The paper's data-generation step collects **47 performance counters** per
+//! 10 µs epoch, grouped into instruction metrics, execution-stall metrics and
+//! power metrics (Section III-B). This module defines the same 47-counter
+//! vector; the SSMDVFS feature-selection stage (Table I) later narrows it to
+//! five: IPC, PPC, MH, MH\L and L1CRM.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// The broad counter category, matching the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterCategory {
+    /// Instruction counts and rates.
+    Instruction,
+    /// Stall cycles by cause, occupancy and latency observations.
+    Stall,
+    /// Cache and DRAM traffic.
+    Cache,
+    /// Power and energy (filled in from the power model).
+    Power,
+}
+
+macro_rules! counters {
+    ($( $variant:ident => ($name:literal, $cat:ident) ),+ $(,)?) => {
+        /// Identifier of one of the 47 per-epoch performance counters.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        #[repr(usize)]
+        pub enum CounterId {
+            $(
+                #[doc = $name]
+                $variant,
+            )+
+        }
+
+        impl CounterId {
+            /// Every counter, in index order.
+            pub const ALL: [CounterId; CounterId::COUNT] = [ $(CounterId::$variant),+ ];
+
+            /// Number of counters.
+            pub const COUNT: usize = 0 $( + { let _ = CounterId::$variant; 1 } )+;
+
+            /// Human-readable counter name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $( CounterId::$variant => $name, )+
+                }
+            }
+
+            /// The counter's category.
+            pub fn category(self) -> CounterCategory {
+                match self {
+                    $( CounterId::$variant => CounterCategory::$cat, )+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    // ---- Instruction metrics ------------------------------------------
+    TotalInstrs        => ("total_instrs", Instruction),
+    IntAluInstrs       => ("int_alu_instrs", Instruction),
+    FpAluInstrs        => ("fp_alu_instrs", Instruction),
+    SfuInstrs          => ("sfu_instrs", Instruction),
+    LoadGlobalInstrs   => ("load_global_instrs", Instruction),
+    LoadSharedInstrs   => ("load_shared_instrs", Instruction),
+    StoreGlobalInstrs  => ("store_global_instrs", Instruction),
+    StoreSharedInstrs  => ("store_shared_instrs", Instruction),
+    BranchInstrs       => ("branch_instrs", Instruction),
+    BarrierInstrs      => ("barrier_instrs", Instruction),
+    Ipc                => ("ipc", Instruction),
+    MemInstrRatio      => ("mem_instr_ratio", Instruction),
+    ComputeInstrRatio  => ("compute_instr_ratio", Instruction),
+
+    // ---- Execution stall metrics --------------------------------------
+    StallMemLoad       => ("stall_mem_load", Stall),
+    StallMemOther      => ("stall_mem_other", Stall),
+    StallControl       => ("stall_control", Stall),
+    StallBarrier       => ("stall_barrier", Stall),
+    StallDataDep       => ("stall_data_dep", Stall),
+    StallEmpty         => ("stall_empty", Stall),
+    StallTotal         => ("stall_total", Stall),
+    IssuedCycles       => ("issued_cycles", Stall),
+    ActiveCycles       => ("active_cycles", Stall),
+    TotalCycles        => ("total_cycles", Stall),
+    Occupancy          => ("occupancy", Stall),
+    AvgMemLatencyNs    => ("avg_mem_latency_ns", Stall),
+    DivergentBranches  => ("divergent_branches", Stall),
+    MemStallFrac       => ("mem_stall_frac", Stall),
+
+    // ---- Cache / traffic metrics ---------------------------------------
+    L1ReadAccess       => ("l1_read_access", Cache),
+    L1ReadMiss         => ("l1_read_miss", Cache),
+    L1ReadMissRate     => ("l1_read_miss_rate", Cache),
+    L1WriteAccess      => ("l1_write_access", Cache),
+    L1WriteMiss        => ("l1_write_miss", Cache),
+    L2Access           => ("l2_access", Cache),
+    L2Miss             => ("l2_miss", Cache),
+    L2MissRate         => ("l2_miss_rate", Cache),
+    DramReads          => ("dram_reads", Cache),
+    DramWrites         => ("dram_writes", Cache),
+    DramQueueNs        => ("dram_queue_ns", Cache),
+    SharedAccesses     => ("shared_accesses", Cache),
+    MemTransactions    => ("mem_transactions", Cache),
+
+    // ---- Power metrics --------------------------------------------------
+    PowerTotalW        => ("power_total_w", Power),
+    PowerDynamicW      => ("power_dynamic_w", Power),
+    PowerLeakageW      => ("power_leakage_w", Power),
+    PowerComputeW      => ("power_compute_w", Power),
+    PowerClockW        => ("power_clock_w", Power),
+    PowerMemoryW       => ("power_memory_w", Power),
+    EnergyEpochJ       => ("energy_epoch_j", Power),
+}
+
+/// The values of all 47 counters for one cluster over one epoch.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{CounterId, EpochCounters};
+///
+/// let mut c = EpochCounters::zeroed();
+/// c[CounterId::TotalInstrs] = 1000.0;
+/// c[CounterId::TotalCycles] = 500.0;
+/// assert_eq!(c[CounterId::TotalInstrs], 1000.0);
+/// assert_eq!(c.to_vec().len(), CounterId::COUNT);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochCounters {
+    values: Vec<f64>,
+}
+
+impl EpochCounters {
+    /// Creates an all-zero counter set.
+    pub fn zeroed() -> EpochCounters {
+        EpochCounters { values: vec![0.0; CounterId::COUNT] }
+    }
+
+    /// The raw values in [`CounterId::ALL`] order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.values.clone()
+    }
+
+    /// Borrows the raw values in [`CounterId::ALL`] order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates `(id, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (CounterId, f64)> + '_ {
+        CounterId::ALL.iter().map(move |&id| (id, self.values[id as usize]))
+    }
+
+    /// Adds `other` into `self` for the additive (count-like) counters and
+    /// recomputes the derived rate counters. Used to aggregate multiple
+    /// epochs or clusters.
+    pub fn merge(&mut self, other: &EpochCounters) {
+        use CounterId::*;
+        for id in CounterId::ALL {
+            match id {
+                Ipc | MemInstrRatio | ComputeInstrRatio | Occupancy | AvgMemLatencyNs
+                | L1ReadMissRate | L2MissRate | MemStallFrac | PowerTotalW | PowerDynamicW
+                | PowerLeakageW | PowerComputeW | PowerClockW | PowerMemoryW => {}
+                _ => self.values[id as usize] += other.values[id as usize],
+            }
+        }
+        self.recompute_derived();
+    }
+
+    /// Recomputes the derived rate counters (IPC, miss rates, ratios) from
+    /// the raw counts currently stored.
+    pub fn recompute_derived(&mut self) {
+        use CounterId::*;
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let total = self[TotalInstrs];
+        let cycles = self[TotalCycles];
+        self[Ipc] = ratio(total, cycles);
+        let mem_instrs = self[LoadGlobalInstrs]
+            + self[LoadSharedInstrs]
+            + self[StoreGlobalInstrs]
+            + self[StoreSharedInstrs];
+        let compute_instrs = self[IntAluInstrs] + self[FpAluInstrs] + self[SfuInstrs];
+        self[MemInstrRatio] = ratio(mem_instrs, total);
+        self[ComputeInstrRatio] = ratio(compute_instrs, total);
+        self[L1ReadMissRate] = ratio(self[L1ReadMiss], self[L1ReadAccess]);
+        self[L2MissRate] = ratio(self[L2Miss], self[L2Access]);
+        self[StallTotal] = self[StallMemLoad]
+            + self[StallMemOther]
+            + self[StallControl]
+            + self[StallBarrier]
+            + self[StallDataDep]
+            + self[StallEmpty];
+        self[MemStallFrac] = ratio(self[StallMemLoad] + self[StallMemOther], cycles);
+    }
+
+    /// Total warp-instructions executed this epoch.
+    pub fn total_instructions(&self) -> f64 {
+        self[CounterId::TotalInstrs]
+    }
+}
+
+impl Default for EpochCounters {
+    fn default() -> EpochCounters {
+        EpochCounters::zeroed()
+    }
+}
+
+impl Index<CounterId> for EpochCounters {
+    type Output = f64;
+    fn index(&self, id: CounterId) -> &f64 {
+        &self.values[id as usize]
+    }
+}
+
+impl IndexMut<CounterId> for EpochCounters {
+    fn index_mut(&mut self, id: CounterId) -> &mut f64 {
+        &mut self.values[id as usize]
+    }
+}
+
+impl fmt::Display for EpochCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "EpochCounters:")?;
+        for (id, v) in self.iter() {
+            if v != 0.0 {
+                writeln!(f, "  {:<22} {v:.4}", id.name())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_47_counters() {
+        assert_eq!(CounterId::COUNT, 47);
+        assert_eq!(CounterId::ALL.len(), 47);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CounterId::COUNT);
+    }
+
+    #[test]
+    fn category_counts_match_taxonomy() {
+        let count = |cat: CounterCategory| {
+            CounterId::ALL.iter().filter(|c| c.category() == cat).count()
+        };
+        assert_eq!(count(CounterCategory::Instruction), 13);
+        assert_eq!(count(CounterCategory::Stall), 14);
+        assert_eq!(count(CounterCategory::Cache), 13);
+        assert_eq!(count(CounterCategory::Power), 7);
+    }
+
+    #[test]
+    fn derived_counters() {
+        use CounterId::*;
+        let mut c = EpochCounters::zeroed();
+        c[TotalInstrs] = 100.0;
+        c[TotalCycles] = 200.0;
+        c[LoadGlobalInstrs] = 25.0;
+        c[IntAluInstrs] = 50.0;
+        c[L1ReadAccess] = 10.0;
+        c[L1ReadMiss] = 4.0;
+        c[StallMemLoad] = 30.0;
+        c[StallEmpty] = 10.0;
+        c.recompute_derived();
+        assert_eq!(c[Ipc], 0.5);
+        assert_eq!(c[MemInstrRatio], 0.25);
+        assert_eq!(c[ComputeInstrRatio], 0.5);
+        assert_eq!(c[L1ReadMissRate], 0.4);
+        assert_eq!(c[StallTotal], 40.0);
+        assert_eq!(c[MemStallFrac], 0.15);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_recomputes_rates() {
+        use CounterId::*;
+        let mut a = EpochCounters::zeroed();
+        a[TotalInstrs] = 100.0;
+        a[TotalCycles] = 100.0;
+        a.recompute_derived();
+        let mut b = EpochCounters::zeroed();
+        b[TotalInstrs] = 50.0;
+        b[TotalCycles] = 100.0;
+        b.recompute_derived();
+        a.merge(&b);
+        assert_eq!(a[TotalInstrs], 150.0);
+        assert_eq!(a[TotalCycles], 200.0);
+        assert_eq!(a[Ipc], 0.75);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let mut c = EpochCounters::zeroed();
+        c.recompute_derived();
+        assert_eq!(c[CounterId::Ipc], 0.0);
+        assert_eq!(c[CounterId::L1ReadMissRate], 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The DVFS governor interface and elementary governors.
+//!
+//! At the end of every epoch the simulation hands each cluster's counters to
+//! the governor, which picks the operating-point index for that cluster's
+//! next epoch — exactly the decision loop of Fig. 1 in the paper. SSMDVFS,
+//! PCSTALL and F-LEMMA all implement [`DvfsGovernor`]; this module provides
+//! the trivial governors every experiment needs.
+
+use gpu_power::VfTable;
+
+use crate::counters::EpochCounters;
+
+/// A per-epoch, per-cluster DVFS policy.
+///
+/// Implementations receive the counters collected during the epoch that just
+/// ended and return the index (into the [`VfTable`]) of the operating point
+/// the cluster should use for the next epoch.
+pub trait DvfsGovernor {
+    /// A short name for reports.
+    fn name(&self) -> &str;
+
+    /// Picks the next epoch's operating point for `cluster`.
+    fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize;
+
+    /// Clears any internal state before a fresh run.
+    fn reset(&mut self) {}
+}
+
+/// Runs every cluster at one fixed operating point. With the default point
+/// this is the paper's baseline.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_power::VfTable;
+/// use gpu_sim::{DvfsGovernor, EpochCounters, StaticGovernor};
+///
+/// let table = VfTable::titan_x();
+/// let mut g = StaticGovernor::default_point(&table);
+/// let idx = g.decide(0, &EpochCounters::zeroed(), &table);
+/// assert_eq!(idx, table.default_index());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticGovernor {
+    index: usize,
+    name: String,
+}
+
+impl StaticGovernor {
+    /// Pins every cluster to `index`.
+    pub fn new(index: usize) -> StaticGovernor {
+        StaticGovernor { index, name: format!("static[{index}]") }
+    }
+
+    /// Pins every cluster to the table's default point (the paper's
+    /// baseline configuration).
+    pub fn default_point(table: &VfTable) -> StaticGovernor {
+        StaticGovernor::new(table.default_index())
+    }
+}
+
+impl DvfsGovernor for StaticGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, _cluster: usize, _counters: &EpochCounters, table: &VfTable) -> usize {
+        self.index.min(table.len() - 1)
+    }
+}
+
+/// Replays a fixed per-epoch schedule of operating points (identical for all
+/// clusters), holding the last entry once the schedule is exhausted. The
+/// data-generation methodology uses this to force the 10 µs
+/// frequency-scaling window of Fig. 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleGovernor {
+    schedule: Vec<usize>,
+    /// Epoch cursor per cluster (clusters advance independently so that the
+    /// governor may be queried in any cluster order).
+    cursors: Vec<usize>,
+}
+
+impl ScheduleGovernor {
+    /// Creates a governor replaying `schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty.
+    pub fn new(schedule: Vec<usize>) -> ScheduleGovernor {
+        assert!(!schedule.is_empty(), "a schedule needs at least one entry");
+        ScheduleGovernor { schedule, cursors: Vec::new() }
+    }
+}
+
+impl DvfsGovernor for ScheduleGovernor {
+    fn name(&self) -> &str {
+        "schedule"
+    }
+
+    fn decide(&mut self, cluster: usize, _counters: &EpochCounters, table: &VfTable) -> usize {
+        if cluster >= self.cursors.len() {
+            self.cursors.resize(cluster + 1, 0);
+        }
+        let pos = self.cursors[cluster];
+        self.cursors[cluster] = pos + 1;
+        let idx = *self.schedule.get(pos).unwrap_or(
+            self.schedule.last().expect("schedule is non-empty"),
+        );
+        idx.min(table.len() - 1)
+    }
+
+    fn reset(&mut self) {
+        self.cursors.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_governor_is_constant() {
+        let table = VfTable::titan_x();
+        let mut g = StaticGovernor::new(2);
+        let c = EpochCounters::zeroed();
+        for cluster in 0..4 {
+            assert_eq!(g.decide(cluster, &c, &table), 2);
+        }
+        assert_eq!(g.name(), "static[2]");
+    }
+
+    #[test]
+    fn static_governor_clamps_to_table() {
+        let table = VfTable::titan_x();
+        let mut g = StaticGovernor::new(99);
+        assert_eq!(g.decide(0, &EpochCounters::zeroed(), &table), 5);
+    }
+
+    #[test]
+    fn schedule_replays_then_holds() {
+        let table = VfTable::titan_x();
+        let mut g = ScheduleGovernor::new(vec![5, 0, 3]);
+        let c = EpochCounters::zeroed();
+        let seq: Vec<usize> = (0..5).map(|_| g.decide(0, &c, &table)).collect();
+        assert_eq!(seq, vec![5, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn schedule_tracks_clusters_independently() {
+        let table = VfTable::titan_x();
+        let mut g = ScheduleGovernor::new(vec![1, 2]);
+        let c = EpochCounters::zeroed();
+        assert_eq!(g.decide(0, &c, &table), 1);
+        assert_eq!(g.decide(1, &c, &table), 1);
+        assert_eq!(g.decide(0, &c, &table), 2);
+        g.reset();
+        assert_eq!(g.decide(0, &c, &table), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Whole-GPU configuration.
+
+use gpu_power::{PowerModelConfig, VfTable};
+use serde::{Deserialize, Serialize};
+
+use crate::isa::LatencyTable;
+use crate::memory::MemoryConfig;
+use crate::time::Time;
+
+/// Configuration of the simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::GpuConfig;
+///
+/// let cfg = GpuConfig::titan_x();
+/// assert_eq!(cfg.num_clusters, 24);
+/// assert_eq!(cfg.epoch.as_micros(), 10.0);
+///
+/// // A smaller GPU for fast tests.
+/// let small = GpuConfig::small_test();
+/// assert!(small.num_clusters < cfg.num_clusters);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of DVFS-controllable clusters.
+    pub num_clusters: usize,
+    /// SMs per cluster sharing one clock domain (the paper's Titan X setup
+    /// uses 1; larger values coarsen the DVFS granularity).
+    pub sms_per_cluster: usize,
+    /// Resident warp slots per SM.
+    pub max_warps_per_sm: usize,
+    /// Instructions issued per SM per cycle.
+    pub issue_width: usize,
+    /// DVFS epoch length (the paper uses 10 µs).
+    pub epoch: Time,
+    /// Settle time charged when a cluster changes operating point
+    /// (integrated voltage regulators settle in well under a microsecond).
+    pub dvfs_transition: Time,
+    /// The DVFS operating-point table.
+    pub vf_table: VfTable,
+    /// Execution-pipeline latencies.
+    pub latencies: LatencyTable,
+    /// Memory-hierarchy parameters.
+    pub memory: MemoryConfig,
+    /// Power-model constants.
+    pub power: PowerModelConfig,
+    /// Seed for the deterministic per-warp streams.
+    pub seed: u64,
+}
+
+impl GpuConfig {
+    /// The paper's evaluation platform: a GTX-Titan-X-class GPU with 24
+    /// clusters, 10 µs DVFS epochs and the six-point V/f table.
+    pub fn titan_x() -> GpuConfig {
+        GpuConfig {
+            num_clusters: 24,
+            sms_per_cluster: 1,
+            max_warps_per_sm: 48,
+            issue_width: 2,
+            epoch: Time::from_micros(10.0),
+            dvfs_transition: Time::from_nanos(100.0),
+            vf_table: VfTable::titan_x(),
+            latencies: LatencyTable::titan_x(),
+            memory: MemoryConfig::titan_x(),
+            power: PowerModelConfig::titan_x(),
+            seed: 0x55AA_1234,
+        }
+    }
+
+    /// A scaled-down GPU (2 clusters, 16 warp slots) with identical timing
+    /// parameters, for fast unit and integration tests.
+    pub fn small_test() -> GpuConfig {
+        GpuConfig {
+            num_clusters: 2,
+            max_warps_per_sm: 16,
+            ..GpuConfig::titan_x()
+        }
+    }
+
+    /// Returns a copy with a different seed (for workload replication).
+    pub fn with_seed(mut self, seed: u64) -> GpuConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the transition time exceeds the
+    /// epoch.
+    pub fn validate(&self) {
+        assert!(self.num_clusters > 0, "a GPU needs at least one cluster");
+        assert!(self.sms_per_cluster > 0, "a cluster needs at least one SM");
+        assert!(self.max_warps_per_sm > 0, "an SM needs warp slots");
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.epoch > Time::ZERO, "epoch must be non-empty");
+        assert!(
+            self.dvfs_transition < self.epoch,
+            "DVFS transition time must be shorter than an epoch"
+        );
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        GpuConfig::titan_x()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_is_valid_and_matches_paper() {
+        let cfg = GpuConfig::titan_x();
+        cfg.validate();
+        assert_eq!(cfg.num_clusters, 24);
+        assert_eq!(cfg.vf_table.len(), 6);
+        assert_eq!(cfg.epoch, Time::from_micros(10.0));
+    }
+
+    #[test]
+    fn small_test_is_valid() {
+        GpuConfig::small_test().validate();
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let a = GpuConfig::titan_x();
+        let b = a.clone().with_seed(7);
+        assert_eq!(a.num_clusters, b.num_clusters);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "transition time")]
+    fn transition_longer_than_epoch_rejected() {
+        let mut cfg = GpuConfig::titan_x();
+        cfg.dvfs_transition = Time::from_micros(20.0);
+        cfg.validate();
+    }
+}

@@ -1,0 +1,213 @@
+//! The simulator's abstract warp-instruction classes.
+//!
+//! The simulator does not interpret real SASS/PTX; it executes *instruction
+//! classes* whose timing and energy behaviour match the categories the
+//! SSMDVFS performance counters distinguish: integer/FP/SFU arithmetic,
+//! global and shared memory loads/stores, branches and barriers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The class of one warp-instruction.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::InstrClass;
+///
+/// assert!(InstrClass::LoadGlobal.is_memory());
+/// assert!(InstrClass::FpAlu.is_compute());
+/// assert_eq!(InstrClass::ALL.len(), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// Integer arithmetic / logic / address math.
+    IntAlu,
+    /// FP32 arithmetic (FMA pipeline).
+    FpAlu,
+    /// Special function unit (transcendental, rsqrt, ...).
+    Sfu,
+    /// Load from global/local memory (goes through L1/L2/DRAM).
+    LoadGlobal,
+    /// Load from on-chip shared memory.
+    LoadShared,
+    /// Store to global/local memory.
+    StoreGlobal,
+    /// Store to on-chip shared memory.
+    StoreShared,
+    /// Branch / control flow.
+    Branch,
+    /// CTA-wide barrier synchronization.
+    Barrier,
+}
+
+impl InstrClass {
+    /// Every instruction class, in a stable order.
+    pub const ALL: [InstrClass; 9] = [
+        InstrClass::IntAlu,
+        InstrClass::FpAlu,
+        InstrClass::Sfu,
+        InstrClass::LoadGlobal,
+        InstrClass::LoadShared,
+        InstrClass::StoreGlobal,
+        InstrClass::StoreShared,
+        InstrClass::Branch,
+        InstrClass::Barrier,
+    ];
+
+    /// Returns `true` for classes that touch a memory pipeline.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            InstrClass::LoadGlobal
+                | InstrClass::LoadShared
+                | InstrClass::StoreGlobal
+                | InstrClass::StoreShared
+        )
+    }
+
+    /// Returns `true` for pure arithmetic classes.
+    pub fn is_compute(self) -> bool {
+        matches!(self, InstrClass::IntAlu | InstrClass::FpAlu | InstrClass::Sfu)
+    }
+
+    /// Returns `true` for loads (global or shared).
+    pub fn is_load(self) -> bool {
+        matches!(self, InstrClass::LoadGlobal | InstrClass::LoadShared)
+    }
+
+    /// Returns `true` for stores (global or shared).
+    pub fn is_store(self) -> bool {
+        matches!(self, InstrClass::StoreGlobal | InstrClass::StoreShared)
+    }
+
+    /// Short mnemonic used in traces and debug output.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            InstrClass::IntAlu => "ialu",
+            InstrClass::FpAlu => "falu",
+            InstrClass::Sfu => "sfu",
+            InstrClass::LoadGlobal => "ldg",
+            InstrClass::LoadShared => "lds",
+            InstrClass::StoreGlobal => "stg",
+            InstrClass::StoreShared => "sts",
+            InstrClass::Branch => "bra",
+            InstrClass::Barrier => "bar",
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Fixed execution latencies (in core cycles) for the non-variable
+/// instruction classes. Global-memory latency is determined by the cache
+/// hierarchy at run time instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyTable {
+    /// Integer ALU result latency.
+    pub int_alu: u32,
+    /// FP32 result latency.
+    pub fp_alu: u32,
+    /// SFU result latency.
+    pub sfu: u32,
+    /// Shared-memory load latency.
+    pub load_shared: u32,
+    /// Shared-memory store latency.
+    pub store_shared: u32,
+    /// Global store latency (write buffer drain slot).
+    pub store_global: u32,
+    /// Branch resolution latency.
+    pub branch: u32,
+    /// Extra serialization cycles when a branch diverges.
+    pub divergence_penalty: u32,
+}
+
+impl LatencyTable {
+    /// Maxwell-class latencies used by the Titan X preset.
+    pub fn titan_x() -> LatencyTable {
+        LatencyTable {
+            int_alu: 6,
+            fp_alu: 6,
+            sfu: 16,
+            load_shared: 24,
+            store_shared: 8,
+            store_global: 12,
+            branch: 8,
+            divergence_penalty: 16,
+        }
+    }
+
+    /// Latency in cycles for a class with fixed latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`InstrClass::LoadGlobal`] (variable latency, resolved by
+    /// the memory hierarchy) and [`InstrClass::Barrier`] (waits on other
+    /// warps, not on a pipeline).
+    pub fn fixed_latency(&self, class: InstrClass) -> u32 {
+        match class {
+            InstrClass::IntAlu => self.int_alu,
+            InstrClass::FpAlu => self.fp_alu,
+            InstrClass::Sfu => self.sfu,
+            InstrClass::LoadShared => self.load_shared,
+            InstrClass::StoreShared => self.store_shared,
+            InstrClass::StoreGlobal => self.store_global,
+            InstrClass::Branch => self.branch,
+            InstrClass::LoadGlobal | InstrClass::Barrier => {
+                panic!("{class} has no fixed latency")
+            }
+        }
+    }
+}
+
+impl Default for LatencyTable {
+    fn default() -> LatencyTable {
+        LatencyTable::titan_x()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        assert!(InstrClass::LoadGlobal.is_memory());
+        assert!(InstrClass::LoadGlobal.is_load());
+        assert!(!InstrClass::LoadGlobal.is_store());
+        assert!(InstrClass::StoreShared.is_memory());
+        assert!(InstrClass::StoreShared.is_store());
+        assert!(InstrClass::Sfu.is_compute());
+        assert!(!InstrClass::Branch.is_compute());
+        assert!(!InstrClass::Branch.is_memory());
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_unique() {
+        let mut names: Vec<&str> = InstrClass::ALL.iter().map(|c| c.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), InstrClass::ALL.len());
+    }
+
+    #[test]
+    fn fixed_latencies_positive() {
+        let t = LatencyTable::titan_x();
+        for class in InstrClass::ALL {
+            if !matches!(class, InstrClass::LoadGlobal | InstrClass::Barrier) {
+                assert!(t.fixed_latency(class) > 0, "{class} latency must be positive");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no fixed latency")]
+    fn global_load_has_no_fixed_latency() {
+        LatencyTable::titan_x().fixed_latency(InstrClass::LoadGlobal);
+    }
+}

@@ -1,0 +1,348 @@
+//! The procedural kernel/workload model.
+//!
+//! Real GPGPU-Sim executes CUDA binaries; this simulator executes *kernel
+//! specifications*: loops of basic blocks whose instruction mixes, memory
+//! footprints and divergence behaviour are parameterized to match the
+//! characteristics of the benchmark being modeled. A warp's instruction
+//! stream is a pure function of the kernel spec and the warp's identity, so
+//! replaying a program segment at a different clock frequency executes an
+//! identical stream — the property the paper's data-generation methodology
+//! ("the total workload remains constant") relies on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::InstrClass;
+
+/// One instruction slot in a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrTemplate {
+    /// The instruction's class.
+    pub class: InstrClass,
+}
+
+impl InstrTemplate {
+    /// Creates a template of the given class.
+    pub fn new(class: InstrClass) -> InstrTemplate {
+        InstrTemplate { class }
+    }
+}
+
+impl From<InstrClass> for InstrTemplate {
+    fn from(class: InstrClass) -> InstrTemplate {
+        InstrTemplate::new(class)
+    }
+}
+
+/// A straight-line block of instructions executed `iterations` times per
+/// warp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// The block body, executed in order.
+    pub instrs: Vec<InstrTemplate>,
+    /// Loop trip count (identical for every warp, keeping total work
+    /// deterministic).
+    pub iterations: u32,
+    /// Probability that a branch in this block diverges, in [0, 1].
+    pub divergence_prob: f32,
+}
+
+impl BasicBlock {
+    /// Creates a block from instruction classes with a trip count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero, the body is empty, or
+    /// `divergence_prob` is outside [0, 1].
+    pub fn new<I>(instrs: I, iterations: u32, divergence_prob: f32) -> BasicBlock
+    where
+        I: IntoIterator<Item = InstrClass>,
+    {
+        let instrs: Vec<InstrTemplate> =
+            instrs.into_iter().map(InstrTemplate::new).collect();
+        assert!(!instrs.is_empty(), "a basic block needs at least one instruction");
+        assert!(iterations > 0, "a basic block must iterate at least once");
+        assert!(
+            (0.0..=1.0).contains(&divergence_prob),
+            "divergence probability must be in [0, 1], got {divergence_prob}"
+        );
+        BasicBlock { instrs, iterations, divergence_prob }
+    }
+
+    /// Warp-instructions executed by one warp over all iterations.
+    pub fn instructions_per_warp(&self) -> u64 {
+        self.instrs.len() as u64 * self.iterations as u64
+    }
+}
+
+/// How a kernel's global-memory accesses are distributed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBehavior {
+    /// Total global working-set size in bytes.
+    pub working_set_bytes: u64,
+    /// Stride between consecutive sequential accesses of one warp, in bytes.
+    pub stride_bytes: u64,
+    /// Fraction of accesses landing at a uniformly random offset in the
+    /// working set (models irregular/graph access), in [0, 1].
+    pub random_frac: f32,
+    /// Fraction of accesses landing in a small hot region (models
+    /// high-locality reuse), in [0, 1]. `random_frac + hot_frac <= 1`.
+    pub hot_frac: f32,
+}
+
+impl MemoryBehavior {
+    /// Creates a memory behaviour description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set or stride is zero, if either fraction is
+    /// outside [0, 1], or if the fractions sum to more than 1.
+    pub fn new(
+        working_set_bytes: u64,
+        stride_bytes: u64,
+        random_frac: f32,
+        hot_frac: f32,
+    ) -> MemoryBehavior {
+        assert!(working_set_bytes > 0, "working set must be non-empty");
+        assert!(stride_bytes > 0, "stride must be non-zero");
+        assert!((0.0..=1.0).contains(&random_frac), "random_frac must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&hot_frac), "hot_frac must be in [0, 1]");
+        assert!(
+            random_frac + hot_frac <= 1.0 + f32::EPSILON,
+            "random_frac + hot_frac must not exceed 1"
+        );
+        MemoryBehavior { working_set_bytes, stride_bytes, random_frac, hot_frac }
+    }
+
+    /// A streaming pattern: large working set, unit-line stride, no reuse.
+    pub fn streaming(working_set_bytes: u64) -> MemoryBehavior {
+        MemoryBehavior::new(working_set_bytes, 128, 0.0, 0.0)
+    }
+
+    /// A cache-friendly pattern: most accesses hit a small hot region.
+    pub fn cache_friendly(working_set_bytes: u64, hot_frac: f32) -> MemoryBehavior {
+        MemoryBehavior::new(working_set_bytes, 128, 0.0, hot_frac)
+    }
+
+    /// An irregular pattern: a large share of random accesses.
+    pub fn irregular(working_set_bytes: u64, random_frac: f32) -> MemoryBehavior {
+        MemoryBehavior::new(working_set_bytes, 128, random_frac, 0.0)
+    }
+
+    /// Size in bytes of the hot region targeted by `hot_frac` accesses.
+    pub fn hot_region_bytes(&self) -> u64 {
+        (self.working_set_bytes / 32).clamp(1, 16 * 1024)
+    }
+}
+
+/// A complete kernel: a program body plus its launch geometry and memory
+/// behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{BasicBlock, InstrClass, KernelSpec, MemoryBehavior};
+///
+/// let body = vec![BasicBlock::new(
+///     vec![InstrClass::LoadGlobal, InstrClass::FpAlu, InstrClass::FpAlu],
+///     100,
+///     0.0,
+/// )];
+/// let kernel = KernelSpec::new(
+///     "axpy",
+///     body,
+///     4,  // warps per CTA
+///     32, // CTAs
+///     MemoryBehavior::streaming(1 << 20),
+/// );
+/// assert_eq!(kernel.instructions_per_warp(), 300);
+/// assert_eq!(kernel.total_instructions(), 300 * 4 * 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    warps_per_cta: usize,
+    num_ctas: usize,
+    mem: MemoryBehavior,
+}
+
+impl KernelSpec {
+    /// Creates a kernel specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body is empty or the launch geometry is zero-sized.
+    pub fn new(
+        name: impl Into<String>,
+        blocks: Vec<BasicBlock>,
+        warps_per_cta: usize,
+        num_ctas: usize,
+        mem: MemoryBehavior,
+    ) -> KernelSpec {
+        assert!(!blocks.is_empty(), "a kernel needs at least one basic block");
+        assert!(warps_per_cta > 0, "warps per CTA must be positive");
+        assert!(num_ctas > 0, "CTA count must be positive");
+        KernelSpec { name: name.into(), blocks, warps_per_cta, num_ctas, mem }
+    }
+
+    /// The kernel's name (for traces and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program body.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Warps per cooperative thread array.
+    pub fn warps_per_cta(&self) -> usize {
+        self.warps_per_cta
+    }
+
+    /// Number of CTAs in the launch grid.
+    pub fn num_ctas(&self) -> usize {
+        self.num_ctas
+    }
+
+    /// The kernel's global-memory behaviour.
+    pub fn mem(&self) -> MemoryBehavior {
+        self.mem
+    }
+
+    /// Warp-instructions executed by one warp through the whole program.
+    pub fn instructions_per_warp(&self) -> u64 {
+        self.blocks.iter().map(BasicBlock::instructions_per_warp).sum()
+    }
+
+    /// Warp-instructions executed by the whole launch grid.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions_per_warp() * self.warps_per_cta as u64 * self.num_ctas as u64
+    }
+
+    /// Returns a copy with the CTA count scaled by `factor` (at least 1).
+    /// Used to resize benchmarks to a target runtime.
+    pub fn with_cta_scale(&self, factor: f64) -> KernelSpec {
+        let scaled = ((self.num_ctas as f64 * factor).round() as usize).max(1);
+        KernelSpec { num_ctas: scaled, ..self.clone() }
+    }
+}
+
+/// A benchmark: a named sequence of kernel launches.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{BasicBlock, InstrClass, KernelSpec, MemoryBehavior, Workload};
+///
+/// let k = KernelSpec::new(
+///     "k",
+///     vec![BasicBlock::new(vec![InstrClass::IntAlu], 10, 0.0)],
+///     2,
+///     4,
+///     MemoryBehavior::streaming(4096),
+/// );
+/// let w = Workload::new("bench", vec![k.clone(), k]);
+/// assert_eq!(w.kernels().len(), 2);
+/// assert_eq!(w.total_instructions(), 2 * 10 * 2 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    kernels: Vec<KernelSpec>,
+}
+
+impl Workload {
+    /// Creates a workload from a kernel sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty.
+    pub fn new(name: impl Into<String>, kernels: Vec<KernelSpec>) -> Workload {
+        assert!(!kernels.is_empty(), "a workload needs at least one kernel");
+        Workload { name: name.into(), kernels }
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel launch sequence.
+    pub fn kernels(&self) -> &[KernelSpec] {
+        &self.kernels
+    }
+
+    /// Total warp-instructions across every kernel.
+    pub fn total_instructions(&self) -> u64 {
+        self.kernels.iter().map(KernelSpec::total_instructions).sum()
+    }
+
+    /// Returns a copy with every kernel's CTA count scaled by `factor`.
+    pub fn with_cta_scale(&self, factor: f64) -> Workload {
+        Workload {
+            name: self.name.clone(),
+            kernels: self.kernels.iter().map(|k| k.with_cta_scale(factor)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_kernel() -> KernelSpec {
+        KernelSpec::new(
+            "k",
+            vec![
+                BasicBlock::new(vec![InstrClass::IntAlu, InstrClass::LoadGlobal], 5, 0.0),
+                BasicBlock::new(vec![InstrClass::Branch], 2, 0.5),
+            ],
+            3,
+            7,
+            MemoryBehavior::streaming(1 << 16),
+        )
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let k = small_kernel();
+        assert_eq!(k.instructions_per_warp(), 2 * 5 + 2);
+        assert_eq!(k.total_instructions(), 12 * 3 * 7);
+    }
+
+    #[test]
+    fn cta_scaling_rounds_and_clamps() {
+        let k = small_kernel();
+        assert_eq!(k.with_cta_scale(2.0).num_ctas(), 14);
+        assert_eq!(k.with_cta_scale(0.01).num_ctas(), 1);
+        let w = Workload::new("w", vec![small_kernel()]);
+        assert_eq!(w.with_cta_scale(3.0).kernels()[0].num_ctas(), 21);
+    }
+
+    #[test]
+    fn hot_region_is_bounded() {
+        let tiny = MemoryBehavior::cache_friendly(64, 0.9);
+        assert!(tiny.hot_region_bytes() >= 1);
+        let huge = MemoryBehavior::cache_friendly(1 << 30, 0.9);
+        assert_eq!(huge.hot_region_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed 1")]
+    fn overlapping_fractions_rejected() {
+        MemoryBehavior::new(1024, 128, 0.7, 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one basic block")]
+    fn empty_kernel_rejected() {
+        KernelSpec::new("k", vec![], 1, 1, MemoryBehavior::streaming(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_block_rejected() {
+        BasicBlock::new(Vec::<InstrClass>::new(), 1, 0.0);
+    }
+}

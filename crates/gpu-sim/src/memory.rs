@@ -1,0 +1,264 @@
+//! The per-cluster memory hierarchy: L1 → L2 slice → DRAM channel.
+//!
+//! L2 and DRAM latencies are expressed in nanoseconds because they belong to
+//! the memory clock domain, which DVFS does not touch. This is the physical
+//! root of frequency sensitivity: lowering the core clock stretches compute
+//! cycles but leaves memory time unchanged, so memory-bound code barely
+//! slows down while compute-bound code slows proportionally.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheConfig};
+use crate::time::Time;
+
+/// Latency and bandwidth parameters of the memory hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// L1 geometry.
+    pub l1: CacheConfig,
+    /// L2 slice geometry.
+    pub l2: CacheConfig,
+    /// L1 hit latency in core cycles (core clock domain).
+    pub l1_hit_cycles: u32,
+    /// L2 hit latency in nanoseconds (memory clock domain).
+    pub l2_hit_ns: f64,
+    /// DRAM access latency in nanoseconds, excluding queueing.
+    pub dram_ns: f64,
+    /// DRAM channel occupancy per 128-byte transaction in nanoseconds
+    /// (bandwidth model: the channel serializes transactions).
+    pub dram_tx_ns: f64,
+}
+
+impl MemoryConfig {
+    /// Titan-X-class parameters: 24 KiB L1, 128 KiB L2 slice, ~160 ns L2,
+    /// ~320 ns DRAM, ~14 GB/s per-cluster DRAM slice bandwidth.
+    pub fn titan_x() -> MemoryConfig {
+        MemoryConfig {
+            l1: CacheConfig::titan_x_l1(),
+            l2: CacheConfig::titan_x_l2_slice(),
+            l1_hit_cycles: 28,
+            l2_hit_ns: 160.0,
+            dram_ns: 320.0,
+            dram_tx_ns: 9.0,
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> MemoryConfig {
+        MemoryConfig::titan_x()
+    }
+}
+
+/// Where a global-memory access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Missed L1, hit the L2 slice.
+    L2,
+    /// Missed both caches, served by DRAM.
+    Dram,
+}
+
+/// The outcome of one global-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemAccessResult {
+    /// The level that served the access.
+    pub level: MemLevel,
+    /// Total latency until the data is usable.
+    pub latency: Time,
+    /// Nanoseconds spent queueing for the DRAM channel (0 unless DRAM).
+    pub queue_ns: f64,
+}
+
+/// One cluster's memory hierarchy state.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{ClusterMemory, MemLevel, MemoryConfig, Time};
+///
+/// let mut mem = ClusterMemory::new(MemoryConfig::titan_x());
+/// let period_ps = 858; // 1165 MHz core clock
+/// let first = mem.load(0x1000, Time::ZERO, period_ps);
+/// assert_eq!(first.level, MemLevel::Dram); // cold miss
+/// let again = mem.load(0x1000, first.latency, period_ps);
+/// assert_eq!(again.level, MemLevel::L1);   // now resident
+/// assert!(again.latency < first.latency);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterMemory {
+    config: MemoryConfig,
+    l1: Cache,
+    l2: Cache,
+    /// Absolute time at which the DRAM channel frees up.
+    dram_free: Time,
+    /// Total ns the DRAM channel has been busy (for occupancy counters).
+    dram_busy_ns: f64,
+}
+
+impl ClusterMemory {
+    /// Creates a cold memory hierarchy.
+    pub fn new(config: MemoryConfig) -> ClusterMemory {
+        ClusterMemory {
+            l1: Cache::new(config.l1),
+            l2: Cache::new(config.l2),
+            config,
+            dram_free: Time::ZERO,
+            dram_busy_ns: 0.0,
+        }
+    }
+
+    /// The hierarchy parameters.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Performs a global load at absolute time `now`, with the core clock
+    /// period `core_period_ps` (L1 hits are served in core cycles).
+    pub fn load(&mut self, addr: u64, now: Time, core_period_ps: u64) -> MemAccessResult {
+        let l1_lat = Time::from_ps(self.config.l1_hit_cycles as u64 * core_period_ps);
+        if self.l1.access(addr, true).is_hit() {
+            return MemAccessResult { level: MemLevel::L1, latency: l1_lat, queue_ns: 0.0 };
+        }
+        if self.l2.access(addr, true).is_hit() {
+            let latency = l1_lat + Time::from_nanos(self.config.l2_hit_ns);
+            return MemAccessResult { level: MemLevel::L2, latency, queue_ns: 0.0 };
+        }
+        // DRAM: wait for the channel, then occupy it for one transaction.
+        let ready = now.max(self.dram_free);
+        let queue_ns = (ready - now).as_nanos();
+        let occupancy = Time::from_nanos(self.config.dram_tx_ns);
+        self.dram_free = ready + occupancy;
+        self.dram_busy_ns += self.config.dram_tx_ns;
+        let latency = l1_lat
+            + Time::from_nanos(self.config.l2_hit_ns + self.config.dram_ns + queue_ns);
+        MemAccessResult { level: MemLevel::Dram, latency, queue_ns }
+    }
+
+    /// Performs a global store at absolute time `now`. Stores are
+    /// write-through/no-allocate in L1; a store that misses L2 writes to
+    /// DRAM (occupying channel bandwidth) but does not stall the warp for
+    /// the full round trip.
+    pub fn store(&mut self, addr: u64, now: Time) -> MemLevel {
+        let l1_hit = self.l1.access(addr, false).is_hit();
+        let l2_hit = self.l2.access(addr, true).is_hit();
+        if l2_hit {
+            if l1_hit {
+                MemLevel::L1
+            } else {
+                MemLevel::L2
+            }
+        } else {
+            let ready = now.max(self.dram_free);
+            self.dram_free = ready + Time::from_nanos(self.config.dram_tx_ns);
+            self.dram_busy_ns += self.config.dram_tx_ns;
+            MemLevel::Dram
+        }
+    }
+
+    /// Total nanoseconds of DRAM channel occupancy so far.
+    pub fn dram_busy_ns(&self) -> f64 {
+        self.dram_busy_ns
+    }
+
+    /// Invalidates both cache levels (kernel boundary).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERIOD: u64 = 858;
+
+    #[test]
+    fn cold_load_walks_the_full_hierarchy() {
+        let mut mem = ClusterMemory::new(MemoryConfig::titan_x());
+        let r = mem.load(0, Time::ZERO, PERIOD);
+        assert_eq!(r.level, MemLevel::Dram);
+        let expected_ns = 28.0 * 0.858 + 160.0 + 320.0;
+        assert!((r.latency.as_nanos() - expected_ns).abs() < 1.0);
+    }
+
+    #[test]
+    fn l1_hit_latency_scales_with_core_period() {
+        let mut fast = ClusterMemory::new(MemoryConfig::titan_x());
+        let mut slow = ClusterMemory::new(MemoryConfig::titan_x());
+        fast.load(0, Time::ZERO, PERIOD);
+        slow.load(0, Time::ZERO, 1464); // 683 MHz
+        let hit_fast = fast.load(0, Time::from_micros(1.0), PERIOD);
+        let hit_slow = slow.load(0, Time::from_micros(1.0), 1464);
+        assert_eq!(hit_fast.level, MemLevel::L1);
+        assert_eq!(hit_slow.level, MemLevel::L1);
+        assert!(hit_slow.latency > hit_fast.latency);
+    }
+
+    #[test]
+    fn dram_latency_is_frequency_independent() {
+        let mut a = ClusterMemory::new(MemoryConfig::titan_x());
+        let mut b = ClusterMemory::new(MemoryConfig::titan_x());
+        let ra = a.load(0, Time::ZERO, PERIOD);
+        let rb = b.load(0, Time::ZERO, 1464);
+        // Only the (small) L1 probe differs; the DRAM part is identical.
+        let diff = (ra.latency.as_nanos() - rb.latency.as_nanos()).abs();
+        assert!(diff < 28.0 * (1.464 - 0.858) + 1.0);
+        assert_eq!(ra.level, MemLevel::Dram);
+        assert_eq!(rb.level, MemLevel::Dram);
+    }
+
+    #[test]
+    fn dram_channel_serializes_transactions() {
+        let mut mem = ClusterMemory::new(MemoryConfig::titan_x());
+        // Two simultaneous DRAM accesses: the second queues.
+        let r1 = mem.load(0x0000_0000, Time::ZERO, PERIOD);
+        let r2 = mem.load(0x1000_0000, Time::ZERO, PERIOD);
+        assert_eq!(r1.queue_ns, 0.0);
+        assert!(r2.queue_ns > 0.0);
+        assert!(r2.latency > r1.latency);
+        assert!((mem.dram_busy_ns() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let cfg = MemoryConfig::titan_x();
+        let l1_capacity = cfg.l1.capacity_bytes;
+        let mut mem = ClusterMemory::new(cfg);
+        // Stream through 2x the L1 capacity, then revisit the start: L1 has
+        // evicted it but the (larger) L2 still holds it.
+        let mut t = Time::ZERO;
+        let mut addr = 0;
+        while addr < 2 * l1_capacity {
+            mem.load(addr, t, PERIOD);
+            t += Time::from_nanos(500.0);
+            addr += 128;
+        }
+        let r = mem.load(0, t, PERIOD);
+        assert_eq!(r.level, MemLevel::L2);
+    }
+
+    #[test]
+    fn store_levels() {
+        let mut mem = ClusterMemory::new(MemoryConfig::titan_x());
+        // Cold store: misses everywhere, goes to DRAM.
+        assert_eq!(mem.store(0x40, Time::ZERO), MemLevel::Dram);
+        // Second store to the same line: L2 now holds it, L1 never allocated.
+        assert_eq!(mem.store(0x40, Time::ZERO), MemLevel::L2);
+        // After a load allocates into L1, the store probes hit L1.
+        mem.load(0x40, Time::ZERO, PERIOD);
+        assert_eq!(mem.store(0x40, Time::ZERO), MemLevel::L1);
+    }
+
+    #[test]
+    fn flush_restores_cold_behaviour() {
+        let mut mem = ClusterMemory::new(MemoryConfig::titan_x());
+        mem.load(0, Time::ZERO, PERIOD);
+        mem.flush();
+        let r = mem.load(0, Time::from_micros(1.0), PERIOD);
+        assert_eq!(r.level, MemLevel::Dram);
+    }
+}

@@ -1,0 +1,678 @@
+//! The epoch-stepped simulation driver.
+//!
+//! [`Simulation`] owns the clusters, sequences the workload's kernels,
+//! advances time in DVFS epochs, and records one [`EpochRecord`] per epoch.
+//! It is `Clone`, which is how the data-generation methodology implements
+//! breakpoints: snapshot the simulation, replay a segment under a forced
+//! frequency schedule, compare against the original timeline.
+
+use gpu_power::{EdpReport, Energy, PowerModel, VfTable};
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::counters::{CounterId, EpochCounters};
+use crate::governor::DvfsGovernor;
+use crate::gpu::GpuConfig;
+use crate::kernel::Workload;
+use crate::time::Time;
+
+/// One cluster's slice of an epoch record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEpochRecord {
+    /// The counters collected over the epoch.
+    pub counters: EpochCounters,
+    /// The operating-point index the cluster ran at.
+    pub op_index: usize,
+    /// Cumulative instructions retired by the cluster up to the epoch's end.
+    pub cum_instructions: u64,
+}
+
+/// Everything that happened during one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub index: usize,
+    /// Absolute start time.
+    pub start: Time,
+    /// Epoch length.
+    pub len: Time,
+    /// Per-cluster data, indexed by cluster id.
+    pub clusters: Vec<ClusterEpochRecord>,
+}
+
+impl EpochRecord {
+    /// Total energy consumed by every cluster this epoch.
+    pub fn energy(&self) -> Energy {
+        Energy::from_joules(
+            self.clusters.iter().map(|c| c.counters[CounterId::EnergyEpochJ]).sum(),
+        )
+    }
+
+    /// Total instructions retired by every cluster this epoch.
+    pub fn instructions(&self) -> u64 {
+        self.clusters
+            .iter()
+            .map(|c| c.counters[CounterId::TotalInstrs] as u64)
+            .sum()
+    }
+}
+
+/// Per-component energy totals of a run, reconstructed from the power
+/// counters (core dynamic incl. clock tree, leakage, memory hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergySummary {
+    /// Core dynamic energy: instruction switching + fetch/decode overhead +
+    /// clock tree.
+    pub dynamic: Energy,
+    /// Leakage energy.
+    pub leakage: Energy,
+    /// Memory-hierarchy energy (L1/L2/DRAM dynamic + DRAM background).
+    pub memory: Energy,
+}
+
+impl EnergySummary {
+    /// Sum of all components.
+    pub fn total(&self) -> Energy {
+        self.dynamic + self.leakage + self.memory
+    }
+}
+
+/// Summary of one complete run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Name of the workload that ran.
+    pub workload: String,
+    /// Name of the governor that drove DVFS.
+    pub governor: String,
+    /// Whether the workload ran to completion within the time limit.
+    pub completed: bool,
+    /// Completion time (or the simulation horizon if incomplete).
+    pub time: Time,
+    /// Total energy across all clusters and epochs.
+    pub energy: Energy,
+    /// Component breakdown of `energy`.
+    pub energy_breakdown: EnergySummary,
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Number of epochs simulated.
+    pub epochs: usize,
+    /// How many per-cluster epoch decisions landed on each operating point.
+    pub op_histogram: Vec<u64>,
+}
+
+impl SimResult {
+    /// The run's energy/latency summary for EDP scoring.
+    pub fn edp_report(&self) -> EdpReport {
+        EdpReport::new(self.energy, self.time.as_secs(), self.instructions)
+    }
+}
+
+/// The epoch-stepped GPU simulation.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{
+///     BasicBlock, GpuConfig, InstrClass, KernelSpec, MemoryBehavior, Simulation,
+///     StaticGovernor, Time, Workload,
+/// };
+///
+/// let cfg = GpuConfig::small_test();
+/// let kernel = KernelSpec::new(
+///     "k",
+///     vec![BasicBlock::new(vec![InstrClass::IntAlu], 100, 0.0)],
+///     2,
+///     8,
+///     MemoryBehavior::streaming(1 << 16),
+/// );
+/// let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+/// let mut sim = Simulation::new(cfg, Workload::new("demo", vec![kernel]));
+/// let result = sim.run(&mut governor, Time::from_micros(1_000.0));
+/// assert!(result.completed);
+/// assert!(result.energy.joules() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: GpuConfig,
+    power: PowerModel,
+    clusters: Vec<Cluster>,
+    workload: Workload,
+    kernel_idx: usize,
+    now: Time,
+    records: Vec<EpochRecord>,
+    completed_at: Option<Time>,
+}
+
+impl Simulation {
+    /// Creates a simulation of `workload` on a GPU described by `config`,
+    /// with the first kernel already assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or a kernel's CTA shape does
+    /// not fit the SM (see [`GpuConfig::validate`]).
+    pub fn new(config: GpuConfig, workload: Workload) -> Simulation {
+        config.validate();
+        let clusters = (0..config.num_clusters)
+            .map(|id| {
+                Cluster::with_sms(
+                    id,
+                    config.sms_per_cluster,
+                    config.max_warps_per_sm,
+                    config.issue_width,
+                    config.memory.clone(),
+                    config.latencies.clone(),
+                    config.vf_table.default_index(),
+                )
+            })
+            .collect();
+        let power = PowerModel::new(config.power.clone());
+        let mut sim = Simulation {
+            config,
+            power,
+            clusters,
+            workload,
+            kernel_idx: 0,
+            now: Time::ZERO,
+            records: Vec::new(),
+            completed_at: None,
+        };
+        sim.assign_current_kernel();
+        sim
+    }
+
+    fn assign_current_kernel(&mut self) {
+        let kernel = self.workload.kernels()[self.kernel_idx].clone();
+        let num_clusters = self.clusters.len();
+        let seed = self.config.seed ^ (self.kernel_idx as u64).wrapping_mul(0x9E37_79B9);
+        for cluster in &mut self.clusters {
+            let ids: Vec<u64> = (0..kernel.num_ctas() as u64)
+                .filter(|id| (*id as usize) % num_clusters == cluster.id())
+                .collect();
+            cluster.assign_kernel(kernel.clone(), ids, seed);
+        }
+    }
+
+    /// The GPU configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// The operating-point table (shorthand for `config().vf_table`).
+    pub fn vf_table(&self) -> &VfTable {
+        &self.config.vf_table
+    }
+
+    /// The workload under simulation.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// All epoch records so far.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Returns `true` once every kernel has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// The exact workload completion time, if complete.
+    pub fn completed_at(&self) -> Option<Time> {
+        self.completed_at
+    }
+
+    /// Total instructions retired so far, across clusters.
+    pub fn total_instructions(&self) -> u64 {
+        self.clusters.iter().map(Cluster::cum_instructions).sum()
+    }
+
+    /// Cumulative instructions retired by one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn cluster_instructions(&self, cluster: usize) -> u64 {
+        self.clusters[cluster].cum_instructions()
+    }
+
+    /// Advances the simulation by one epoch with the given per-cluster
+    /// operating-point indices, returning the new epoch's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` does not provide one index per cluster or an index is
+    /// out of table range.
+    pub fn step_epoch(&mut self, ops: &[usize]) -> &EpochRecord {
+        assert_eq!(
+            ops.len(),
+            self.clusters.len(),
+            "need one operating point per cluster"
+        );
+        let table = self.config.vf_table.clone();
+        let epoch_len = self.config.epoch;
+        let transition = self.config.dvfs_transition;
+        let start = self.now;
+
+        let mut cluster_records = Vec::with_capacity(self.clusters.len());
+        for (cluster, &op_index) in self.clusters.iter_mut().zip(ops) {
+            let op = table
+                .get(op_index)
+                .unwrap_or_else(|| panic!("operating point index {op_index} out of range"));
+            let counters =
+                cluster.step_epoch(start, epoch_len, op_index, op, transition, &self.power);
+            cluster_records.push(ClusterEpochRecord {
+                counters,
+                op_index,
+                cum_instructions: cluster.cum_instructions(),
+            });
+        }
+        self.now += epoch_len;
+        self.records.push(EpochRecord {
+            index: self.records.len(),
+            start,
+            len: epoch_len,
+            clusters: cluster_records,
+        });
+
+        if self.completed_at.is_none() && self.clusters.iter().all(Cluster::is_idle) {
+            if self.kernel_idx + 1 < self.workload.kernels().len() {
+                self.kernel_idx += 1;
+                self.assign_current_kernel();
+            } else {
+                self.completed_at = self
+                    .clusters
+                    .iter()
+                    .filter_map(Cluster::finish_time)
+                    .max()
+                    .or(Some(self.now));
+            }
+        }
+        self.records.last().expect("a record was just pushed")
+    }
+
+    /// Runs the workload under `governor` until completion or `max_time`,
+    /// whichever comes first. The governor is reset first; the first epoch
+    /// runs at the default operating point (there are no counters to decide
+    /// from yet), matching the paper's inference loop.
+    pub fn run(&mut self, governor: &mut dyn DvfsGovernor, max_time: Time) -> SimResult {
+        governor.reset();
+        let table = self.config.vf_table.clone();
+        let default_ops = vec![table.default_index(); self.clusters.len()];
+        while !self.is_complete() && self.now < max_time {
+            let ops: Vec<usize> = match self.records.last() {
+                None => default_ops.clone(),
+                Some(record) => record
+                    .clusters
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| governor.decide(i, &c.counters, &table))
+                    .collect(),
+            };
+            self.step_epoch(&ops);
+        }
+        self.result(governor.name())
+    }
+
+    /// Builds a [`SimResult`] from the current state.
+    pub fn result(&self, governor_name: &str) -> SimResult {
+        let mut op_histogram = vec![0u64; self.config.vf_table.len()];
+        for record in &self.records {
+            for c in &record.clusters {
+                op_histogram[c.op_index] += 1;
+            }
+        }
+        let energy: f64 = self
+            .records
+            .iter()
+            .map(|r| r.energy().joules())
+            .sum();
+        let mut breakdown = EnergySummary::default();
+        for record in &self.records {
+            let dt = record.len.as_secs();
+            for c in &record.clusters {
+                breakdown.dynamic +=
+                    Energy::from_joules(c.counters[CounterId::PowerDynamicW] * dt);
+                breakdown.leakage +=
+                    Energy::from_joules(c.counters[CounterId::PowerLeakageW] * dt);
+                breakdown.memory +=
+                    Energy::from_joules(c.counters[CounterId::PowerMemoryW] * dt);
+            }
+        }
+        SimResult {
+            workload: self.workload.name().to_string(),
+            governor: governor_name.to_string(),
+            completed: self.is_complete(),
+            time: self.completed_at.unwrap_or(self.now),
+            energy: Energy::from_joules(energy),
+            energy_breakdown: breakdown,
+            instructions: self.total_instructions(),
+            epochs: self.records.len(),
+            op_histogram,
+        }
+    }
+
+    /// The absolute time at which `cluster` retired its `target`-th
+    /// instruction, linearly interpolated within the epoch that crossed the
+    /// threshold. Returns `None` if the cluster has not retired that many
+    /// instructions yet.
+    ///
+    /// This is how the data-generation methodology measures per-cluster
+    /// execution time to a fixed amount of work (`T_0` and `T_f` in the
+    /// paper) without requiring every replay to reach a global breakpoint.
+    pub fn time_at_instructions(&self, cluster: usize, target: u64) -> Option<Time> {
+        if target == 0 {
+            return Some(Time::ZERO);
+        }
+        let mut prev_cum = 0u64;
+        for record in &self.records {
+            let c = &record.clusters[cluster];
+            if c.cum_instructions >= target {
+                let in_epoch = c.cum_instructions - prev_cum;
+                let frac = if in_epoch == 0 {
+                    0.0
+                } else {
+                    (target - prev_cum) as f64 / in_epoch as f64
+                };
+                let offset = Time::from_ps((record.len.as_ps() as f64 * frac) as u64);
+                return Some(record.start + offset);
+            }
+            prev_cum = c.cum_instructions;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::{ScheduleGovernor, StaticGovernor};
+    use crate::isa::InstrClass;
+    use crate::kernel::{BasicBlock, KernelSpec, MemoryBehavior};
+
+    const HORIZON: Time = Time::from_ps(3_000 * 1_000_000); // 3 ms
+
+    fn compute_workload() -> Workload {
+        // Sized to span many epochs (~60 µs at the default clock) so the
+        // governor's decisions — which start from the second epoch — matter.
+        let kernel = KernelSpec::new(
+            "compute",
+            vec![BasicBlock::new(
+                vec![InstrClass::IntAlu, InstrClass::FpAlu, InstrClass::IntAlu],
+                3_000,
+                0.0,
+            )],
+            2,
+            16,
+            MemoryBehavior::streaming(1 << 18),
+        );
+        Workload::new("compute", vec![kernel])
+    }
+
+    fn memory_workload() -> Workload {
+        let kernel = KernelSpec::new(
+            "stream",
+            vec![BasicBlock::new(
+                vec![InstrClass::LoadGlobal, InstrClass::IntAlu],
+                1_500,
+                0.0,
+            )],
+            2,
+            16,
+            MemoryBehavior::streaming(64 << 20),
+        );
+        Workload::new("stream", vec![kernel])
+    }
+
+    #[test]
+    fn run_completes_and_accounts_instructions() {
+        let cfg = GpuConfig::small_test();
+        let expected = compute_workload().total_instructions();
+        let mut sim = Simulation::new(cfg.clone(), compute_workload());
+        let mut gov = StaticGovernor::default_point(&cfg.vf_table);
+        let result = sim.run(&mut gov, HORIZON);
+        assert!(result.completed);
+        assert_eq!(result.instructions, expected);
+        assert!(result.energy.joules() > 0.0);
+        assert!(result.time > Time::ZERO);
+        assert_eq!(result.op_histogram.iter().sum::<u64>() as usize, result.epochs * 2);
+    }
+
+    #[test]
+    fn multi_kernel_sequencing() {
+        let cfg = GpuConfig::small_test();
+        let k = compute_workload().kernels()[0].clone();
+        let workload = Workload::new("two", vec![k.clone(), k]);
+        let expected = workload.total_instructions();
+        let mut sim = Simulation::new(cfg.clone(), workload);
+        let mut gov = StaticGovernor::default_point(&cfg.vf_table);
+        let result = sim.run(&mut gov, HORIZON);
+        assert!(result.completed);
+        assert_eq!(result.instructions, expected);
+    }
+
+    #[test]
+    fn lower_frequency_slows_compute_bound_and_saves_energy() {
+        let cfg = GpuConfig::small_test();
+        let run = |idx: usize| {
+            let mut sim = Simulation::new(cfg.clone(), compute_workload());
+            let mut gov = StaticGovernor::new(idx);
+            sim.run(&mut gov, HORIZON)
+        };
+        let fast = run(5);
+        let slow = run(0);
+        assert!(fast.completed && slow.completed);
+        assert!(slow.time > fast.time, "compute-bound work must slow down");
+        assert!(slow.energy < fast.energy, "lower V/f must save energy");
+        let slowdown = slow.time.as_secs() / fast.time.as_secs();
+        let freq_ratio = 1165.0 / 683.0;
+        assert!(
+            slowdown > 0.8 * freq_ratio,
+            "compute-bound slowdown {slowdown:.2} should approach the frequency ratio {freq_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_workload_tolerates_low_frequency() {
+        let cfg = GpuConfig::small_test();
+        let run = |idx: usize| {
+            let mut sim = Simulation::new(cfg.clone(), memory_workload());
+            let mut gov = StaticGovernor::new(idx);
+            sim.run(&mut gov, HORIZON)
+        };
+        let fast = run(5);
+        let slow = run(0);
+        let slowdown = slow.time.as_secs() / fast.time.as_secs();
+        assert!(
+            slowdown < 1.35,
+            "memory-bound slowdown should be small, got {slowdown:.2}"
+        );
+        // And EDP should improve: energy drops more than time grows.
+        assert!(
+            slow.edp_report().edp() < fast.edp_report().edp(),
+            "memory-bound EDP should improve at the low point"
+        );
+    }
+
+    #[test]
+    fn snapshot_replay_is_deterministic() {
+        let cfg = GpuConfig::small_test();
+        let mut sim = Simulation::new(cfg.clone(), memory_workload());
+        let ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+        sim.step_epoch(&ops);
+        let snapshot = sim.clone();
+        // Continue both the original and the snapshot identically.
+        let mut a = sim;
+        let mut b = snapshot;
+        for _ in 0..3 {
+            let ra = a.step_epoch(&ops).clusters[0].counters.clone();
+            let rb = b.step_epoch(&ops).clusters[0].counters.clone();
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.total_instructions(), b.total_instructions());
+    }
+
+    #[test]
+    fn forced_schedule_changes_execution() {
+        let cfg = GpuConfig::small_test();
+        let mut base = Simulation::new(cfg.clone(), compute_workload());
+        let mut scaled = Simulation::new(cfg.clone(), compute_workload());
+        let mut hold = StaticGovernor::new(5);
+        let mut dip = ScheduleGovernor::new(vec![5, 0, 0, 5]);
+        let r_base = base.run(&mut hold, HORIZON);
+        let r_dip = scaled.run(&mut dip, HORIZON);
+        assert!(r_dip.time > r_base.time, "dipping the clock must cost time");
+        assert_eq!(r_dip.instructions, r_base.instructions, "same total work");
+    }
+
+    #[test]
+    fn time_at_instructions_interpolates() {
+        let cfg = GpuConfig::small_test();
+        let mut sim = Simulation::new(cfg.clone(), compute_workload());
+        let ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+        sim.step_epoch(&ops);
+        sim.step_epoch(&ops);
+        let cum1 = sim.records()[0].clusters[0].cum_instructions;
+        let cum2 = sim.records()[1].clusters[0].cum_instructions;
+        assert!(cum1 > 0);
+        // Exactly at the first epoch's total: inside epoch 0.
+        let t = sim.time_at_instructions(0, cum1).unwrap();
+        assert!(t <= sim.records()[0].start + sim.records()[0].len);
+        // Halfway into the second epoch's work.
+        let mid = cum1 + (cum2 - cum1) / 2;
+        let t_mid = sim.time_at_instructions(0, mid).unwrap();
+        assert!(t_mid > sim.records()[1].start);
+        assert!(t_mid < sim.records()[1].start + sim.records()[1].len);
+        // Beyond what has executed.
+        assert_eq!(sim.time_at_instructions(0, cum2 + 1_000_000), None);
+        // Zero target.
+        assert_eq!(sim.time_at_instructions(0, 0), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn result_before_completion_reports_partial() {
+        let cfg = GpuConfig::small_test();
+        let mut sim = Simulation::new(cfg.clone(), compute_workload());
+        let ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+        sim.step_epoch(&ops);
+        let r = sim.result("probe");
+        assert!(!r.completed);
+        assert_eq!(r.epochs, 1);
+        assert_eq!(r.time, sim.now());
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::governor::StaticGovernor;
+    use crate::isa::InstrClass;
+    use crate::kernel::{BasicBlock, KernelSpec, MemoryBehavior};
+
+    const HORIZON: Time = Time::from_ps(5_000 * 1_000_000);
+
+    #[test]
+    fn kernel_with_fewer_ctas_than_clusters_completes() {
+        // 1 CTA on a 2-cluster GPU: one cluster never receives work.
+        let cfg = GpuConfig::small_test();
+        let kernel = KernelSpec::new(
+            "single",
+            vec![BasicBlock::new(vec![InstrClass::IntAlu], 2_000, 0.0)],
+            2,
+            1,
+            MemoryBehavior::streaming(4096),
+        );
+        let expected = kernel.total_instructions();
+        let mut sim = Simulation::new(cfg.clone(), Workload::new("w", vec![kernel]));
+        let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+        let result = sim.run(&mut governor, HORIZON);
+        assert!(result.completed);
+        assert_eq!(result.instructions, expected);
+        assert_eq!(sim.cluster_instructions(1), 0, "cluster 1 had no CTAs");
+    }
+
+    #[test]
+    fn unbalanced_kernel_sequence_completes_exactly() {
+        // Alternating tiny and larger kernels exercise the epoch-aligned
+        // kernel hand-over repeatedly.
+        let cfg = GpuConfig::small_test();
+        let tiny = KernelSpec::new(
+            "tiny",
+            vec![BasicBlock::new(vec![InstrClass::IntAlu], 50, 0.0)],
+            2,
+            3,
+            MemoryBehavior::streaming(4096),
+        );
+        let big = KernelSpec::new(
+            "big",
+            vec![BasicBlock::new(vec![InstrClass::FpAlu, InstrClass::IntAlu], 800, 0.0)],
+            2,
+            8,
+            MemoryBehavior::streaming(1 << 16),
+        );
+        let workload =
+            Workload::new("seq", vec![tiny.clone(), big.clone(), tiny, big]);
+        let expected = workload.total_instructions();
+        let mut sim = Simulation::new(cfg.clone(), workload);
+        let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+        let result = sim.run(&mut governor, HORIZON);
+        assert!(result.completed);
+        assert_eq!(result.instructions, expected);
+    }
+
+    #[test]
+    fn energy_breakdown_components_sum_to_total() {
+        let cfg = GpuConfig::small_test();
+        let kernel = KernelSpec::new(
+            "k",
+            vec![BasicBlock::new(
+                vec![InstrClass::IntAlu, InstrClass::LoadGlobal],
+                1_000,
+                0.0,
+            )],
+            2,
+            8,
+            MemoryBehavior::streaming(8 << 20),
+        );
+        let mut sim = Simulation::new(cfg.clone(), Workload::new("w", vec![kernel]));
+        let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+        let result = sim.run(&mut governor, HORIZON);
+        let b = result.energy_breakdown;
+        assert!(b.dynamic.joules() > 0.0);
+        assert!(b.leakage.joules() > 0.0);
+        assert!(b.memory.joules() > 0.0);
+        let diff = (b.total().joules() - result.energy.joules()).abs();
+        assert!(
+            diff < result.energy.joules() * 1e-6,
+            "components must sum to the total: {} vs {}",
+            b.total().joules(),
+            result.energy.joules()
+        );
+    }
+
+    #[test]
+    fn completion_time_is_before_the_last_epoch_end() {
+        let cfg = GpuConfig::small_test();
+        let kernel = KernelSpec::new(
+            "k",
+            vec![BasicBlock::new(vec![InstrClass::IntAlu], 3_000, 0.0)],
+            2,
+            8,
+            MemoryBehavior::streaming(4096),
+        );
+        let mut sim = Simulation::new(cfg.clone(), Workload::new("w", vec![kernel]));
+        let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+        let result = sim.run(&mut governor, HORIZON);
+        assert!(result.completed);
+        let last_epoch_end = sim.records().last().map(|r| r.start + r.len).expect("ran epochs");
+        assert!(result.time <= last_epoch_end);
+        assert!(result.time > Time::ZERO);
+        assert_eq!(Some(result.time), sim.completed_at());
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulation time in integer picoseconds.
+//!
+//! The simulator advances in fixed *epochs* (10 µs in the paper) but clusters
+//! tick at their own clock frequencies inside an epoch, and memory latencies
+//! live on the (fixed) memory clock. Integer picoseconds give every domain a
+//! common, drift-free timebase: the fastest clock in the model (1165 MHz) has
+//! an 858 ps period, so picosecond resolution is three orders of magnitude
+//! finer than one cycle.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant or duration on the global simulation timeline, in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::Time;
+///
+/// let epoch = Time::from_micros(10.0);
+/// assert_eq!(epoch.as_ps(), 10_000_000);
+/// let t = Time::from_nanos(500.0) + Time::from_nanos(250.0);
+/// assert_eq!(t.as_nanos(), 750.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds (rounded to the nearest picosecond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_nanos(ns: f64) -> Time {
+        assert!(ns.is_finite() && ns >= 0.0, "time must be non-negative, got {ns} ns");
+        Time((ns * 1e3).round() as u64)
+    }
+
+    /// Creates a time from microseconds (rounded to the nearest picosecond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    pub fn from_micros(us: f64) -> Time {
+        assert!(us.is_finite() && us >= 0.0, "time must be non-negative, got {us} µs");
+        Time((us * 1e6).round() as u64)
+    }
+
+    /// Creates a time from seconds (rounded to the nearest picosecond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs(s: f64) -> Time {
+        assert!(s.is_finite() && s >= 0.0, "time must be non-negative, got {s} s");
+        Time((s * 1e12).round() as u64)
+    }
+
+    /// Value in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// Value in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Saturating subtraction: returns zero instead of wrapping.
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Number of whole clock cycles of period `period_ps` that fit in this
+    /// duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps` is zero.
+    pub fn cycles_at(self, period_ps: u64) -> u64 {
+        assert!(period_ps > 0, "clock period must be non-zero");
+        self.0 / period_ps
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (u64 underflow).
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} µs", self.as_micros())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ns", self.as_nanos())
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = Time::from_micros(10.0);
+        assert_eq!(t.as_ps(), 10_000_000);
+        assert!((t.as_micros() - 10.0).abs() < 1e-12);
+        assert!((t.as_secs() - 10e-6).abs() < 1e-18);
+        assert_eq!(Time::from_nanos(1.5).as_ps(), 1500);
+        assert_eq!(Time::from_secs(1e-6).as_ps(), 1_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ps(100);
+        let b = Time::from_ps(40);
+        assert_eq!((a + b).as_ps(), 140);
+        assert_eq!((a - b).as_ps(), 60);
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        let total: Time = [a, b].into_iter().sum();
+        assert_eq!(total.as_ps(), 140);
+    }
+
+    #[test]
+    fn cycles_at_period() {
+        // 1165 MHz => 858.37 ps period; a 10 µs epoch holds 11_650 cycles.
+        let epoch = Time::from_micros(10.0);
+        let period = (1e6 / 1165.0) as u64; // 858 ps, floor
+        let cycles = epoch.cycles_at(period);
+        assert!((11_600..=11_700).contains(&cycles), "got {cycles}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        Time::from_nanos(-1.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert!(format!("{}", Time::from_micros(2.0)).contains("µs"));
+        assert!(format!("{}", Time::from_nanos(2.0)).contains("ns"));
+        assert!(format!("{}", Time::from_ps(2)).contains("ps"));
+    }
+}

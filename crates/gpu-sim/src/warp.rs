@@ -1,0 +1,239 @@
+//! Warp execution state.
+//!
+//! A warp walks its kernel's basic blocks with a [`Cursor`]; its scheduling
+//! state is one of: ready to issue, waiting on a pipeline or memory, parked
+//! at a barrier, or finished. All randomness (divergence outcomes, memory
+//! addresses) comes from a per-warp [`SplitMix64`] stream whose draws depend
+//! only on the instruction sequence, never on timing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::{KernelSpec, MemoryBehavior};
+use crate::rng::{mix_seed, SplitMix64};
+use crate::time::Time;
+
+/// Why a warp is not ready to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaitCause {
+    /// Waiting for an execution-pipeline result (data dependence).
+    Exec,
+    /// Waiting for branch resolution (control hazard).
+    Control,
+    /// Waiting for a load to return (memory hazard, load).
+    MemLoad,
+    /// Waiting for a store/fence slot (memory hazard, other than load).
+    MemStore,
+}
+
+/// A warp's scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarpState {
+    /// Can issue its next instruction.
+    Ready,
+    /// Blocked until the given absolute time.
+    Waiting {
+        /// Absolute wake-up time.
+        until: Time,
+        /// What the warp is waiting on (for stall attribution).
+        cause: WaitCause,
+    },
+    /// Parked at a CTA barrier.
+    AtBarrier,
+    /// Program complete.
+    Finished,
+}
+
+/// Position in the kernel program: which block, which loop iteration, which
+/// instruction within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Cursor {
+    /// Basic-block index.
+    pub block: usize,
+    /// Current iteration of the block's loop.
+    pub iter: u32,
+    /// Instruction index within the block.
+    pub instr: usize,
+}
+
+/// One resident warp on an SM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Warp {
+    /// Global CTA index this warp belongs to.
+    pub cta_id: u64,
+    /// Globally unique warp index (for address seeding).
+    pub global_id: u64,
+    /// Program position.
+    pub cursor: Cursor,
+    /// Scheduling state.
+    pub state: WarpState,
+    /// Issue-order stamp for greedy-then-oldest scheduling.
+    pub age: u64,
+    rng: SplitMix64,
+    seq_cursor: u64,
+}
+
+impl Warp {
+    /// Creates a fresh warp at the start of the program.
+    pub fn new(cta_id: u64, global_id: u64, seed: u64, age: u64) -> Warp {
+        Warp {
+            cta_id,
+            global_id,
+            cursor: Cursor::default(),
+            state: WarpState::Ready,
+            age,
+            rng: SplitMix64::new(mix_seed(seed, global_id)),
+            seq_cursor: 0,
+        }
+    }
+
+    /// Returns `true` unless the warp has completed its program.
+    pub fn is_live(&self) -> bool {
+        self.state != WarpState::Finished
+    }
+
+    /// Advances the cursor past the instruction just issued, following the
+    /// block's loop structure. Sets the warp to `Finished` when the program
+    /// ends. Returns `true` if the warp is still live.
+    pub fn advance_cursor(&mut self, kernel: &KernelSpec) -> bool {
+        let blocks = kernel.blocks();
+        let block = &blocks[self.cursor.block];
+        self.cursor.instr += 1;
+        if self.cursor.instr >= block.instrs.len() {
+            self.cursor.instr = 0;
+            self.cursor.iter += 1;
+            if self.cursor.iter >= block.iterations {
+                self.cursor.iter = 0;
+                self.cursor.block += 1;
+                if self.cursor.block >= blocks.len() {
+                    self.state = WarpState::Finished;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Draws whether the branch about to execute diverges.
+    pub fn draw_divergence(&mut self, prob: f32) -> bool {
+        if prob <= 0.0 {
+            // Keep the draw-count identical regardless of probability so the
+            // address stream stays frequency-invariant... it already is:
+            // draws only depend on instruction sequence. Skipping the draw
+            // for prob == 0 is safe because the program (not timing)
+            // determines whether this path is taken.
+            return false;
+        }
+        self.rng.next_f32() < prob
+    }
+
+    /// Generates the next global-memory byte address for this warp given the
+    /// kernel's memory behaviour.
+    pub fn next_address(&mut self, mem: &MemoryBehavior) -> u64 {
+        let ws = mem.working_set_bytes;
+        let r = self.rng.next_f32();
+        if r < mem.hot_frac {
+            // Hot region shared by every warp: high temporal locality.
+            self.rng.next_below(mem.hot_region_bytes())
+        } else if r < mem.hot_frac + mem.random_frac {
+            // Irregular access anywhere in the working set.
+            self.rng.next_below(ws)
+        } else {
+            // Per-warp sequential stream: each warp owns an interleaved
+            // region so concurrent warps stream disjoint lines.
+            let base = self.global_id.wrapping_mul(997).wrapping_mul(mem.stride_bytes) % ws;
+            let addr = (base + self.seq_cursor * mem.stride_bytes) % ws;
+            self.seq_cursor += 1;
+            addr
+        }
+    }
+
+    /// Blocks the warp until `until`.
+    pub fn wait(&mut self, until: Time, cause: WaitCause) {
+        self.state = WarpState::Waiting { until, cause };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::InstrClass;
+    use crate::kernel::BasicBlock;
+
+    fn kernel() -> KernelSpec {
+        KernelSpec::new(
+            "k",
+            vec![
+                BasicBlock::new(vec![InstrClass::IntAlu, InstrClass::FpAlu], 2, 0.0),
+                BasicBlock::new(vec![InstrClass::Branch], 1, 1.0),
+            ],
+            1,
+            1,
+            MemoryBehavior::streaming(1 << 16),
+        )
+    }
+
+    #[test]
+    fn cursor_walks_blocks_iterations_and_finishes() {
+        let k = kernel();
+        let mut w = Warp::new(0, 0, 1, 0);
+        let mut executed = 0;
+        while w.is_live() {
+            executed += 1;
+            if !w.advance_cursor(&k) {
+                break;
+            }
+        }
+        assert_eq!(executed as u64, k.instructions_per_warp());
+        assert_eq!(w.state, WarpState::Finished);
+    }
+
+    #[test]
+    fn divergence_draws_match_probability() {
+        let mut w = Warp::new(0, 0, 99, 0);
+        let n = 10_000;
+        let diverged = (0..n).filter(|_| w.draw_divergence(0.3)).count();
+        let rate = diverged as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(!(0..100).any(|_| w.draw_divergence(0.0)));
+    }
+
+    #[test]
+    fn identical_warps_generate_identical_streams() {
+        let mem = MemoryBehavior::new(1 << 20, 128, 0.3, 0.2);
+        let mut a = Warp::new(0, 5, 42, 0);
+        let mut b = Warp::new(0, 5, 42, 7); // age must not affect the stream
+        for _ in 0..1_000 {
+            assert_eq!(a.next_address(&mem), b.next_address(&mem));
+        }
+    }
+
+    #[test]
+    fn distinct_warps_stream_disjoint_sequential_regions() {
+        let mem = MemoryBehavior::streaming(1 << 20);
+        let mut a = Warp::new(0, 0, 42, 0);
+        let mut b = Warp::new(0, 1, 42, 0);
+        let a0 = a.next_address(&mem);
+        let b0 = b.next_address(&mem);
+        assert_ne!(a0 / 128, b0 / 128, "warps must not collide on the same line");
+        // Sequential accesses advance by the stride.
+        let a1 = a.next_address(&mem);
+        assert_eq!(a1, (a0 + 128) % (1 << 20));
+    }
+
+    #[test]
+    fn addresses_stay_inside_working_set() {
+        let mem = MemoryBehavior::new(4096, 128, 0.5, 0.25);
+        let mut w = Warp::new(0, 3, 7, 0);
+        for _ in 0..10_000 {
+            assert!(w.next_address(&mem) < 4096);
+        }
+    }
+
+    #[test]
+    fn wait_and_wake() {
+        let mut w = Warp::new(0, 0, 1, 0);
+        w.wait(Time::from_nanos(100.0), WaitCause::MemLoad);
+        assert!(matches!(w.state, WarpState::Waiting { cause: WaitCause::MemLoad, .. }));
+        assert!(w.is_live());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the simulator's core data structures.
+
+use gpu_sim::{
+    BasicBlock, Cache, CacheConfig, CounterId, EpochCounters, InstrClass, KernelSpec,
+    MemoryBehavior, SplitMix64, Time, Warp,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// A line just accessed with allocation is always resident.
+    #[test]
+    fn cache_access_then_hit(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cache = Cache::new(CacheConfig::new(4096, 64, 4));
+        for addr in addrs {
+            cache.access(addr, true);
+            prop_assert!(cache.access(addr, true).is_hit(), "line {addr:#x} must be resident");
+        }
+    }
+
+    /// Valid line count never exceeds capacity, and probes never allocate.
+    #[test]
+    fn cache_capacity_invariants(addrs in prop::collection::vec(0u64..10_000_000, 1..300)) {
+        let config = CacheConfig::new(2048, 64, 2);
+        let capacity_lines = (config.capacity_bytes / config.line_bytes) as usize;
+        let mut cache = Cache::new(config);
+        for (i, addr) in addrs.iter().enumerate() {
+            cache.access(*addr, i % 3 != 2);
+            prop_assert!(cache.valid_lines() <= capacity_lines);
+        }
+        let before = cache.valid_lines();
+        cache.access(0xDEAD_0000, false);
+        prop_assert!(cache.valid_lines() <= before, "a probe must not allocate");
+    }
+
+    /// Time conversions round-trip within a picosecond.
+    #[test]
+    fn time_roundtrips(ps in 0u64..10_000_000_000_000) {
+        let t = Time::from_ps(ps);
+        let roundtrip = Time::from_secs(t.as_secs()).as_ps() as i128;
+        prop_assert!((roundtrip - ps as i128).abs() <= 1);
+        prop_assert!((t.as_nanos() - ps as f64 / 1e3).abs() < 1e-3);
+    }
+
+    /// Time ordering is preserved by addition.
+    #[test]
+    fn time_addition_monotone(a in 0u64..1_000_000_000, b in 1u64..1_000_000_000) {
+        let t = Time::from_ps(a);
+        prop_assert!(t + Time::from_ps(b) > t);
+        prop_assert_eq!((t + Time::from_ps(b)) - Time::from_ps(b), t);
+        prop_assert_eq!(Time::ZERO.saturating_sub(t), Time::ZERO);
+    }
+
+    /// SplitMix64 bounded sampling respects its bound for any seed.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+            let f = rng.next_f32();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// A warp walks exactly `instructions_per_warp` instructions for any
+    /// program shape.
+    #[test]
+    fn cursor_walks_every_instruction(
+        block_lens in prop::collection::vec(1usize..6, 1..4),
+        iters in prop::collection::vec(1u32..5, 1..4),
+    ) {
+        let n = block_lens.len().min(iters.len());
+        let blocks: Vec<BasicBlock> = (0..n)
+            .map(|i| {
+                BasicBlock::new(
+                    std::iter::repeat_n(InstrClass::IntAlu, block_lens[i]),
+                    iters[i],
+                    0.0,
+                )
+            })
+            .collect();
+        let kernel = KernelSpec::new("p", blocks, 1, 1, MemoryBehavior::streaming(4096));
+        let mut warp = Warp::new(0, 0, 1, 0);
+        let mut executed = 0u64;
+        loop {
+            executed += 1;
+            if !warp.advance_cursor(&kernel) {
+                break;
+            }
+        }
+        prop_assert_eq!(executed, kernel.instructions_per_warp());
+    }
+
+    /// Warp addresses always stay inside the working set.
+    #[test]
+    fn addresses_in_working_set(
+        seed in any::<u64>(),
+        ws_kb in 1u64..1024,
+        random_frac in 0.0f32..0.5,
+        hot_frac in 0.0f32..0.5,
+    ) {
+        let mem = MemoryBehavior::new(ws_kb * 1024, 128, random_frac, hot_frac);
+        let mut warp = Warp::new(0, seed % 64, seed, 0);
+        for _ in 0..200 {
+            prop_assert!(warp.next_address(&mem) < ws_kb * 1024);
+        }
+    }
+
+    /// Counter merging is additive for count-like counters.
+    #[test]
+    fn counters_merge_additively(
+        a in prop::collection::vec(0.0f64..10_000.0, 47),
+        b in prop::collection::vec(0.0f64..10_000.0, 47),
+    ) {
+        let mut ca = EpochCounters::zeroed();
+        let mut cb = EpochCounters::zeroed();
+        for (i, id) in CounterId::ALL.into_iter().enumerate() {
+            ca[id] = a[i];
+            cb[id] = b[i];
+        }
+        let (ta, tb) = (ca[CounterId::TotalInstrs], cb[CounterId::TotalInstrs]);
+        ca.merge(&cb);
+        prop_assert!((ca[CounterId::TotalInstrs] - (ta + tb)).abs() < 1e-9);
+        // Derived ratios stay in range after a merge.
+        prop_assert!(ca[CounterId::L1ReadMissRate] >= 0.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Dataset containers, normalization and splitting.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// A labeled classification dataset (rows of `x` are samples).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationData {
+    /// Feature rows.
+    pub x: Matrix,
+    /// Class label per row.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl ClassificationData {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts mismatch or a label is out of range.
+    pub fn new(x: Matrix, y: Vec<usize>, num_classes: usize) -> ClassificationData {
+        assert_eq!(x.rows(), y.len(), "one label per sample");
+        assert!(
+            y.iter().all(|&l| l < num_classes),
+            "labels must be below num_classes ({num_classes})"
+        );
+        ClassificationData { x, y, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Returns `true` if the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Random split into `(train, validation)` with `val_frac` of samples in
+    /// the validation part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `val_frac` is not in (0, 1).
+    pub fn split(&self, val_frac: f64, rng: &mut impl Rng) -> (ClassificationData, ClassificationData) {
+        let (train_idx, val_idx) = split_indices(self.len(), val_frac, rng);
+        (
+            ClassificationData {
+                x: self.x.select_rows(&train_idx),
+                y: train_idx.iter().map(|&i| self.y[i]).collect(),
+                num_classes: self.num_classes,
+            },
+            ClassificationData {
+                x: self.x.select_rows(&val_idx),
+                y: val_idx.iter().map(|&i| self.y[i]).collect(),
+                num_classes: self.num_classes,
+            },
+        )
+    }
+}
+
+/// A scalar-target regression dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionData {
+    /// Feature rows.
+    pub x: Matrix,
+    /// Target value per row.
+    pub y: Vec<f32>,
+}
+
+impl RegressionData {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts mismatch.
+    pub fn new(x: Matrix, y: Vec<f32>) -> RegressionData {
+        assert_eq!(x.rows(), y.len(), "one target per sample");
+        RegressionData { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Returns `true` if the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Random split into `(train, validation)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `val_frac` is not in (0, 1).
+    pub fn split(&self, val_frac: f64, rng: &mut impl Rng) -> (RegressionData, RegressionData) {
+        let (train_idx, val_idx) = split_indices(self.len(), val_frac, rng);
+        (
+            RegressionData {
+                x: self.x.select_rows(&train_idx),
+                y: train_idx.iter().map(|&i| self.y[i]).collect(),
+            },
+            RegressionData {
+                x: self.x.select_rows(&val_idx),
+                y: val_idx.iter().map(|&i| self.y[i]).collect(),
+            },
+        )
+    }
+}
+
+fn split_indices(n: usize, val_frac: f64, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&val_frac) && val_frac > 0.0, "val_frac must be in (0, 1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let val_len = ((n as f64 * val_frac).round() as usize).clamp(1, n.saturating_sub(1).max(1));
+    let val = idx.split_off(n - val_len);
+    (idx, val)
+}
+
+/// Per-feature standardization (z-score) fitted on training data and applied
+/// to anything that flows into the model — including single runtime feature
+/// vectors inside the DVFS controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits mean and standard deviation per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty matrix.
+    pub fn fit(x: &Matrix) -> Normalizer {
+        assert!(x.rows() > 0, "cannot fit a normalizer on an empty matrix");
+        let n = x.rows() as f32;
+        let cols = x.cols();
+        let mut mean = vec![0.0f32; cols];
+        for i in 0..x.rows() {
+            for (m, &v) in mean.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; cols];
+        for i in 0..x.rows() {
+            for ((s, &v), &m) in var.iter_mut().zip(x.row(i)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-6)).collect();
+        Normalizer { mean, std }
+    }
+
+    /// Number of features this normalizer was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardizes a matrix (rows are samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len(), "feature count mismatch");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Standardizes one feature vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn transform_one(&self, x: &mut [f32]) {
+        assert_eq!(x.len(), self.mean.len(), "feature count mismatch");
+        for ((v, &m), &s) in x.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Restricts the normalizer to the given feature columns (used after
+    /// feature selection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select(&self, cols: &[usize]) -> Normalizer {
+        Normalizer {
+            mean: cols.iter().map(|&c| self.mean[c]).collect(),
+            std: cols.iter().map(|&c| self.std[c]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizer_standardizes() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0]]);
+        let n = Normalizer::fit(&x);
+        let z = n.transform(&x);
+        // Column means become 0, stds 1.
+        for c in 0..2 {
+            let mean = (z[(0, c)] + z[(1, c)]) / 2.0;
+            assert!(mean.abs() < 1e-6);
+            assert!((z[(0, c)].abs() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transform_one_matches_matrix_path() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[5.0, 4.0], &[3.0, 9.0]]);
+        let n = Normalizer::fit(&x);
+        let z = n.transform(&x);
+        let mut one = [5.0f32, 4.0];
+        n.transform_one(&mut one);
+        assert_eq!(&one[..], z.row(1));
+    }
+
+    #[test]
+    fn constant_features_do_not_blow_up() {
+        let x = Matrix::from_rows(&[&[7.0], &[7.0]]);
+        let n = Normalizer::fit(&x);
+        let z = n.transform(&x);
+        assert!(z.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn normalizer_select_subsets_features() {
+        let x = Matrix::from_rows(&[&[1.0, 100.0, 3.0], &[3.0, 300.0, 5.0]]);
+        let n = Normalizer::fit(&x);
+        let sub = n.select(&[2, 0]);
+        assert_eq!(sub.num_features(), 2);
+        let mut v = [4.0f32, 2.0];
+        sub.transform_one(&mut v);
+        assert!(v.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn classification_split_partitions() {
+        let x = Matrix::from_vec(10, 1, (0..10).map(|v| v as f32).collect());
+        let y = vec![0usize; 10];
+        let data = ClassificationData::new(x, y, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, val) = data.split(0.3, &mut rng);
+        assert_eq!(train.len() + val.len(), 10);
+        assert_eq!(val.len(), 3);
+        // Partition: every original value appears exactly once.
+        let mut all: Vec<f32> = train.x.as_slice().to_vec();
+        all.extend_from_slice(val.x.as_slice());
+        all.sort_by(f32::total_cmp);
+        assert_eq!(all, (0..10).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn regression_split_partitions() {
+        let x = Matrix::from_vec(8, 1, (0..8).map(|v| v as f32).collect());
+        let y: Vec<f32> = (0..8).map(|v| v as f32 * 2.0).collect();
+        let data = RegressionData::new(x, y, );
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, val) = data.split(0.25, &mut rng);
+        assert_eq!(train.len(), 6);
+        assert_eq!(val.len(), 2);
+        // Targets track their features through the shuffle.
+        for (i, &t) in train.y.iter().enumerate() {
+            assert_eq!(t, train.x.row(i)[0] * 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below num_classes")]
+    fn bad_labels_rejected() {
+        ClassificationData::new(Matrix::zeros(1, 1), vec![5], 3);
+    }
+}

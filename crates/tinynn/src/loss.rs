@@ -1,0 +1,151 @@
+//! Loss functions: softmax cross-entropy (Decision-maker) and mean squared
+//! error (Calibrator).
+
+use crate::matrix::Matrix;
+
+/// Numerically stable softmax of one logit row.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// Returns `(mean_loss, d_logits)` where `d_logits` is the gradient of the
+/// mean loss with respect to the raw logits — `softmax(x) - onehot(y)` per
+/// row (the division by batch size happens in [`Mlp::backward`], which
+/// averages over the batch).
+///
+/// # Panics
+///
+/// Panics if a label is out of range or batch sizes mismatch.
+///
+/// [`Mlp::backward`]: crate::Mlp::backward
+pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "one label per logit row");
+    let classes = logits.cols();
+    let mut grad = Matrix::zeros(logits.rows(), classes);
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let p = softmax(logits.row(i));
+        loss -= (p[label].max(1e-12) as f64).ln();
+        let grow = grad.row_mut(i);
+        grow.copy_from_slice(&p);
+        grow[label] -= 1.0;
+    }
+    ((loss / labels.len() as f64) as f32, grad)
+}
+
+/// Class-weighted softmax cross-entropy: each sample's loss and gradient is
+/// scaled by `class_weights[label]`, normalized by the batch's mean weight
+/// so the overall gradient scale stays comparable to the unweighted loss.
+/// Used to counter label imbalance (the DVFS decision labels are heavily
+/// skewed toward the lowest operating point).
+///
+/// # Panics
+///
+/// Panics if a label is out of range, batch sizes mismatch, or the weight
+/// table is shorter than the class count.
+pub fn cross_entropy_weighted(
+    logits: &Matrix,
+    labels: &[usize],
+    class_weights: &[f32],
+) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "one label per logit row");
+    let classes = logits.cols();
+    assert!(class_weights.len() >= classes, "need a weight per class");
+    let mean_w: f32 =
+        labels.iter().map(|&l| class_weights[l]).sum::<f32>() / labels.len().max(1) as f32;
+    let mean_w = mean_w.max(1e-6);
+    let mut grad = Matrix::zeros(logits.rows(), classes);
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let w = class_weights[label] / mean_w;
+        let p = softmax(logits.row(i));
+        loss -= f64::from(w) * (p[label].max(1e-12) as f64).ln();
+        let grow = grad.row_mut(i);
+        for (g, &pj) in grow.iter_mut().zip(&p) {
+            *g = w * pj;
+        }
+        grow[label] -= w;
+    }
+    ((loss / labels.len() as f64) as f32, grad)
+}
+
+/// Mean squared error over a batch of scalar predictions (the first output
+/// column is used).
+///
+/// Returns `(mean_loss, d_outputs)`.
+///
+/// # Panics
+///
+/// Panics if batch sizes mismatch.
+pub fn mse(outputs: &Matrix, targets: &[f32]) -> (f32, Matrix) {
+    assert_eq!(outputs.rows(), targets.len(), "one target per output row");
+    let mut grad = Matrix::zeros(outputs.rows(), outputs.cols());
+    let mut loss = 0.0f64;
+    for (i, &t) in targets.iter().enumerate() {
+        let y = outputs.row(i)[0];
+        let err = y - t;
+        loss += (err as f64) * (err as f64);
+        grad.row_mut(i)[0] = 2.0 * err;
+    }
+    ((loss / targets.len() as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!(p[1] > p[0]);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Matrix::from_rows(&[&[20.0, 0.0, 0.0]]);
+        let (loss, grad) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+        assert!(grad.row(0)[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let (loss, grad) = cross_entropy(&logits, &[1]);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-5);
+        assert!((grad.row(0)[0] - 0.5).abs() < 1e-6);
+        assert!((grad.row(0)[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_known_values() {
+        let out = Matrix::from_rows(&[&[2.0], &[0.0]]);
+        let (loss, grad) = mse(&out, &[1.0, 1.0]);
+        assert!((loss - 1.0).abs() < 1e-6); // ((1)² + (-1)²) / 2
+        assert_eq!(grad.row(0)[0], 2.0);
+        assert_eq!(grad.row(1)[0], -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_rejected() {
+        let logits = Matrix::zeros(1, 3);
+        cross_entropy(&logits, &[3]);
+    }
+}

@@ -1,0 +1,418 @@
+//! A minimal row-major `f32` matrix.
+//!
+//! The SSMDVFS networks are tiny (at most 9 layers × 20 neurons), so this
+//! module favors clarity and determinism over BLAS-grade performance.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use tinynn::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+/// let c = a.matmul(&b);
+/// assert_eq!(c[(1, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths or there are no rows.
+    pub fn from_rows(rows: &[&[f32]]) -> Matrix {
+        assert!(!rows.is_empty(), "a matrix needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows the flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self @ other` — standard matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimensions must agree: ({}x{}) @ ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols == other.cols`.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transposed needs matching column counts");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.rows == other.rows`.
+    pub fn transposed_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transposed_matmul needs matching row counts");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = &other.data[r * other.cols..(r + 1) * other.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Extracts the sub-matrix keeping only the listed columns, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_columns(&self, cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, cols.len());
+        for i in 0..self.rows {
+            for (j, &c) in cols.iter().enumerate() {
+                assert!(c < self.cols, "column {c} out of range ({} cols)", self.cols);
+                out.data[i * cols.len() + j] = self.data[i * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix keeping only the listed rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Appends the rows of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack needs equal column counts");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Appends the columns of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack needs equal row counts");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.data[i * out.cols..i * out.cols + self.cols].copy_from_slice(self.row(i));
+            out.data[i * out.cols + self.cols..(i + 1) * out.cols]
+                .copy_from_slice(other.row(i));
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}:", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(12) {
+                write!(f, "{:8.4} ", self.data[i * self.cols + j])?;
+            }
+            writeln!(f, "{}]", if self.cols > 12 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c[(0, 0)], 14.0);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, -1.0], &[0.0, 3.0]]);
+        assert_eq!(a.matmul_transposed(&b), a.matmul(&b.transpose()));
+        assert_eq!(a.transposed_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn select_columns_and_rows() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let c = a.select_columns(&[2, 0]);
+        assert_eq!(c.row(0), &[3.0, 1.0]);
+        assert_eq!(c.row(1), &[6.0, 4.0]);
+        let r = a.select_rows(&[1]);
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let v = a.vstack(&b);
+        assert_eq!(v.rows(), 2);
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+        let h = a.hstack(&b);
+        assert_eq!(h.cols(), 4);
+        assert_eq!(h.row(0), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn map_inplace() {
+        let mut a = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        a.map_inplace(|v| v.max(0.0));
+        assert_eq!(a.row(0), &[0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_rejected() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_from_vec_agree() {
+        let z = Matrix::zeros(3, 2);
+        let v = Matrix::from_vec(3, 2, vec![0.0; 6]);
+        assert_eq!(z, v);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 2);
+    }
+
+    #[test]
+    fn row_accessors_are_consistent() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        m.row_mut(0)[1] = 9.0;
+        assert_eq!(m[(0, 1)], 9.0);
+        assert_eq!(m.as_slice(), &[1.0, 9.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_with_zero_rows_shortcuts() {
+        // The inner loop skips zero multipliers; the result must still be
+        // exact.
+        let a = Matrix::from_rows(&[&[0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 7.0], &[1.0, 1.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_of_nonsquare() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let t = a.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 1));
+        assert_eq!(t[(2, 0)], 3.0);
+    }
+
+    #[test]
+    fn display_truncates_large_matrices() {
+        let big = Matrix::zeros(20, 20);
+        let s = format!("{big}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains("..."));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_vec_length_mismatch_rejected() {
+        Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_rejected() {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+}

@@ -1,0 +1,418 @@
+//! Multi-layer perceptrons: layers, forward/backward passes, FLOPs
+//! accounting.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// The activation applied after a layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit (the paper's choice for every hidden layer).
+    Relu,
+    /// No activation (output layers).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, m: &mut Matrix) {
+        if self == Activation::Relu {
+            m.map_inplace(|v| v.max(0.0));
+        }
+    }
+
+    /// d(activation)/d(pre-activation), given the *post*-activation value.
+    fn grad_from_output(self, out: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if out > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One fully connected layer: `y = act(x @ Wᵀ + b)`.
+///
+/// Weights are stored as an `out × in` matrix so that row `j` is neuron
+/// `j`'s incoming weight vector — the unit the paper's neuron-level pruning
+/// inspects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix, `out × in`.
+    pub w: Matrix,
+    /// Bias vector, length `out`.
+    pub b: Vec<f32>,
+    /// Post-affine activation.
+    pub activation: Activation,
+}
+
+impl Dense {
+    /// Creates a layer with He-initialized weights.
+    pub fn new(input: usize, output: usize, activation: Activation, rng: &mut impl Rng) -> Dense {
+        let scale = (2.0 / input as f32).sqrt();
+        let mut w = Matrix::zeros(output, input);
+        for v in w.as_mut_slice() {
+            // Uniform He-style init in [-scale, scale] * sqrt(3) keeps the
+            // variance of a uniform distribution equal to the He target.
+            *v = rng.gen_range(-scale * 1.732..scale * 1.732);
+        }
+        Dense { w, b: vec![0.0; output], activation }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Forward pass over a batch (rows are samples).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = x.matmul_transposed(&self.w);
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        self.activation.apply(&mut out);
+        out
+    }
+
+    /// Dense FLOPs for one inference: a multiply and an add per weight.
+    pub fn flops(&self) -> u64 {
+        2 * (self.w.rows() * self.w.cols()) as u64
+    }
+
+    /// FLOPs counting only non-zero weights (what a sparse accelerator,
+    /// like the paper's ASIC module, would execute).
+    pub fn sparse_flops(&self) -> u64 {
+        2 * self.w.as_slice().iter().filter(|v| **v != 0.0).count() as u64
+    }
+}
+
+/// Gradients for every layer of an [`Mlp`], in layer order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    /// Per-layer `(dW, db)`.
+    pub layers: Vec<(Matrix, Vec<f32>)>,
+}
+
+/// Cached intermediate activations from [`Mlp::forward_train`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `activations[0]` is the input; `activations[i+1]` is layer `i`'s
+    /// output.
+    pub activations: Vec<Matrix>,
+}
+
+impl ForwardCache {
+    /// The network output for this pass.
+    pub fn output(&self) -> &Matrix {
+        self.activations.last().expect("cache always holds the input")
+    }
+}
+
+/// A feed-forward multi-layer perceptron.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tinynn::{Matrix, Mlp};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(&[4, 12, 3], &mut rng);
+/// assert_eq!(mlp.input_size(), 4);
+/// assert_eq!(mlp.output_size(), 3);
+/// let y = mlp.forward(&Matrix::zeros(2, 4));
+/// assert_eq!((y.rows(), y.cols()), (2, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates an MLP from a size list `[input, hidden..., output]`, with
+    /// ReLU on every hidden layer and an identity output layer — the
+    /// architecture family of the paper's Decision-maker and Calibrator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], rng: &mut impl Rng) -> Mlp {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == sizes.len() { Activation::Identity } else { Activation::Relu };
+                Dense::new(w[0], w[1], act, rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Builds an MLP from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer list is empty or adjacent widths mismatch.
+    pub fn from_layers(layers: Vec<Dense>) -> Mlp {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_size(),
+                pair[1].input_size(),
+                "adjacent layer widths must agree"
+            );
+        }
+        Mlp { layers }
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by pruning).
+    pub fn layers_mut(&mut self) -> &mut Vec<Dense> {
+        &mut self.layers
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].input_size()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().expect("non-empty").output_size()
+    }
+
+    /// Layer widths as `[input, hidden..., output]`.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut v = vec![self.input_size()];
+        v.extend(self.layers.iter().map(Dense::output_size));
+        v
+    }
+
+    /// Batch forward pass (rows are samples).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Single-sample forward pass.
+    pub fn forward_one(&self, x: &[f32]) -> Vec<f32> {
+        let m = Matrix::from_vec(1, x.len(), x.to_vec());
+        self.forward(&m).row(0).to_vec()
+    }
+
+    /// Forward pass that keeps every intermediate activation for
+    /// [`Mlp::backward`].
+    pub fn forward_train(&self, x: &Matrix) -> ForwardCache {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(x.clone());
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().expect("non-empty"));
+            activations.push(next);
+        }
+        ForwardCache { activations }
+    }
+
+    /// Backpropagates `d_out` (gradient of the loss w.r.t. the network
+    /// output, same shape as the output batch) through the cached pass.
+    pub fn backward(&self, cache: &ForwardCache, d_out: &Matrix) -> Gradients {
+        let batch = d_out.rows() as f32;
+        let mut grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(self.layers.len());
+        let mut delta = d_out.clone();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            // delta currently holds dL/d(output of layer l), post-activation.
+            let out = &cache.activations[l + 1];
+            for i in 0..delta.rows() {
+                let drow = delta.row_mut(i);
+                let orow = out.row(i);
+                for (d, &o) in drow.iter_mut().zip(orow) {
+                    *d *= layer.activation.grad_from_output(o);
+                }
+            }
+            let input = &cache.activations[l];
+            // dW = deltaᵀ @ input / batch  (out x in)
+            let mut dw = delta.transposed_matmul(input);
+            dw.map_inplace(|v| v / batch);
+            let mut db = vec![0.0f32; layer.output_size()];
+            for i in 0..delta.rows() {
+                for (b, &d) in db.iter_mut().zip(delta.row(i)) {
+                    *b += d / batch;
+                }
+            }
+            // dL/d(input of layer l) = delta @ W  (batch x in)
+            if l > 0 {
+                delta = delta.matmul(&layer.w);
+            }
+            grads.push((dw, db));
+        }
+        grads.reverse();
+        Gradients { layers: grads }
+    }
+
+    /// Total dense FLOPs for one inference.
+    pub fn flops(&self) -> u64 {
+        self.layers.iter().map(Dense::flops).sum()
+    }
+
+    /// Total FLOPs counting only non-zero weights.
+    pub fn sparse_flops(&self) -> u64 {
+        self.layers.iter().map(Dense::sparse_flops).sum()
+    }
+
+    /// Number of weights (excluding biases).
+    pub fn weight_count(&self) -> u64 {
+        self.layers.iter().map(|l| (l.w.rows() * l.w.cols()) as u64).sum()
+    }
+
+    /// Number of non-zero weights.
+    pub fn nonzero_weights(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.w.as_slice().iter().filter(|v| **v != 0.0).count() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn shapes_flow_through() {
+        let mlp = Mlp::new(&[5, 20, 20, 6], &mut rng());
+        assert_eq!(mlp.sizes(), vec![5, 20, 20, 6]);
+        let y = mlp.forward(&Matrix::zeros(7, 5));
+        assert_eq!((y.rows(), y.cols()), (7, 6));
+    }
+
+    #[test]
+    fn flops_formula() {
+        let mlp = Mlp::new(&[5, 12, 6], &mut rng());
+        assert_eq!(mlp.flops(), 2 * (5 * 12 + 12 * 6) as u64);
+        assert_eq!(mlp.weight_count(), (5 * 12 + 12 * 6) as u64);
+    }
+
+    #[test]
+    fn hidden_layers_are_relu_output_is_identity() {
+        let mlp = Mlp::new(&[3, 4, 2], &mut rng());
+        assert_eq!(mlp.layers()[0].activation, Activation::Relu);
+        assert_eq!(mlp.layers()[1].activation, Activation::Identity);
+    }
+
+    #[test]
+    fn relu_clamps_negative_preactivations() {
+        let mut l = Dense::new(2, 2, Activation::Relu, &mut rng());
+        l.w = Matrix::from_rows(&[&[-1.0, 0.0], &[1.0, 0.0]]);
+        l.b = vec![0.0, 0.0];
+        let y = l.forward(&Matrix::from_rows(&[&[2.0, 0.0]]));
+        assert_eq!(y.row(0), &[0.0, 2.0]);
+    }
+
+    /// Numerical gradient check: analytic backward vs finite differences.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut mlp = Mlp::new(&[3, 5, 2], &mut rng());
+        let x = Matrix::from_rows(&[&[0.4, -0.2, 0.9], &[0.1, 0.8, -0.5]]);
+        // Loss = 0.5 * sum(output²); dL/dout = out.
+        let loss = |m: &Mlp| -> f64 {
+            let y = m.forward(&x);
+            y.as_slice().iter().map(|v| 0.5 * (*v as f64) * (*v as f64)).sum()
+        };
+        let cache = mlp.forward_train(&x);
+        let d_out = cache.output().clone();
+        let grads = mlp.backward(&cache, &d_out);
+
+        let eps = 1e-3f32;
+        let batch = x.rows() as f64;
+        for (li, (dw, db)) in grads.layers.iter().enumerate() {
+            // Spot-check a handful of weights per layer.
+            for (r, c) in [(0usize, 0usize), (1, 1), (dw.rows() - 1, dw.cols() - 1)] {
+                let orig = mlp.layers[li].w[(r, c)];
+                mlp.layers_mut()[li].w[(r, c)] = orig + eps;
+                let hi = loss(&mlp);
+                mlp.layers_mut()[li].w[(r, c)] = orig - eps;
+                let lo = loss(&mlp);
+                mlp.layers_mut()[li].w[(r, c)] = orig;
+                let numeric = ((hi - lo) / (2.0 * eps as f64) / batch) as f32;
+                let analytic = dw[(r, c)];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                    "layer {li} w[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+            let orig = mlp.layers[li].b[0];
+            mlp.layers_mut()[li].b[0] = orig + eps;
+            let hi = loss(&mlp);
+            mlp.layers_mut()[li].b[0] = orig - eps;
+            let lo = loss(&mlp);
+            mlp.layers_mut()[li].b[0] = orig;
+            let numeric = ((hi - lo) / (2.0 * eps as f64) / batch) as f32;
+            assert!(
+                (numeric - db[0]).abs() < 2e-2 * (1.0 + db[0].abs()),
+                "layer {li} b[0]: numeric {numeric} vs analytic {}",
+                db[0]
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_flops_tracks_zeros() {
+        let mut mlp = Mlp::new(&[4, 4, 2], &mut rng());
+        let dense = mlp.flops();
+        assert_eq!(mlp.sparse_flops(), dense);
+        // Zero half of the first layer.
+        for (i, v) in mlp.layers_mut()[0].w.as_mut_slice().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        assert!(mlp.sparse_flops() < dense);
+        assert_eq!(mlp.nonzero_weights(), mlp.sparse_flops() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent layer widths")]
+    fn mismatched_layers_rejected() {
+        let mut r = rng();
+        let a = Dense::new(3, 4, Activation::Relu, &mut r);
+        let b = Dense::new(5, 2, Activation::Identity, &mut r);
+        Mlp::from_layers(vec![a, b]);
+    }
+
+    #[test]
+    fn forward_one_matches_batch() {
+        let mlp = Mlp::new(&[3, 6, 2], &mut rng());
+        let x = [0.3f32, -0.7, 0.2];
+        let single = mlp.forward_one(&x);
+        let batch = mlp.forward(&Matrix::from_rows(&[&x]));
+        assert_eq!(single, batch.row(0));
+    }
+}

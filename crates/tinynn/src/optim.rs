@@ -1,0 +1,179 @@
+//! Optimizers: SGD with momentum and Adam.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::{Gradients, Mlp};
+
+/// A first-order optimizer that applies [`Gradients`] to an [`Mlp`].
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the gradient shapes do not match the model.
+    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient in [0, 1).
+    pub momentum: f32,
+    velocity: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Sgd {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients) {
+        if self.velocity.is_empty() {
+            self.velocity = grads
+                .layers
+                .iter()
+                .map(|(dw, db)| (vec![0.0; dw.as_slice().len()], vec![0.0; db.len()]))
+                .collect();
+        }
+        assert_eq!(grads.layers.len(), mlp.layers().len(), "gradient/model layer mismatch");
+        for (l, (dw, db)) in grads.layers.iter().enumerate() {
+            let (vw, vb) = &mut self.velocity[l];
+            let layer = &mut mlp.layers_mut()[l];
+            for ((w, v), g) in layer.w.as_mut_slice().iter_mut().zip(vw).zip(dw.as_slice()) {
+                *v = self.momentum * *v - self.lr * g;
+                *w += *v;
+            }
+            for ((b, v), g) in layer.b.iter_mut().zip(vb).zip(db) {
+                *v = self.momentum * *v - self.lr * g;
+                *b += *v;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Epsilon for numerical stability.
+    pub eps: f32,
+    t: u64,
+    moments: Vec<AdamMoments>,
+}
+
+/// Per-layer Adam state: first/second moments for weights, then biases.
+type AdamMoments = (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>);
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard β parameters.
+    pub fn new(lr: f32) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients) {
+        if self.moments.is_empty() {
+            self.moments = grads
+                .layers
+                .iter()
+                .map(|(dw, db)| {
+                    (
+                        vec![0.0; dw.as_slice().len()],
+                        vec![0.0; dw.as_slice().len()],
+                        vec![0.0; db.len()],
+                        vec![0.0; db.len()],
+                    )
+                })
+                .collect();
+        }
+        assert_eq!(grads.layers.len(), mlp.layers().len(), "gradient/model layer mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (l, (dw, db)) in grads.layers.iter().enumerate() {
+            let (mw, vw, mb, vb) = &mut self.moments[l];
+            let layer = &mut mlp.layers_mut()[l];
+            for (((w, m), v), g) in
+                layer.w.as_mut_slice().iter_mut().zip(mw.iter_mut()).zip(vw.iter_mut()).zip(dw.as_slice())
+            {
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            for (((b, m), v), g) in
+                layer.b.iter_mut().zip(mb.iter_mut()).zip(vb.iter_mut()).zip(db)
+            {
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *b -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Train y = 2x with both optimizers; the loss must fall substantially.
+    fn fit(opt: &mut dyn Optimizer) -> f32 {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&[1, 8, 1], &mut rng);
+        let x = Matrix::from_rows(&[&[-1.0], &[-0.5], &[0.0], &[0.5], &[1.0]]);
+        let y = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let mut last = f32::MAX;
+        for _ in 0..400 {
+            let cache = mlp.forward_train(&x);
+            let (loss, d) = mse(cache.output(), &y);
+            let grads = mlp.backward(&cache, &d);
+            opt.step(&mut mlp, &grads);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_a_line() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        assert!(fit(&mut opt) < 0.01);
+    }
+
+    #[test]
+    fn adam_converges_on_a_line() {
+        let mut opt = Adam::new(0.01);
+        assert!(fit(&mut opt) < 0.01);
+    }
+
+    #[test]
+    fn adam_step_changes_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&[2, 3, 1], &mut rng);
+        let before = mlp.layers()[0].w.clone();
+        let x = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let cache = mlp.forward_train(&x);
+        let (_, d) = mse(cache.output(), &[5.0]);
+        let grads = mlp.backward(&cache, &d);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut mlp, &grads);
+        assert_ne!(before, mlp.layers()[0].w);
+    }
+}

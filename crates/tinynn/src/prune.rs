@@ -1,0 +1,306 @@
+//! Model compression: magnitude pruning and neuron-level pruning.
+//!
+//! Section IV-C of the paper compresses the combined network in two stages:
+//! fine-grained pruning zeroes the smallest fraction `x1` of weights, then
+//! neuron-level pruning removes any hidden neuron whose incoming weight
+//! vector is at least `x2` zeros. The paper selects `(x1, x2) = (0.6, 0.9)`.
+
+use crate::mlp::{Dense, Mlp};
+
+/// Zeroes the globally smallest `frac` of weights by magnitude. Returns the
+/// number of weights zeroed.
+///
+/// # Panics
+///
+/// Panics if `frac` is outside [0, 1].
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tinynn::{prune_magnitude, Mlp};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut mlp = Mlp::new(&[5, 12, 6], &mut rng);
+/// let before = mlp.nonzero_weights();
+/// prune_magnitude(&mut mlp, 0.6);
+/// assert!(mlp.nonzero_weights() <= before * 2 / 5 + 1);
+/// ```
+pub fn prune_magnitude(mlp: &mut Mlp, frac: f32) -> usize {
+    assert!((0.0..=1.0).contains(&frac), "pruning fraction must be in [0, 1]");
+    if frac == 0.0 {
+        return 0;
+    }
+    // The quota applies per layer: trained layers have very different weight
+    // scales, and one global threshold can annihilate a whole layer (a dead
+    // ReLU network cannot be recovered by fine-tuning).
+    let mut zeroed = 0;
+    for layer in mlp.layers_mut() {
+        let mut magnitudes: Vec<f32> = layer.w.as_slice().iter().map(|v| v.abs()).collect();
+        magnitudes.sort_by(f32::total_cmp);
+        let cut = ((magnitudes.len() as f32 * frac) as usize).min(magnitudes.len());
+        if cut == 0 {
+            continue;
+        }
+        let threshold = magnitudes[cut - 1];
+        for v in layer.w.as_mut_slice() {
+            if *v != 0.0 && v.abs() <= threshold {
+                *v = 0.0;
+                zeroed += 1;
+            }
+        }
+    }
+    zeroed
+}
+
+/// Removes hidden neurons whose incoming weight row contains at least
+/// `zero_frac` zeros, rebuilding a compact network. Input and output widths
+/// are preserved, and at least one neuron always survives per layer.
+/// Returns the compacted model and the number of neurons removed.
+///
+/// # Panics
+///
+/// Panics if `zero_frac` is outside (0, 1].
+pub fn prune_neurons(mlp: &Mlp, zero_frac: f32) -> (Mlp, usize) {
+    assert!(
+        zero_frac > 0.0 && zero_frac <= 1.0,
+        "neuron-pruning threshold must be in (0, 1]"
+    );
+    let mut layers: Vec<Dense> = mlp.layers().to_vec();
+    let mut removed_total = 0;
+    // Hidden neurons are the outputs of every layer but the last.
+    for l in 0..layers.len().saturating_sub(1) {
+        let layer = &layers[l];
+        let cols = layer.w.cols();
+        let mut keep: Vec<usize> = (0..layer.w.rows())
+            .filter(|&r| {
+                let zeros = layer.w.row(r).iter().filter(|v| **v == 0.0).count();
+                (zeros as f32) < zero_frac * cols as f32
+            })
+            .collect();
+        if keep.is_empty() {
+            // Keep the row with the most non-zeros so the network stays
+            // connected.
+            let best = (0..layer.w.rows())
+                .max_by_key(|&r| layer.w.row(r).iter().filter(|v| **v != 0.0).count())
+                .expect("layers are non-empty");
+            keep.push(best);
+        }
+        removed_total += layer.w.rows() - keep.len();
+        if keep.len() == layer.w.rows() {
+            continue;
+        }
+        // Shrink this layer's outputs...
+        let new_w = layers[l].w.select_rows(&keep);
+        let new_b: Vec<f32> = keep.iter().map(|&r| layers[l].b[r]).collect();
+        layers[l].w = new_w;
+        layers[l].b = new_b;
+        // ...and the next layer's inputs.
+        let next_w = layers[l + 1].w.select_columns(&keep);
+        layers[l + 1].w = next_w;
+    }
+    (Mlp::from_layers(layers), removed_total)
+}
+
+/// A per-layer mask of frozen-zero weights, used to keep pruned weights at
+/// zero during fine-tuning.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tinynn::{prune_magnitude, Mlp, ZeroMask};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut mlp = Mlp::new(&[4, 8, 2], &mut rng);
+/// prune_magnitude(&mut mlp, 0.5);
+/// let mask = ZeroMask::from_zeros(&mlp);
+/// // ... fine-tune, then re-apply the mask to restore sparsity:
+/// mask.apply(&mut mlp);
+/// assert_eq!(mlp.nonzero_weights(), mask.nonzero_count());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZeroMask {
+    /// Per layer, `true` marks a weight frozen at zero.
+    frozen: Vec<Vec<bool>>,
+}
+
+impl ZeroMask {
+    /// Captures the current zero pattern of a model.
+    pub fn from_zeros(mlp: &Mlp) -> ZeroMask {
+        ZeroMask {
+            frozen: mlp
+                .layers()
+                .iter()
+                .map(|l| l.w.as_slice().iter().map(|v| *v == 0.0).collect())
+                .collect(),
+        }
+    }
+
+    /// Re-zeroes every frozen weight (call after each optimizer step or at
+    /// the end of fine-tuning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's shape no longer matches the mask.
+    pub fn apply(&self, mlp: &mut Mlp) {
+        assert_eq!(self.frozen.len(), mlp.layers().len(), "mask/model layer mismatch");
+        for (layer, mask) in mlp.layers_mut().iter_mut().zip(&self.frozen) {
+            assert_eq!(layer.w.as_slice().len(), mask.len(), "mask/layer size mismatch");
+            for (w, &frozen) in layer.w.as_mut_slice().iter_mut().zip(mask) {
+                if frozen {
+                    *w = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Number of weights the mask leaves free (non-frozen).
+    pub fn nonzero_count(&self) -> u64 {
+        self.frozen
+            .iter()
+            .map(|l| l.iter().filter(|f| !**f).count() as u64)
+            .sum()
+    }
+}
+
+/// Applies the paper's two-stage pruning: magnitude pruning at `x1`, then
+/// neuron pruning at `x2`. Returns the compacted model.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tinynn::{prune_two_stage, Mlp};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(&[5, 12, 12, 6], &mut rng);
+/// let pruned = prune_two_stage(&mlp, 0.6, 0.9);
+/// assert!(pruned.sparse_flops() < mlp.flops());
+/// assert_eq!(pruned.input_size(), 5);
+/// assert_eq!(pruned.output_size(), 6);
+/// ```
+pub fn prune_two_stage(mlp: &Mlp, x1: f32, x2: f32) -> Mlp {
+    let mut pruned = mlp.clone();
+    prune_magnitude(&mut pruned, x1);
+    let (compact, _) = prune_neurons(&pruned, x2);
+    compact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::mlp::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn magnitude_pruning_zeroes_expected_fraction() {
+        let mut mlp = Mlp::new(&[10, 20, 20, 6], &mut rng());
+        let total = mlp.weight_count();
+        prune_magnitude(&mut mlp, 0.6);
+        let nz = mlp.nonzero_weights();
+        let kept_frac = nz as f64 / total as f64;
+        assert!((kept_frac - 0.4).abs() < 0.02, "kept {kept_frac}");
+    }
+
+    #[test]
+    fn magnitude_pruning_removes_smallest_first() {
+        let mut mlp = Mlp::new(&[2, 2, 1], &mut rng());
+        mlp.layers_mut()[0].w = Matrix::from_rows(&[&[0.01, 5.0], &[0.02, 4.0]]);
+        mlp.layers_mut()[1].w = Matrix::from_rows(&[&[3.0, 0.03]]);
+        prune_magnitude(&mut mlp, 0.5);
+        assert_eq!(mlp.layers()[0].w[(0, 0)], 0.0);
+        assert_eq!(mlp.layers()[0].w[(0, 1)], 5.0);
+        assert_eq!(mlp.layers()[1].w[(0, 0)], 3.0);
+        assert_eq!(mlp.layers()[1].w[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn neuron_pruning_removes_dead_rows_and_fixes_shapes() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[3, 4, 2], &mut r);
+        // Kill neuron 1 and 3 of the hidden layer (rows of w0).
+        for c in 0..3 {
+            mlp.layers_mut()[0].w[(1, c)] = 0.0;
+            mlp.layers_mut()[0].w[(3, c)] = 0.0;
+        }
+        let (compact, removed) = prune_neurons(&mlp, 0.9);
+        assert_eq!(removed, 2);
+        assert_eq!(compact.sizes(), vec![3, 2, 2]);
+        // Forward still works with consistent shapes.
+        let y = compact.forward(&Matrix::zeros(1, 3));
+        assert_eq!(y.cols(), 2);
+    }
+
+    #[test]
+    fn neuron_pruning_preserves_function_when_rows_are_dead() {
+        // A neuron whose entire incoming row is zero contributes only its
+        // bias; zero the bias too and removal must not change the output.
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[3, 4, 2], &mut r);
+        for c in 0..3 {
+            mlp.layers_mut()[0].w[(2, c)] = 0.0;
+        }
+        mlp.layers_mut()[0].b[2] = 0.0;
+        let x = Matrix::from_rows(&[&[0.3, -0.8, 0.5]]);
+        let before = mlp.forward(&x);
+        let (compact, removed) = prune_neurons(&mlp, 1.0);
+        assert_eq!(removed, 1);
+        let after = compact.forward(&x);
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn neuron_pruning_never_empties_a_layer() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[2, 3, 1], &mut r);
+        for row in 0..3 {
+            for c in 0..2 {
+                mlp.layers_mut()[0].w[(row, c)] = 0.0;
+            }
+        }
+        let (compact, removed) = prune_neurons(&mlp, 0.5);
+        assert_eq!(removed, 2);
+        assert_eq!(compact.sizes(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn output_layer_neurons_are_never_pruned() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[2, 3, 4], &mut r);
+        for c in 0..3 {
+            mlp.layers_mut()[1].w[(0, c)] = 0.0;
+        }
+        let (compact, _) = prune_neurons(&mlp, 0.5);
+        assert_eq!(compact.output_size(), 4, "class outputs must survive");
+    }
+
+    #[test]
+    fn two_stage_pipeline_shrinks_flops_substantially() {
+        let mlp = Mlp::new(&[5, 12, 12, 12, 6], &mut rng());
+        let pruned = prune_two_stage(&mlp, 0.6, 0.9);
+        assert!(
+            pruned.sparse_flops() as f64 <= mlp.flops() as f64 * 0.45,
+            "two-stage pruning should cut FLOPs by >55%: {} -> {}",
+            mlp.flops(),
+            pruned.sparse_flops()
+        );
+    }
+
+    #[test]
+    fn pruning_preserves_activations() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[3, 5, 2], &mut r);
+        let pruned = prune_two_stage(&mlp, 0.3, 0.9);
+        assert_eq!(pruned.layers()[0].activation, Activation::Relu);
+        assert_eq!(pruned.layers().last().unwrap().activation, Activation::Identity);
+    }
+}

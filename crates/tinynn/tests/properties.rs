@@ -1,0 +1,113 @@
+//! Property-based tests for the neural-network substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::{
+    cross_entropy, prune_magnitude, prune_neurons, softmax, Matrix, Mlp, Normalizer, ZeroMask,
+};
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// Softmax is a probability distribution for any finite logits.
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-50.0f32..50.0, 1..10)) {
+        let p = softmax(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    /// The cross-entropy gradient rows sum to ~0 (softmax minus one-hot).
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero(
+        logits in arb_matrix(4, 3),
+        labels in prop::collection::vec(0usize..3, 4),
+    ) {
+        let (_, grad) = cross_entropy(&logits, &labels);
+        for r in 0..grad.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-4, "row {r} sums to {s}");
+        }
+    }
+
+    /// Transpose is an involution and matmul_transposed matches the
+    /// explicit transpose.
+    #[test]
+    fn transpose_involution(m in arb_matrix(3, 5)) {
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let other = Matrix::zeros(2, 5);
+        let a = m.matmul_transposed(&other);
+        let b = m.matmul(&other.transpose());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Matrix multiplication is associative (within float tolerance).
+    #[test]
+    fn matmul_associative(a in arb_matrix(2, 3), b in arb_matrix(3, 2), c in arb_matrix(2, 2)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2 * (1.0 + x.abs()));
+        }
+    }
+
+    /// Pruning never increases the number of non-zero weights or FLOPs, for
+    /// any fraction.
+    #[test]
+    fn pruning_is_monotone(seed in any::<u64>(), frac in 0.0f32..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&[4, 8, 3], &mut rng);
+        let before = mlp.nonzero_weights();
+        prune_magnitude(&mut mlp, frac);
+        prop_assert!(mlp.nonzero_weights() <= before);
+        let (compact, _) = prune_neurons(&mlp, 0.9);
+        prop_assert!(compact.sparse_flops() <= mlp.sparse_flops());
+        prop_assert_eq!(compact.input_size(), 4);
+        prop_assert_eq!(compact.output_size(), 3);
+    }
+
+    /// A zero mask re-applied after arbitrary weight perturbation restores
+    /// exactly the masked sparsity pattern.
+    #[test]
+    fn zero_mask_restores_sparsity(seed in any::<u64>(), frac in 0.1f32..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&[4, 6, 2], &mut rng);
+        prune_magnitude(&mut mlp, frac);
+        let mask = ZeroMask::from_zeros(&mlp);
+        let sparse_before = mlp.nonzero_weights();
+        // Perturb everything.
+        for layer in mlp.layers_mut() {
+            layer.w.map_inplace(|v| v + 1.0);
+        }
+        mask.apply(&mut mlp);
+        prop_assert_eq!(mlp.nonzero_weights(), sparse_before);
+    }
+
+    /// Normalizing then reading a single row matches the batch transform.
+    #[test]
+    fn normalizer_single_matches_batch(m in arb_matrix(5, 3), row in 0usize..5) {
+        let norm = Normalizer::fit(&m);
+        let z = norm.transform(&m);
+        let mut one: Vec<f32> = m.row(row).to_vec();
+        norm.transform_one(&mut one);
+        for (a, b) in one.iter().zip(z.row(row)) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Forward passes are deterministic and finite for bounded inputs.
+    #[test]
+    fn forward_is_finite(seed in any::<u64>(), x in prop::collection::vec(-100.0f32..100.0, 4)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[4, 8, 8, 2], &mut rng);
+        let out1 = mlp.forward_one(&x);
+        let out2 = mlp.forward_one(&x);
+        prop_assert_eq!(out1.clone(), out2);
+        prop_assert!(out1.iter().all(|v| v.is_finite()));
+    }
+}

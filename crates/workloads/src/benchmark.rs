@@ -1,0 +1,166 @@
+//! Benchmark metadata.
+
+use std::fmt;
+
+use gpu_sim::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Which real suite the benchmark is modeled after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Rodinia (Che et al., IISWC 2009).
+    Rodinia,
+    /// Parboil (Stratton et al., UIUC).
+    Parboil,
+    /// PolyBench/GPU (Pouchet et al.).
+    Polybench,
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Family::Rodinia => "rodinia",
+            Family::Parboil => "parboil",
+            Family::Polybench => "polybench",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The benchmark's dominant execution character — the axis that determines
+/// its frequency sensitivity and therefore its DVFS headroom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Boundedness {
+    /// Arithmetic-throughput bound: slows ~proportionally with frequency.
+    Compute,
+    /// DRAM-bandwidth/latency bound: nearly frequency-insensitive.
+    Memory,
+    /// Alternating or balanced compute/memory phases.
+    Mixed,
+    /// Divergent, data-dependent access patterns (graph-like).
+    Irregular,
+}
+
+impl fmt::Display for Boundedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Boundedness::Compute => "compute",
+            Boundedness::Memory => "memory",
+            Boundedness::Mixed => "mixed",
+            Boundedness::Irregular => "irregular",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named benchmark: metadata plus the executable workload specification.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_workloads::{by_name, Boundedness};
+///
+/// let sgemm = by_name("sgemm").expect("sgemm is in the suite");
+/// assert_eq!(sgemm.character(), Boundedness::Compute);
+/// assert!(sgemm.workload().total_instructions() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    name: String,
+    family: Family,
+    character: Boundedness,
+    workload: Workload,
+}
+
+impl Benchmark {
+    /// Creates a benchmark entry.
+    pub fn new(
+        name: impl Into<String>,
+        family: Family,
+        character: Boundedness,
+        workload: Workload,
+    ) -> Benchmark {
+        Benchmark { name: name.into(), family, character, workload }
+    }
+
+    /// The benchmark's name (matches the real suite's program name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The suite the benchmark models.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// The benchmark's dominant execution character.
+    pub fn character(&self) -> Boundedness {
+        self.character
+    }
+
+    /// The executable workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Consumes the benchmark, returning its workload.
+    pub fn into_workload(self) -> Workload {
+        self.workload
+    }
+
+    /// Returns a copy scaled to `factor` of the standard size (CTA counts
+    /// are scaled; per-warp programs are unchanged). Useful for fast tests.
+    pub fn scaled(&self, factor: f64) -> Benchmark {
+        Benchmark {
+            name: self.name.clone(),
+            family: self.family,
+            character: self.character,
+            workload: self.workload.with_cta_scale(factor),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.name, self.family, self.character)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{BasicBlock, InstrClass, KernelSpec, MemoryBehavior};
+
+    fn sample() -> Benchmark {
+        let k = KernelSpec::new(
+            "k",
+            vec![BasicBlock::new(vec![InstrClass::IntAlu], 10, 0.0)],
+            2,
+            100,
+            MemoryBehavior::streaming(4096),
+        );
+        Benchmark::new("demo", Family::Rodinia, Boundedness::Compute, Workload::new("demo", vec![k]))
+    }
+
+    #[test]
+    fn accessors() {
+        let b = sample();
+        assert_eq!(b.name(), "demo");
+        assert_eq!(b.family(), Family::Rodinia);
+        assert_eq!(b.character(), Boundedness::Compute);
+        assert_eq!(b.workload().total_instructions(), 10 * 2 * 100);
+    }
+
+    #[test]
+    fn scaling_shrinks_work() {
+        let b = sample();
+        let small = b.scaled(0.1);
+        assert_eq!(small.workload().kernels()[0].num_ctas(), 10);
+        assert_eq!(small.name(), b.name());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", sample()), "demo (rodinia, compute)");
+    }
+}

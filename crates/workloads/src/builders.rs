@@ -1,0 +1,104 @@
+//! Shared helpers for constructing benchmark kernels.
+
+use gpu_sim::InstrClass;
+
+/// Expands `(class, count)` pairs into a flat instruction sequence, e.g.
+/// `mix(&[(FpAlu, 4), (LoadGlobal, 1)])` yields four FMA slots then a load.
+pub(crate) fn mix(parts: &[(InstrClass, usize)]) -> Vec<InstrClass> {
+    let mut out = Vec::new();
+    for &(class, count) in parts {
+        out.extend(std::iter::repeat_n(class, count));
+    }
+    out
+}
+
+/// Interleaves `(class, count)` pairs round-robin so loads are spread through
+/// the block instead of clustered, e.g. `interleave(&[(FpAlu, 4),
+/// (LoadGlobal, 2)])` yields `falu ldg falu falu ldg falu`.
+pub(crate) fn interleave(parts: &[(InstrClass, usize)]) -> Vec<InstrClass> {
+    let total: usize = parts.iter().map(|&(_, n)| n).sum();
+    let mut counters = vec![0.0f64; parts.len()];
+    let mut emitted = vec![0usize; parts.len()];
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        // Emit the class that is furthest behind its target proportion.
+        let mut best = 0;
+        let mut best_deficit = f64::MIN;
+        for (i, &(_, n)) in parts.iter().enumerate() {
+            if emitted[i] >= n {
+                continue;
+            }
+            let deficit = counters[i];
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = i;
+            }
+        }
+        out.push(parts[best].0);
+        emitted[best] += 1;
+        for (i, &(_, n)) in parts.iter().enumerate() {
+            counters[i] += n as f64 / total as f64;
+        }
+        counters[best] -= 1.0;
+        let _ = &counters;
+    }
+    out
+}
+
+/// Instruction budget per benchmark character, chosen so a standard-size
+/// benchmark occupies a 24-cluster Titan X for roughly 300 µs at the default
+/// clock (compute code retires ~2 instructions/cycle, memory-bound code far
+/// fewer).
+pub(crate) mod target {
+    /// Compute-bound benchmarks.
+    pub const COMPUTE: u64 = 5_500_000;
+    /// Mixed benchmarks.
+    pub const MIXED: u64 = 4_500_000;
+    /// Memory-bound benchmarks.
+    pub const MEMORY: u64 = 1_300_000;
+    /// Irregular benchmarks.
+    pub const IRREGULAR: u64 = 1_500_000;
+}
+
+/// Picks a CTA count so the whole launch is close to `target_instructions`,
+/// never below one CTA per cluster of the Titan X configuration.
+pub(crate) fn sized_ctas(instr_per_warp: u64, warps_per_cta: usize, target_instructions: u64) -> usize {
+    let per_cta = instr_per_warp * warps_per_cta as u64;
+    ((target_instructions / per_cta.max(1)) as usize).max(24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::InstrClass::*;
+
+    #[test]
+    fn mix_expands_counts() {
+        let m = mix(&[(FpAlu, 3), (LoadGlobal, 1)]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.iter().filter(|c| **c == FpAlu).count(), 3);
+    }
+
+    #[test]
+    fn interleave_preserves_counts_and_spreads() {
+        let m = interleave(&[(FpAlu, 6), (LoadGlobal, 2)]);
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.iter().filter(|c| **c == LoadGlobal).count(), 2);
+        // Loads are not adjacent in a 3:1 interleave.
+        let positions: Vec<usize> = m
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == LoadGlobal)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(positions[1] - positions[0] > 1);
+    }
+
+    #[test]
+    fn sized_ctas_hits_target() {
+        let ctas = sized_ctas(1_000, 8, 8_000_000);
+        assert_eq!(ctas, 1_000);
+        // Never below 24.
+        assert_eq!(sized_ctas(1_000_000, 8, 100), 24);
+    }
+}

@@ -1,0 +1,226 @@
+//! Benchmarks modeled after the Parboil suite (Stratton et al., UIUC).
+
+use gpu_sim::InstrClass::*;
+use gpu_sim::{BasicBlock, KernelSpec, MemoryBehavior, Workload};
+
+use crate::benchmark::{Benchmark, Boundedness, Family};
+use crate::builders::{interleave, mix, sized_ctas, target};
+
+fn bench(name: &str, character: Boundedness, kernels: Vec<KernelSpec>) -> Benchmark {
+    Benchmark::new(name, Family::Parboil, character, Workload::new(name, kernels))
+}
+
+/// `cutcp`: cutoff Coulombic potential. Distance tests (divergent cutoff
+/// branch) feeding FMA/SFU chains over a shared-memory atom tile.
+pub fn cutcp() -> Benchmark {
+    let body = {
+        let mut b = interleave(&[(FpAlu, 8), (Sfu, 1), (LoadShared, 2)]);
+        b.extend(mix(&[(Branch, 1), (FpAlu, 2)]));
+        b
+    };
+    let ipw = body.len() as u64 * 90;
+    let k = KernelSpec::new(
+        "cutcp_kernel",
+        vec![BasicBlock::new(body, 90, 0.15)],
+        8,
+        sized_ctas(ipw, 8, target::COMPUTE),
+        MemoryBehavior::cache_friendly(4 << 20, 0.7),
+    );
+    bench("cutcp", Boundedness::Compute, vec![k])
+}
+
+/// `histo`: histogramming. Scattered read-modify-write traffic to random
+/// bins — an irregular, store-heavy pattern with serialization-like
+/// divergence.
+pub fn histo() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 2), (IntAlu, 2), (StoreGlobal, 1), (Branch, 1)]);
+    let ipw = body.len() as u64 * 60;
+    let k = KernelSpec::new(
+        "histo_kernel",
+        vec![BasicBlock::new(body, 60, 0.25)],
+        6,
+        sized_ctas(ipw, 6, target::IRREGULAR),
+        MemoryBehavior::irregular(32 << 20, 0.6),
+    );
+    bench("histo", Boundedness::Irregular, vec![k])
+}
+
+/// `lbm`: lattice-Boltzmann method. The classic streaming benchmark: every
+/// cell update reads and writes ~19 distributions from DRAM with almost no
+/// reuse, with a moderate FP body in between.
+pub fn lbm() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 4), (FpAlu, 5), (StoreGlobal, 3)]);
+    let ipw = body.len() as u64 * 70;
+    let k = KernelSpec::new(
+        "lbm_kernel",
+        vec![BasicBlock::new(body, 70, 0.0)],
+        8,
+        sized_ctas(ipw, 8, target::MEMORY),
+        MemoryBehavior::streaming(96 << 20),
+    );
+    bench("lbm", Boundedness::Memory, vec![k])
+}
+
+/// `mri-q`: MRI reconstruction Q computation. Famously
+/// transcendental-bound: long sin/cos (SFU) chains per sample point with a
+/// tiny, fully cached working set.
+pub fn mriq() -> Benchmark {
+    let body = interleave(&[(Sfu, 4), (FpAlu, 6), (LoadShared, 1)]);
+    let ipw = body.len() as u64 * 100;
+    let k = KernelSpec::new(
+        "mriq_kernel",
+        vec![BasicBlock::new(body, 100, 0.0)],
+        8,
+        sized_ctas(ipw, 8, target::COMPUTE),
+        MemoryBehavior::cache_friendly(1 << 20, 0.9),
+    );
+    bench("mriq", Boundedness::Compute, vec![k])
+}
+
+/// `sad`: sum of absolute differences (video encoding). Block-matching over
+/// a sliding window: strided loads with strong reuse feeding short integer
+/// reductions.
+pub fn sad() -> Benchmark {
+    // The sliding search window gives block matching strong reuse: most
+    // reference-frame reads hit the tile held in cache.
+    let body = interleave(&[(LoadGlobal, 2), (IntAlu, 6), (StoreGlobal, 1)]);
+    let ipw = body.len() as u64 * 75;
+    let k = KernelSpec::new(
+        "sad_kernel",
+        vec![BasicBlock::new(body, 75, 0.05)],
+        8,
+        sized_ctas(ipw, 8, target::MIXED),
+        MemoryBehavior::cache_friendly(12 << 20, 0.7),
+    );
+    bench("sad", Boundedness::Mixed, vec![k])
+}
+
+/// `sgemm`: dense matrix multiply. The canonical compute-bound kernel:
+/// register/shared-tiled FMA streams with high reuse.
+pub fn sgemm() -> Benchmark {
+    let body = {
+        let mut b = mix(&[(LoadGlobal, 1), (LoadShared, 3)]);
+        b.extend(mix(&[(FpAlu, 12)]));
+        b.push(Barrier);
+        b
+    };
+    let ipw = body.len() as u64 * 110;
+    let k = KernelSpec::new(
+        "sgemm_kernel",
+        vec![BasicBlock::new(body, 110, 0.0)],
+        8,
+        sized_ctas(ipw, 8, target::COMPUTE),
+        MemoryBehavior::cache_friendly(8 << 20, 0.85),
+    );
+    bench("sgemm", Boundedness::Compute, vec![k])
+}
+
+/// `spmv`: sparse matrix-vector multiply. Irregular gathers through the
+/// column-index array with low arithmetic intensity — bandwidth- and
+/// latency-bound.
+pub fn spmv() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 3), (FpAlu, 2), (IntAlu, 1), (Branch, 1)]);
+    let ipw = body.len() as u64 * 65;
+    let k = KernelSpec::new(
+        "spmv_kernel",
+        vec![BasicBlock::new(body, 65, 0.2)],
+        6,
+        sized_ctas(ipw, 6, target::IRREGULAR),
+        MemoryBehavior::new(64 << 20, 128, 0.5, 0.15),
+    );
+    bench("spmv", Boundedness::Irregular, vec![k])
+}
+
+/// `stencil`: 3D 7-point stencil. Streaming planes with neighbor reuse — a
+/// balanced mix that shifts between memory- and compute-bound with the
+/// clock.
+pub fn stencil() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 2), (FpAlu, 6), (StoreGlobal, 1)]);
+    let ipw = body.len() as u64 * 80;
+    let k = KernelSpec::new(
+        "stencil_kernel",
+        vec![BasicBlock::new(body, 80, 0.0)],
+        8,
+        sized_ctas(ipw, 8, target::MIXED),
+        MemoryBehavior::cache_friendly(32 << 20, 0.6),
+    );
+    bench("stencil", Boundedness::Mixed, vec![k])
+}
+
+
+
+/// `tpacf`: two-point angular correlation. Histogramming angular distances
+/// between galaxy pairs — FP/SFU distance math with scattered histogram
+/// updates.
+pub fn tpacf() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 2), (FpAlu, 5), (Sfu, 1), (IntAlu, 1), (StoreGlobal, 1)]);
+    let ipw = body.len() as u64 * 75;
+    let k = KernelSpec::new(
+        "tpacf_kernel",
+        vec![BasicBlock::new(body, 75, 0.1)],
+        8,
+        sized_ctas(ipw, 8, target::MIXED),
+        MemoryBehavior::new(24 << 20, 128, 0.25, 0.25),
+    );
+    bench("tpacf", Boundedness::Mixed, vec![k])
+}
+
+/// `mri-gridding`: non-uniform sample gridding. Scattered accumulations
+/// into a 3D grid — random writes with moderate FP work per sample.
+pub fn mri_gridding() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 2), (FpAlu, 4), (StoreGlobal, 2), (Branch, 1)]);
+    let ipw = body.len() as u64 * 60;
+    let k = KernelSpec::new(
+        "mri_gridding_kernel",
+        vec![BasicBlock::new(body, 60, 0.2)],
+        6,
+        sized_ctas(ipw, 6, target::IRREGULAR),
+        MemoryBehavior::irregular(48 << 20, 0.55),
+    );
+    bench("mri-gridding", Boundedness::Irregular, vec![k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_parboil_benchmarks_construct() {
+        let all = [
+            cutcp(),
+            histo(),
+            lbm(),
+            mriq(),
+            sad(),
+            sgemm(),
+            spmv(),
+            stencil(),
+            tpacf(),
+            mri_gridding(),
+        ];
+        for b in &all {
+            assert_eq!(b.family(), Family::Parboil);
+            assert!(b.workload().total_instructions() > 100_000, "{} too small", b.name());
+        }
+    }
+
+    #[test]
+    fn sgemm_is_fma_dominated() {
+        let b = sgemm();
+        let kernel = &b.workload().kernels()[0];
+        let fp = kernel.blocks()[0]
+            .instrs
+            .iter()
+            .filter(|i| i.class == FpAlu)
+            .count();
+        assert!(fp * 2 > kernel.blocks()[0].instrs.len(), "sgemm should be mostly FMA");
+    }
+
+    #[test]
+    fn lbm_streams_a_large_working_set() {
+        let b = lbm();
+        let mem = b.workload().kernels()[0].mem();
+        assert!(mem.working_set_bytes >= 64 << 20);
+        assert_eq!(mem.hot_frac, 0.0);
+    }
+}

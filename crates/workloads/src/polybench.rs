@@ -1,0 +1,235 @@
+//! Benchmarks modeled after PolyBench/GPU (Pouchet et al.).
+//!
+//! PolyBench kernels are small, regular linear-algebra loops; the compute
+//! ones are tiled matrix products, the memory ones are matrix-vector sweeps
+//! that stream whole matrices per output element.
+
+use gpu_sim::InstrClass::*;
+use gpu_sim::{BasicBlock, KernelSpec, MemoryBehavior, Workload};
+
+use crate::benchmark::{Benchmark, Boundedness, Family};
+use crate::builders::{interleave, mix, sized_ctas, target};
+
+fn bench(name: &str, character: Boundedness, kernels: Vec<KernelSpec>) -> Benchmark {
+    Benchmark::new(name, Family::Polybench, character, Workload::new(name, kernels))
+}
+
+fn gemm_like(name: &str, iters: u32, share: u64) -> KernelSpec {
+    // Tiled matrix products have high arithmetic intensity: most operand
+    // traffic hits the shared-memory/L1 tile, and only the tile loads touch
+    // DRAM.
+    let body = {
+        let mut b = mix(&[(LoadGlobal, 1), (LoadShared, 3)]);
+        b.extend(mix(&[(FpAlu, 12)]));
+        b
+    };
+    let ipw = body.len() as u64 * iters as u64;
+    KernelSpec::new(
+        name,
+        vec![BasicBlock::new(body, iters, 0.0)],
+        8,
+        sized_ctas(ipw, 8, share),
+        MemoryBehavior::cache_friendly(8 << 20, 0.85),
+    )
+}
+
+fn matvec_like(name: &str, iters: u32, share: u64) -> KernelSpec {
+    let body = interleave(&[(LoadGlobal, 3), (FpAlu, 2), (IntAlu, 1)]);
+    let ipw = body.len() as u64 * iters as u64;
+    KernelSpec::new(
+        name,
+        vec![BasicBlock::new(body, iters, 0.0)],
+        8,
+        sized_ctas(ipw, 8, share),
+        MemoryBehavior::streaming(64 << 20),
+    )
+}
+
+/// `2mm`: two chained matrix products (`D = A·B; E = C·D`).
+pub fn twomm() -> Benchmark {
+    bench(
+        "2mm",
+        Boundedness::Compute,
+        vec![
+            gemm_like("2mm_k1", 100, target::COMPUTE / 2),
+            gemm_like("2mm_k2", 100, target::COMPUTE / 2),
+        ],
+    )
+}
+
+/// `3mm`: three chained matrix products.
+pub fn threemm() -> Benchmark {
+    bench(
+        "3mm",
+        Boundedness::Compute,
+        vec![
+            gemm_like("3mm_k1", 90, target::COMPUTE / 3),
+            gemm_like("3mm_k2", 90, target::COMPUTE / 3),
+            gemm_like("3mm_k3", 90, target::COMPUTE / 3),
+        ],
+    )
+}
+
+/// `atax`: `y = Aᵀ(Ax)` — two matrix-vector sweeps streaming `A` twice.
+pub fn atax() -> Benchmark {
+    bench(
+        "atax",
+        Boundedness::Memory,
+        vec![
+            matvec_like("atax_k1", 70, target::MEMORY / 2),
+            matvec_like("atax_k2", 70, target::MEMORY / 2),
+        ],
+    )
+}
+
+/// `bicg`: BiCGStab sub-kernels `q = Ap`, `s = Aᵀr` — matrix-vector
+/// streams with disjoint access directions.
+pub fn bicg() -> Benchmark {
+    bench(
+        "bicg",
+        Boundedness::Memory,
+        vec![
+            matvec_like("bicg_q", 70, target::MEMORY / 2),
+            matvec_like("bicg_s", 70, target::MEMORY / 2),
+        ],
+    )
+}
+
+/// `correlation`: mean/stddev reductions followed by the correlation-matrix
+/// product — reduction phases with barriers, then a compute phase.
+pub fn correlation() -> Benchmark {
+    let reduce = {
+        let mut body = interleave(&[(LoadGlobal, 2), (FpAlu, 3), (LoadShared, 1)]);
+        body.push(Barrier);
+        body.extend(mix(&[(FpAlu, 2), (Sfu, 1)]));
+        let ipw = body.len() as u64 * 60;
+        KernelSpec::new(
+            "correlation_reduce",
+            vec![BasicBlock::new(body, 60, 0.0)],
+            8,
+            sized_ctas(ipw, 8, target::MIXED / 2),
+            MemoryBehavior::streaming(24 << 20),
+        )
+    };
+    let corr = gemm_like("correlation_corr", 80, target::MIXED / 2);
+    bench("correlation", Boundedness::Mixed, vec![reduce, corr])
+}
+
+/// `gemm`: a single dense matrix product.
+pub fn gemm() -> Benchmark {
+    bench("gemm", Boundedness::Compute, vec![gemm_like("gemm_kernel", 130, target::COMPUTE)])
+}
+
+/// `mvt`: `x1 = x1 + Ay; x2 = x2 + Aᵀy` — two matrix-vector sweeps.
+pub fn mvt() -> Benchmark {
+    bench(
+        "mvt",
+        Boundedness::Memory,
+        vec![
+            matvec_like("mvt_k1", 70, target::MEMORY / 2),
+            matvec_like("mvt_k2", 70, target::MEMORY / 2),
+        ],
+    )
+}
+
+/// `syrk`: symmetric rank-k update `C = αAAᵀ + βC` — gemm-shaped compute
+/// with a triangular iteration space (modeled as mild divergence).
+pub fn syrk() -> Benchmark {
+    let body = {
+        let mut b = mix(&[(LoadGlobal, 1), (LoadShared, 3)]);
+        b.extend(mix(&[(FpAlu, 12), (Branch, 1)]));
+        b
+    };
+    let ipw = body.len() as u64 * 100;
+    let k = KernelSpec::new(
+        "syrk_kernel",
+        vec![BasicBlock::new(body, 100, 0.1)],
+        8,
+        sized_ctas(ipw, 8, target::COMPUTE),
+        MemoryBehavior::cache_friendly(8 << 20, 0.85),
+    );
+    bench("syrk", Boundedness::Compute, vec![k])
+}
+
+
+
+/// `fdtd-2d`: finite-difference time domain. Three alternating field-update
+/// sweeps per timestep — stencil reads with streaming writes.
+pub fn fdtd2d() -> Benchmark {
+    let sweep = |name: &str| {
+        let body = interleave(&[(LoadGlobal, 3), (FpAlu, 4), (StoreGlobal, 1)]);
+        let ipw = body.len() as u64 * 60;
+        KernelSpec::new(
+            name,
+            vec![BasicBlock::new(body, 60, 0.0)],
+            8,
+            sized_ctas(ipw, 8, target::MIXED / 3),
+            MemoryBehavior::cache_friendly(32 << 20, 0.4),
+        )
+    };
+    bench(
+        "fdtd-2d",
+        Boundedness::Mixed,
+        vec![sweep("fdtd2d_ex"), sweep("fdtd2d_ey"), sweep("fdtd2d_hz")],
+    )
+}
+
+/// `gramschmidt`: QR decomposition by Gram-Schmidt. Dot-product reductions
+/// (barrier-synchronized) followed by vector updates.
+pub fn gramschmidt() -> Benchmark {
+    let body = {
+        let mut b = interleave(&[(LoadGlobal, 2), (FpAlu, 5), (LoadShared, 1)]);
+        b.push(Barrier);
+        b.extend(mix(&[(FpAlu, 2), (Sfu, 1), (StoreGlobal, 1)]));
+        b
+    };
+    let ipw = body.len() as u64 * 70;
+    let k = KernelSpec::new(
+        "gramschmidt_kernel",
+        vec![BasicBlock::new(body, 70, 0.0)],
+        8,
+        sized_ctas(ipw, 8, target::COMPUTE),
+        MemoryBehavior::cache_friendly(8 << 20, 0.55),
+    );
+    bench("gramschmidt", Boundedness::Compute, vec![k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_polybench_benchmarks_construct() {
+        let all = [
+            twomm(),
+            threemm(),
+            atax(),
+            bicg(),
+            correlation(),
+            gemm(),
+            mvt(),
+            syrk(),
+            fdtd2d(),
+            gramschmidt(),
+        ];
+        for b in &all {
+            assert_eq!(b.family(), Family::Polybench);
+            assert!(b.workload().total_instructions() > 100_000, "{} too small", b.name());
+        }
+    }
+
+    #[test]
+    fn chained_products_have_matching_kernel_counts() {
+        assert_eq!(twomm().workload().kernels().len(), 2);
+        assert_eq!(threemm().workload().kernels().len(), 3);
+    }
+
+    #[test]
+    fn memory_benchmarks_stream() {
+        for b in [atax(), bicg(), mvt()] {
+            for k in b.workload().kernels() {
+                assert!(k.mem().working_set_bytes >= 32 << 20, "{} should stream", k.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Benchmarks modeled after the Rodinia suite (Che et al., IISWC 2009).
+//!
+//! Each function documents which real program it models and which execution
+//! characteristics it reproduces: arithmetic intensity, locality, divergence
+//! and phase structure.
+
+use gpu_sim::InstrClass::*;
+use gpu_sim::{BasicBlock, KernelSpec, MemoryBehavior, Workload};
+
+use crate::benchmark::{Benchmark, Boundedness, Family};
+use crate::builders::{interleave, mix, sized_ctas, target};
+
+fn bench(name: &str, character: Boundedness, kernels: Vec<KernelSpec>) -> Benchmark {
+    Benchmark::new(name, Family::Rodinia, character, Workload::new(name, kernels))
+}
+
+/// `backprop`: neural-network training. Two phases per pass — a
+/// compute-heavy forward layer (FMAs over a weight matrix with good reuse)
+/// and a memory-heavy weight-update sweep (streaming read-modify-write).
+pub fn backprop() -> Benchmark {
+    let forward = {
+        let body = interleave(&[(FpAlu, 8), (LoadGlobal, 2), (LoadShared, 1)]);
+        let ipw = body.len() as u64 * 120;
+        KernelSpec::new(
+            "backprop_forward",
+            vec![BasicBlock::new(body, 120, 0.0)],
+            8,
+            sized_ctas(ipw, 8, target::MIXED * 2 / 3),
+            MemoryBehavior::cache_friendly(8 << 20, 0.6),
+        )
+    };
+    let update = {
+        let body = interleave(&[(LoadGlobal, 2), (FpAlu, 2), (StoreGlobal, 1)]);
+        let ipw = body.len() as u64 * 80;
+        KernelSpec::new(
+            "backprop_update",
+            vec![BasicBlock::new(body, 80, 0.0)],
+            8,
+            sized_ctas(ipw, 8, target::MIXED / 3),
+            MemoryBehavior::streaming(32 << 20),
+        )
+    };
+    bench("backprop", Boundedness::Mixed, vec![forward, update])
+}
+
+/// `bfs`: breadth-first search. Graph frontier expansion — highly divergent
+/// branches, data-dependent (random) neighbor loads, almost no arithmetic.
+pub fn bfs() -> Benchmark {
+    let body = {
+        let mut b = mix(&[(LoadGlobal, 2), (IntAlu, 2), (Branch, 1)]);
+        b.extend(mix(&[(LoadGlobal, 1), (IntAlu, 1), (Branch, 1)]));
+        b
+    };
+    let ipw = body.len() as u64 * 60;
+    let k = KernelSpec::new(
+        "bfs_kernel",
+        vec![BasicBlock::new(body, 60, 0.35)],
+        6,
+        sized_ctas(ipw, 6, target::IRREGULAR),
+        MemoryBehavior::irregular(48 << 20, 0.7),
+    );
+    bench("bfs", Boundedness::Irregular, vec![k])
+}
+
+/// `gaussian`: Gaussian elimination. A sequence of dense row-reduction
+/// kernels of shrinking extent; each is FMA-dominated with row reuse.
+pub fn gaussian() -> Benchmark {
+    let kernels = (0..3)
+        .map(|step| {
+            let body = interleave(&[(FpAlu, 6), (LoadGlobal, 1), (IntAlu, 1)]);
+            let iters = 150 - step * 30;
+            let ipw = body.len() as u64 * iters as u64;
+            KernelSpec::new(
+                format!("gaussian_step{step}"),
+                vec![BasicBlock::new(body, iters, 0.0)],
+                8,
+                sized_ctas(ipw, 8, target::COMPUTE / 3),
+                MemoryBehavior::cache_friendly(4 << 20, 0.5),
+            )
+        })
+        .collect();
+    bench("gaussian", Boundedness::Compute, kernels)
+}
+
+/// `hotspot`: thermal stencil. Iterative 2D stencil with shared-memory
+/// tiling and per-iteration barriers; neighbors hit the cache, boundary
+/// cells stream.
+pub fn hotspot() -> Benchmark {
+    let body = {
+        let mut b = interleave(&[(LoadGlobal, 2), (LoadShared, 3), (FpAlu, 6)]);
+        b.push(Barrier);
+        b.extend(mix(&[(FpAlu, 2), (StoreShared, 1)]));
+        b.push(Barrier);
+        b
+    };
+    let ipw = body.len() as u64 * 50;
+    let k = KernelSpec::new(
+        "hotspot_kernel",
+        vec![BasicBlock::new(body, 50, 0.0)],
+        8,
+        sized_ctas(ipw, 8, target::MIXED),
+        MemoryBehavior::cache_friendly(16 << 20, 0.55),
+    );
+    bench("hotspot", Boundedness::Mixed, vec![k])
+}
+
+/// `kmeans`: clustering. Phase 1 streams every point against the centroid
+/// table (memory + compute), phase 2 recomputes centroids (compute with
+/// shared-memory reduction).
+pub fn kmeans() -> Benchmark {
+    let assign = {
+        let body = interleave(&[(LoadGlobal, 2), (FpAlu, 4), (IntAlu, 1), (Branch, 1)]);
+        let ipw = body.len() as u64 * 70;
+        KernelSpec::new(
+            "kmeans_assign",
+            vec![BasicBlock::new(body, 70, 0.1)],
+            8,
+            sized_ctas(ipw, 8, target::MIXED / 2),
+            MemoryBehavior::new(24 << 20, 128, 0.1, 0.3),
+        )
+    };
+    let update = {
+        let mut body = interleave(&[(LoadShared, 2), (FpAlu, 5)]);
+        body.push(Barrier);
+        let ipw = body.len() as u64 * 60;
+        KernelSpec::new(
+            "kmeans_update",
+            vec![BasicBlock::new(body, 60, 0.0)],
+            8,
+            sized_ctas(ipw, 8, target::MIXED / 2),
+            MemoryBehavior::cache_friendly(2 << 20, 0.8),
+        )
+    };
+    bench("kmeans", Boundedness::Mixed, vec![assign, update])
+}
+
+/// `lavaMD`: N-body within cutoff boxes. Very high arithmetic intensity —
+/// the inner loop evaluates `exp()` per particle pair (SFU-heavy) over
+/// shared-memory particle tiles.
+pub fn lavamd() -> Benchmark {
+    let body = interleave(&[(FpAlu, 8), (Sfu, 4), (LoadShared, 2)]);
+    let ipw = body.len() as u64 * 100;
+    let k = KernelSpec::new(
+        "lavamd_kernel",
+        vec![BasicBlock::new(body, 100, 0.0)],
+        8,
+        sized_ctas(ipw, 8, target::COMPUTE),
+        MemoryBehavior::cache_friendly(6 << 20, 0.7),
+    );
+    bench("lavamd", Boundedness::Compute, vec![k])
+}
+
+/// `lud`: LU decomposition. Iterative diagonal/perimeter/internal kernels;
+/// modeled as a barrier-synchronized FMA-dominated sweep.
+pub fn lud() -> Benchmark {
+    let body = {
+        let mut b = interleave(&[(FpAlu, 8), (LoadShared, 2), (LoadGlobal, 1)]);
+        b.push(Barrier);
+        b
+    };
+    let ipw = body.len() as u64 * 90;
+    let k = KernelSpec::new(
+        "lud_kernel",
+        vec![BasicBlock::new(body, 90, 0.0)],
+        8,
+        sized_ctas(ipw, 8, target::COMPUTE),
+        MemoryBehavior::cache_friendly(4 << 20, 0.6),
+    );
+    bench("lud", Boundedness::Compute, vec![k])
+}
+
+/// `nw`: Needleman-Wunsch sequence alignment. Wavefront dependency pattern
+/// — barrier-heavy with strided loads and little arithmetic.
+pub fn nw() -> Benchmark {
+    let body = {
+        let mut b = interleave(&[(LoadGlobal, 2), (IntAlu, 2), (Branch, 1)]);
+        b.push(Barrier);
+        b
+    };
+    let ipw = body.len() as u64 * 70;
+    let k = KernelSpec::new(
+        "nw_kernel",
+        vec![BasicBlock::new(body, 70, 0.05)],
+        6,
+        sized_ctas(ipw, 6, target::MEMORY),
+        MemoryBehavior::new(16 << 20, 512, 0.0, 0.2),
+    );
+    bench("nw", Boundedness::Memory, vec![k])
+}
+
+/// `pathfinder`: dynamic programming over a grid. Row-by-row streaming with
+/// shared-memory reuse of the previous row.
+pub fn pathfinder() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 2), (LoadShared, 1), (IntAlu, 2), (StoreGlobal, 1)]);
+    let ipw = body.len() as u64 * 80;
+    let k = KernelSpec::new(
+        "pathfinder_kernel",
+        vec![BasicBlock::new(body, 80, 0.1)],
+        8,
+        sized_ctas(ipw, 8, target::MEMORY),
+        MemoryBehavior::streaming(48 << 20),
+    );
+    bench("pathfinder", Boundedness::Memory, vec![k])
+}
+
+/// `srad`: speckle-reducing anisotropic diffusion. Iterative stencil with
+/// transcendental ops (exp) — alternating SFU-heavy compute and
+/// neighbor-gather memory phases.
+pub fn srad() -> Benchmark {
+    let gather = {
+        let body = interleave(&[(LoadGlobal, 4), (FpAlu, 3), (IntAlu, 1)]);
+        let ipw = body.len() as u64 * 60;
+        KernelSpec::new(
+            "srad_gather",
+            vec![BasicBlock::new(body, 60, 0.0)],
+            8,
+            sized_ctas(ipw, 8, target::MIXED / 2),
+            MemoryBehavior::cache_friendly(24 << 20, 0.4),
+        )
+    };
+    let diffuse = {
+        let body = interleave(&[(FpAlu, 6), (Sfu, 2), (LoadGlobal, 1), (StoreGlobal, 1)]);
+        let ipw = body.len() as u64 * 60;
+        KernelSpec::new(
+            "srad_diffuse",
+            vec![BasicBlock::new(body, 60, 0.0)],
+            8,
+            sized_ctas(ipw, 8, target::MIXED / 2),
+            MemoryBehavior::cache_friendly(24 << 20, 0.5),
+        )
+    };
+    bench("srad", Boundedness::Mixed, vec![gather, diffuse])
+}
+
+
+
+/// `streamcluster`: online clustering. Repeated distance evaluations over a
+/// streamed point set — long FP chains against data that mostly misses the
+/// caches, with a divergent assignment branch.
+pub fn streamcluster() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 3), (FpAlu, 5), (Branch, 1), (StoreGlobal, 1)]);
+    let ipw = body.len() as u64 * 70;
+    let k = KernelSpec::new(
+        "streamcluster_kernel",
+        vec![BasicBlock::new(body, 70, 0.15)],
+        8,
+        sized_ctas(ipw, 8, target::MEMORY),
+        MemoryBehavior::new(64 << 20, 128, 0.2, 0.1),
+    );
+    bench("streamcluster", Boundedness::Memory, vec![k])
+}
+
+/// `b+tree`: database index lookups. Pointer-chasing tree descents — short
+/// dependent load chains at random addresses with key-comparison branches.
+pub fn btree() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 2), (IntAlu, 3), (Branch, 2)]);
+    let ipw = body.len() as u64 * 55;
+    let k = KernelSpec::new(
+        "btree_kernel",
+        vec![BasicBlock::new(body, 55, 0.3)],
+        6,
+        sized_ctas(ipw, 6, target::IRREGULAR),
+        MemoryBehavior::irregular(32 << 20, 0.8),
+    );
+    bench("b+tree", Boundedness::Irregular, vec![k])
+}
+
+/// `cfd`: unstructured-grid Euler solver. Gather over irregular neighbor
+/// lists feeding a flux computation with transcendental ops.
+pub fn cfd() -> Benchmark {
+    let body = interleave(&[(LoadGlobal, 3), (FpAlu, 6), (Sfu, 1), (StoreGlobal, 1)]);
+    let ipw = body.len() as u64 * 80;
+    let k = KernelSpec::new(
+        "cfd_kernel",
+        vec![BasicBlock::new(body, 80, 0.05)],
+        8,
+        sized_ctas(ipw, 8, target::MIXED),
+        MemoryBehavior::new(48 << 20, 128, 0.3, 0.2),
+    );
+    bench("cfd", Boundedness::Mixed, vec![k])
+}
+
+/// `heartwall`: ultrasound image tracking. Template-matching windows with
+/// strong reuse (shared-memory tiles) and FP-heavy correlation sums.
+pub fn heartwall() -> Benchmark {
+    let body = {
+        let mut b = interleave(&[(LoadGlobal, 1), (LoadShared, 3), (FpAlu, 7)]);
+        b.push(Barrier);
+        b
+    };
+    let ipw = body.len() as u64 * 90;
+    let k = KernelSpec::new(
+        "heartwall_kernel",
+        vec![BasicBlock::new(body, 90, 0.0)],
+        8,
+        sized_ctas(ipw, 8, target::COMPUTE),
+        MemoryBehavior::cache_friendly(12 << 20, 0.75),
+    );
+    bench("heartwall", Boundedness::Compute, vec![k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rodinia_benchmarks_construct() {
+        let all = [
+            backprop(),
+            bfs(),
+            gaussian(),
+            hotspot(),
+            kmeans(),
+            lavamd(),
+            lud(),
+            nw(),
+            pathfinder(),
+            srad(),
+            streamcluster(),
+            btree(),
+            cfd(),
+            heartwall(),
+        ];
+        for b in &all {
+            assert_eq!(b.family(), Family::Rodinia);
+            assert!(b.workload().total_instructions() > 100_000, "{} too small", b.name());
+        }
+    }
+
+    #[test]
+    fn characters_span_the_axes() {
+        assert_eq!(bfs().character(), Boundedness::Irregular);
+        assert_eq!(lavamd().character(), Boundedness::Compute);
+        assert_eq!(pathfinder().character(), Boundedness::Memory);
+        assert_eq!(hotspot().character(), Boundedness::Mixed);
+    }
+
+    #[test]
+    fn phase_benchmarks_have_multiple_kernels() {
+        assert_eq!(backprop().workload().kernels().len(), 2);
+        assert_eq!(kmeans().workload().kernels().len(), 2);
+        assert_eq!(gaussian().workload().kernels().len(), 3);
+    }
+}

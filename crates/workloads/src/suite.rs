@@ -1,0 +1,164 @@
+//! The full suite and the train/evaluation split.
+
+use crate::benchmark::Benchmark;
+use crate::{parboil, polybench, rodinia};
+
+/// Every benchmark in the suite at standard size, in a stable order.
+///
+/// # Examples
+///
+/// ```
+/// let suite = gpu_workloads::suite();
+/// assert!(suite.iter().any(|b| b.name() == "sgemm"));
+/// assert!(suite.iter().any(|b| b.name() == "bfs"));
+/// ```
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        // Rodinia
+        rodinia::backprop(),
+        rodinia::bfs(),
+        rodinia::gaussian(),
+        rodinia::hotspot(),
+        rodinia::kmeans(),
+        rodinia::lavamd(),
+        rodinia::lud(),
+        rodinia::nw(),
+        rodinia::pathfinder(),
+        rodinia::srad(),
+        rodinia::streamcluster(),
+        rodinia::btree(),
+        rodinia::cfd(),
+        rodinia::heartwall(),
+        // Parboil
+        parboil::cutcp(),
+        parboil::histo(),
+        parboil::lbm(),
+        parboil::mriq(),
+        parboil::sad(),
+        parboil::sgemm(),
+        parboil::spmv(),
+        parboil::stencil(),
+        parboil::tpacf(),
+        parboil::mri_gridding(),
+        // PolyBench
+        polybench::twomm(),
+        polybench::threemm(),
+        polybench::atax(),
+        polybench::bicg(),
+        polybench::correlation(),
+        polybench::gemm(),
+        polybench::mvt(),
+        polybench::syrk(),
+        polybench::fdtd2d(),
+        polybench::gramschmidt(),
+    ]
+}
+
+/// Names of the benchmarks used to generate SSMDVFS training data.
+pub const TRAINING_NAMES: [&str; 15] = [
+    "backprop", "gaussian", "hotspot", "lavamd", "nw", "srad", "cutcp", "lbm", "sgemm",
+    "stencil", "2mm", "atax", "syrk", "correlation", "sad",
+];
+
+/// Names of the benchmarks used for full-system evaluation (Fig. 4). Ten of
+/// the fourteen are absent from [`TRAINING_NAMES`], satisfying the paper's
+/// ">50 % of the selected programs are not included in the training set".
+pub const EVALUATION_NAMES: [&str; 14] = [
+    // Seen during training:
+    "sgemm", "hotspot", "atax", "lbm",
+    // Unseen:
+    "bfs", "kmeans", "lud", "histo", "mriq", "spmv", "3mm", "gemm", "mvt", "bicg",
+];
+
+/// Looks a benchmark up by name.
+///
+/// # Examples
+///
+/// ```
+/// assert!(gpu_workloads::by_name("lbm").is_some());
+/// assert!(gpu_workloads::by_name("doom").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name() == name)
+}
+
+/// The benchmarks whose data-generation runs feed model training.
+pub fn training_set() -> Vec<Benchmark> {
+    TRAINING_NAMES
+        .iter()
+        .map(|n| by_name(n).unwrap_or_else(|| panic!("training benchmark '{n}' missing")))
+        .collect()
+}
+
+/// The benchmarks used in the Fig. 4 full-system comparison.
+pub fn evaluation_set() -> Vec<Benchmark> {
+    EVALUATION_NAMES
+        .iter()
+        .map(|n| by_name(n).unwrap_or_else(|| panic!("evaluation benchmark '{n}' missing")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Boundedness;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_has_over_twenty_unique_benchmarks() {
+        let s = suite();
+        assert!(s.len() > 20);
+        let names: HashSet<&str> = s.iter().map(Benchmark::name).collect();
+        assert_eq!(names.len(), s.len(), "benchmark names must be unique");
+    }
+
+    #[test]
+    fn split_satisfies_the_papers_unseen_requirement() {
+        let train: HashSet<String> =
+            training_set().iter().map(|b| b.name().to_string()).collect();
+        let eval = evaluation_set();
+        let unseen = eval.iter().filter(|b| !train.contains(b.name())).count();
+        assert!(
+            unseen * 2 > eval.len(),
+            "more than half the evaluation programs must be unseen ({unseen}/{})",
+            eval.len()
+        );
+    }
+
+    #[test]
+    fn split_members_exist_in_suite() {
+        for n in TRAINING_NAMES.iter().chain(EVALUATION_NAMES.iter()) {
+            assert!(by_name(n).is_some(), "'{n}' not in suite");
+        }
+    }
+
+    #[test]
+    fn training_set_spans_characters() {
+        let chars: HashSet<Boundedness> =
+            training_set().iter().map(Benchmark::character).collect();
+        assert!(chars.contains(&Boundedness::Compute));
+        assert!(chars.contains(&Boundedness::Memory));
+        assert!(chars.contains(&Boundedness::Mixed));
+    }
+
+    #[test]
+    fn evaluation_set_spans_characters() {
+        let chars: HashSet<Boundedness> =
+            evaluation_set().iter().map(Benchmark::character).collect();
+        assert!(chars.len() >= 3);
+    }
+
+    #[test]
+    fn standard_sizes_are_in_the_execution_budget() {
+        // Total instructions should be in the range that runs for roughly
+        // 100-600 µs on the 24-cluster default-clock configuration.
+        for b in suite() {
+            let total = b.workload().total_instructions();
+            assert!(
+                (500_000..20_000_000).contains(&total),
+                "{}: {total} instructions outside the expected envelope",
+                b.name()
+            );
+        }
+    }
+}

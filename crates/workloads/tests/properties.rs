@@ -1,0 +1,105 @@
+//! Property-based and structural tests for the benchmark suite.
+
+use gpu_workloads::{by_name, evaluation_set, suite, training_set, Boundedness};
+use proptest::prelude::*;
+
+proptest! {
+    /// Scaling a benchmark scales its CTA counts proportionally (within
+    /// rounding) and never below one CTA.
+    #[test]
+    fn scaling_is_proportionate(idx in 0usize..26, factor in 0.01f64..4.0) {
+        let all = suite();
+        let b = &all[idx % all.len()];
+        let scaled = b.scaled(factor);
+        for (orig, new) in b.workload().kernels().iter().zip(scaled.workload().kernels()) {
+            let expected = ((orig.num_ctas() as f64 * factor).round() as usize).max(1);
+            prop_assert_eq!(new.num_ctas(), expected);
+            prop_assert_eq!(new.instructions_per_warp(), orig.instructions_per_warp());
+        }
+    }
+
+    /// Every benchmark's total instruction count is consistent with its
+    /// kernels' geometry.
+    #[test]
+    fn instruction_accounting_is_consistent(idx in 0usize..64) {
+        let all = suite();
+        let b = &all[idx % all.len()];
+        let total: u64 = b
+            .workload()
+            .kernels()
+            .iter()
+            .map(|k| k.instructions_per_warp() * k.warps_per_cta() as u64 * k.num_ctas() as u64)
+            .sum();
+        prop_assert_eq!(total, b.workload().total_instructions());
+    }
+}
+
+#[test]
+fn every_benchmark_has_valid_memory_behaviour() {
+    for b in suite() {
+        for k in b.workload().kernels() {
+            let mem = k.mem();
+            assert!(mem.working_set_bytes > 0, "{}: empty working set", k.name());
+            assert!(
+                mem.random_frac + mem.hot_frac <= 1.0 + f32::EPSILON,
+                "{}: inconsistent access fractions",
+                k.name()
+            );
+            assert!(k.warps_per_cta() <= 48, "{}: CTA would not fit an SM", k.name());
+        }
+    }
+}
+
+#[test]
+fn advertised_characters_match_memory_parameters() {
+    // Structural sanity: memory-bound benchmarks must actually stream
+    // (low hot fraction or big working sets); compute-bound ones must have
+    // strong locality.
+    for b in suite() {
+        let kernels = b.workload().kernels();
+        match b.character() {
+            Boundedness::Memory => {
+                assert!(
+                    kernels.iter().any(|k| k.mem().hot_frac < 0.5),
+                    "{}: memory-bound but every kernel is cache-friendly",
+                    b.name()
+                );
+            }
+            Boundedness::Compute => {
+                assert!(
+                    kernels.iter().all(|k| k.mem().hot_frac >= 0.5 || k.mem().working_set_bytes <= 8 << 20),
+                    "{}: compute-bound but streams a large working set",
+                    b.name()
+                );
+            }
+            Boundedness::Irregular => {
+                assert!(
+                    kernels.iter().any(|k| k.mem().random_frac > 0.3),
+                    "{}: irregular but no random access",
+                    b.name()
+                );
+            }
+            Boundedness::Mixed => {}
+        }
+    }
+}
+
+#[test]
+fn training_and_evaluation_sets_are_stable() {
+    // The experiment results in EXPERIMENTS.md depend on this exact split.
+    let train: Vec<&str> = gpu_workloads::TRAINING_NAMES.to_vec();
+    assert_eq!(train.len(), 15);
+    assert_eq!(gpu_workloads::EVALUATION_NAMES.len(), 14);
+    assert_eq!(training_set().len(), 15);
+    assert_eq!(evaluation_set().len(), 14);
+    // Spot anchors.
+    assert!(train.contains(&"sgemm"));
+    assert!(gpu_workloads::EVALUATION_NAMES.contains(&"mriq"));
+}
+
+#[test]
+fn lookup_is_total_over_both_sets() {
+    for n in gpu_workloads::TRAINING_NAMES.iter().chain(gpu_workloads::EVALUATION_NAMES.iter()) {
+        assert!(by_name(n).is_some(), "split references unknown benchmark '{n}'");
+    }
+}

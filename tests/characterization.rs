@@ -1,0 +1,71 @@
+//! Cross-crate integration: the benchmark suite's advertised characters
+//! must match its measured frequency sensitivity — this is the ground truth
+//! every governor in the workspace learns from or models.
+
+use gpu_sim::{GpuConfig, Simulation, StaticGovernor, Time};
+use gpu_workloads::{by_name, Boundedness};
+
+const HORIZON: Time = Time::from_ps(30_000 * 1_000_000);
+
+/// End-to-end slowdown of running a benchmark entirely at the 683 MHz floor
+/// versus the 1165 MHz default (first epoch always runs at the default, so
+/// the measured ratio slightly understates the pure-frequency ratio).
+fn floor_slowdown(name: &str) -> f64 {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}")).scaled(0.08);
+    let run = |idx: usize| {
+        let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
+        let mut governor = StaticGovernor::new(idx);
+        let r = sim.run(&mut governor, HORIZON);
+        assert!(r.completed, "{name} must complete");
+        r.time.as_secs()
+    };
+    run(0) / run(cfg.vf_table.default_index())
+}
+
+#[test]
+fn compute_bound_benchmarks_are_frequency_sensitive() {
+    for name in ["gemm", "lavamd", "mriq"] {
+        let slowdown = floor_slowdown(name);
+        assert!(
+            slowdown > 1.35,
+            "{name} advertises compute-bound but slows only {slowdown:.2}x at the floor"
+        );
+    }
+}
+
+#[test]
+fn memory_bound_benchmarks_are_frequency_tolerant() {
+    for name in ["lbm", "mvt", "pathfinder"] {
+        let slowdown = floor_slowdown(name);
+        assert!(
+            slowdown < 1.30,
+            "{name} advertises memory-bound but slows {slowdown:.2}x at the floor"
+        );
+    }
+}
+
+#[test]
+fn mixed_benchmarks_sit_between_the_extremes() {
+    for name in ["hotspot", "stencil", "sad"] {
+        let slowdown = floor_slowdown(name);
+        assert!(
+            (1.10..1.65).contains(&slowdown),
+            "{name} advertises mixed behaviour but measured {slowdown:.2}x"
+        );
+    }
+}
+
+#[test]
+fn every_character_class_is_represented_and_ordered() {
+    // One representative per class, measured on identical infrastructure:
+    // compute > mixed > memory in frequency sensitivity.
+    let compute = floor_slowdown("gemm");
+    let mixed = floor_slowdown("stencil");
+    let memory = floor_slowdown("lbm");
+    assert!(
+        compute > mixed && mixed > memory,
+        "sensitivity ordering violated: compute {compute:.2} / mixed {mixed:.2} / memory {memory:.2}"
+    );
+    let _ = Boundedness::Irregular; // the fourth class is covered above via suite tests
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration: determinism and accounting invariants.
+
+use gpu_sim::{CounterId, GpuConfig, Simulation, StaticGovernor, Time};
+use gpu_workloads::by_name;
+
+const HORIZON: Time = Time::from_ps(20_000 * 1_000_000);
+
+#[test]
+fn identical_seeds_produce_identical_runs() {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name("stencil").expect("stencil exists").scaled(0.08);
+    let run = || {
+        let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
+        let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+        sim.run(&mut governor, HORIZON)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.time, b.time);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.energy, b.energy);
+    assert_eq!(a.epochs, b.epochs);
+}
+
+#[test]
+fn different_seeds_change_timing_but_not_total_work() {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name("spmv").expect("spmv exists").scaled(0.08);
+    let run = |seed: u64| {
+        let mut sim =
+            Simulation::new(cfg.clone().with_seed(seed), bench.workload().clone());
+        let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+        sim.run(&mut governor, HORIZON)
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_eq!(a.instructions, b.instructions, "instruction totals are seed-invariant");
+    // spmv's random access streams differ per seed, so timing differs.
+    assert_ne!(a.time, b.time, "irregular access timing should vary with the seed");
+}
+
+#[test]
+fn per_epoch_counters_are_consistent() {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name("backprop").expect("backprop exists").scaled(0.08);
+    let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
+    let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+    let result = sim.run(&mut governor, HORIZON);
+    assert!(result.completed);
+
+    let mut total_from_epochs = 0u64;
+    for record in sim.records() {
+        for c in &record.clusters {
+            let counters = &c.counters;
+            // Class counters sum to the total.
+            let class_sum = counters[CounterId::IntAluInstrs]
+                + counters[CounterId::FpAluInstrs]
+                + counters[CounterId::SfuInstrs]
+                + counters[CounterId::LoadGlobalInstrs]
+                + counters[CounterId::LoadSharedInstrs]
+                + counters[CounterId::StoreGlobalInstrs]
+                + counters[CounterId::StoreSharedInstrs]
+                + counters[CounterId::BranchInstrs]
+                + counters[CounterId::BarrierInstrs];
+            assert_eq!(class_sum, counters[CounterId::TotalInstrs]);
+            // Stall + issued cycles never exceed total cycles.
+            assert!(
+                counters[CounterId::IssuedCycles] + counters[CounterId::StallTotal]
+                    <= counters[CounterId::TotalCycles] + 0.5
+            );
+            // Cache hits/misses are consistent.
+            assert!(counters[CounterId::L1ReadMiss] <= counters[CounterId::L1ReadAccess]);
+            assert!(counters[CounterId::L2Miss] <= counters[CounterId::L2Access]);
+            // Energy is positive whenever cycles elapsed.
+            if counters[CounterId::TotalCycles] > 0.0 {
+                assert!(counters[CounterId::EnergyEpochJ] > 0.0);
+                assert!(counters[CounterId::PowerTotalW] > 0.0);
+            }
+            total_from_epochs += counters[CounterId::TotalInstrs] as u64;
+        }
+    }
+    assert_eq!(total_from_epochs, result.instructions);
+    assert_eq!(result.instructions, bench.workload().total_instructions());
+}
+
+#[test]
+fn snapshot_replay_reproduces_the_original_timeline() {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name("srad").expect("srad exists").scaled(0.08);
+    let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
+    let default_ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+    sim.step_epoch(&default_ops);
+    sim.step_epoch(&default_ops);
+    let snapshot = sim.clone();
+    let a = sim.step_epoch(&default_ops).clone();
+    let mut replay = snapshot;
+    let b = replay.step_epoch(&default_ops).clone();
+    assert_eq!(a, b, "a snapshot must continue exactly like the original");
+}

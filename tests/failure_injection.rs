@@ -1,0 +1,150 @@
+//! Failure-injection tests: the system's behaviour under hostile or
+//! degenerate inputs must be the *documented* behaviour — a clear panic for
+//! contract violations, graceful handling for recoverable weirdness.
+
+use gpu_power::VfTable;
+use gpu_sim::{
+    BasicBlock, CounterId, DvfsGovernor, EpochCounters, GpuConfig, InstrClass, KernelSpec,
+    MemoryBehavior, Simulation, StaticGovernor, Time, Workload,
+};
+use gpu_workloads::by_name;
+
+fn tiny_workload() -> Workload {
+    // Long enough to span several epochs, so the governor is actually
+    // consulted (the first epoch always runs at the default point).
+    let k = KernelSpec::new(
+        "k",
+        vec![BasicBlock::new(vec![InstrClass::IntAlu], 5_000, 0.0)],
+        2,
+        16,
+        MemoryBehavior::streaming(1 << 16),
+    );
+    Workload::new("tiny", vec![k])
+}
+
+/// A governor that returns garbage indices: the simulation must reject them
+/// loudly rather than corrupting the run.
+struct RogueGovernor;
+
+impl DvfsGovernor for RogueGovernor {
+    fn name(&self) -> &str {
+        "rogue"
+    }
+    fn decide(&mut self, _: usize, _: &EpochCounters, table: &VfTable) -> usize {
+        table.len() + 10
+    }
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_op_from_a_governor_panics() {
+    let cfg = GpuConfig::small_test();
+    let mut sim = Simulation::new(cfg, tiny_workload());
+    let mut governor = RogueGovernor;
+    sim.run(&mut governor, Time::from_micros(1_000.0));
+}
+
+#[test]
+#[should_panic(expected = "one operating point per cluster")]
+fn wrong_ops_vector_length_panics() {
+    let cfg = GpuConfig::small_test();
+    let mut sim = Simulation::new(cfg, tiny_workload());
+    sim.step_epoch(&[5]); // 2 clusters, 1 op
+}
+
+/// Governors consuming pathological counters (zeros, NaN-adjacent derived
+/// values) must still return valid indices.
+#[test]
+fn governors_survive_degenerate_counters() {
+    use dvfs_baselines::{
+        FlemmaConfig, FlemmaGovernor, OndemandConfig, OndemandGovernor, PcstallConfig,
+        PcstallGovernor,
+    };
+    let table = VfTable::titan_x();
+    let zeroed = EpochCounters::zeroed();
+    let mut extreme = EpochCounters::zeroed();
+    extreme[CounterId::TotalCycles] = 1.0;
+    extreme[CounterId::StallMemLoad] = 1e18;
+    extreme[CounterId::PowerTotalW] = 1e12;
+    extreme[CounterId::TotalInstrs] = 1e18;
+    extreme.recompute_derived();
+
+    let mut pcstall = PcstallGovernor::new(PcstallConfig::new(0.10));
+    let mut flemma = FlemmaGovernor::new(FlemmaConfig::new(0.10));
+    let mut ondemand = OndemandGovernor::new(OndemandConfig::default());
+    for counters in [&zeroed, &extreme] {
+        for _ in 0..5 {
+            assert!(pcstall.decide(0, counters, &table) < table.len());
+            assert!(flemma.decide(0, counters, &table) < table.len());
+            assert!(ondemand.decide(0, counters, &table) < table.len());
+        }
+    }
+}
+
+/// The SSMDVFS governor must keep producing valid decisions when its
+/// calibrator is sabotaged into absurd predictions.
+#[test]
+fn ssmdvfs_survives_a_broken_calibrator() {
+    use rand::SeedableRng;
+    use ssmdvfs::{CombinedModel, FeatureSet, SsmdvfsConfig, SsmdvfsGovernor};
+    use tinynn::{Matrix, Mlp, Normalizer};
+
+    let fs = FeatureSet::refined();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let decision = Mlp::new(&[fs.len() + 1, 8, 6], &mut rng);
+    let mut calibrator = Mlp::new(&[fs.len() + 2, 8, 1], &mut rng);
+    // Sabotage: enormous constant output.
+    for b in &mut calibrator.layers_mut().last_mut().unwrap().b {
+        *b = 1e9;
+    }
+    let model = CombinedModel {
+        decision,
+        calibrator,
+        feature_set: fs.clone(),
+        decision_norm: Normalizer::fit(&Matrix::zeros(3, fs.len() + 1)),
+        calibrator_norm: Normalizer::fit(&Matrix::zeros(3, fs.len() + 2)),
+        instr_scale: 1_000.0,
+        num_ops: 6,
+    };
+    let table = VfTable::titan_x();
+    let mut governor = SsmdvfsGovernor::new(model, SsmdvfsConfig::new(0.10));
+    let mut counters = EpochCounters::zeroed();
+    counters[CounterId::TotalCycles] = 10_000.0;
+    counters[CounterId::TotalInstrs] = 5_000.0;
+    counters.recompute_derived();
+    for _ in 0..20 {
+        let idx = governor.decide(0, &counters, &table);
+        assert!(idx < table.len());
+    }
+    // The broken calibrator drives the effective preset to its floor — the
+    // controller degrades to conservative decisions, never invalid ones.
+    assert!(governor.effective_preset(0) >= 0.0);
+    assert!(governor.effective_preset(0) <= 0.10);
+}
+
+/// A workload longer than the horizon reports an incomplete result instead
+/// of hanging or lying.
+#[test]
+fn horizon_truncation_is_reported() {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name("gemm").expect("gemm exists"); // full size, ~300 µs on 24 clusters
+    let mut sim = Simulation::new(cfg.clone(), bench.into_workload());
+    let mut governor = StaticGovernor::default_point(&cfg.vf_table);
+    let result = sim.run(&mut governor, Time::from_micros(50.0));
+    assert!(!result.completed);
+    assert_eq!(result.epochs, 5);
+    assert!(result.instructions > 0);
+}
+
+/// Model persistence rejects corrupt files with an error, not a panic.
+#[test]
+fn corrupt_model_file_is_an_error() {
+    use ssmdvfs::CombinedModel;
+    let dir = std::env::temp_dir().join("ssmdvfs_failure_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    std::fs::write(&path, "{ not json ").unwrap();
+    assert!(CombinedModel::load(&path).is_err());
+    assert!(CombinedModel::load(dir.join("missing.json")).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

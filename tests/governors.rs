@@ -1,0 +1,98 @@
+//! Cross-crate integration: qualitative ordering of the baseline governors.
+
+use dvfs_baselines::{run_oracle, FlemmaConfig, FlemmaGovernor, PcstallConfig, PcstallGovernor};
+use gpu_sim::{DvfsGovernor, GpuConfig, SimResult, Simulation, StaticGovernor, Time};
+use gpu_workloads::by_name;
+
+const HORIZON: Time = Time::from_ps(20_000 * 1_000_000);
+
+fn run(cfg: &GpuConfig, bench: &gpu_workloads::Benchmark, governor: &mut dyn DvfsGovernor) -> SimResult {
+    let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
+    let result = sim.run(governor, HORIZON);
+    assert!(result.completed, "{} must finish under {}", bench.name(), governor.name());
+    result
+}
+
+#[test]
+fn pcstall_beats_the_baseline_on_memory_bound_work_within_preset() {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name("lbm").expect("lbm exists").scaled(0.1);
+    let base = run(&cfg, &bench, &mut StaticGovernor::default_point(&cfg.vf_table));
+    let pcstall = run(&cfg, &bench, &mut PcstallGovernor::new(PcstallConfig::new(0.10)));
+    let base_report = base.edp_report();
+    let report = pcstall.edp_report();
+    assert!(
+        report.normalized_edp(&base_report) < 0.95,
+        "PCSTALL should exploit memory-boundedness, got {:.4}",
+        report.normalized_edp(&base_report)
+    );
+    assert!(report.performance_loss(&base_report) < 0.12);
+}
+
+#[test]
+fn pcstall_keeps_compute_bound_work_near_the_default() {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name("gemm").expect("gemm exists").scaled(0.1);
+    let base = run(&cfg, &bench, &mut StaticGovernor::default_point(&cfg.vf_table));
+    let pcstall = run(&cfg, &bench, &mut PcstallGovernor::new(PcstallConfig::new(0.10)));
+    let loss = pcstall.edp_report().performance_loss(&base.edp_report());
+    assert!(loss < 0.13, "compute-bound loss {loss:.3} must stay near the preset");
+}
+
+#[test]
+fn flemma_trails_the_analytical_method_on_short_programs() {
+    // The paper's central claim about RL: on ~300 µs programs the
+    // exploration warm-up costs more than the learned policy recovers.
+    let cfg = GpuConfig::small_test();
+    let mut flemma_edp = 0.0;
+    let mut pcstall_edp = 0.0;
+    for name in ["lbm", "spmv", "mvt"] {
+        let bench = by_name(name).expect("benchmark exists").scaled(0.1);
+        let base = run(&cfg, &bench, &mut StaticGovernor::default_point(&cfg.vf_table))
+            .edp_report();
+        let f = run(&cfg, &bench, &mut FlemmaGovernor::new(FlemmaConfig::new(0.10)));
+        let p = run(&cfg, &bench, &mut PcstallGovernor::new(PcstallConfig::new(0.10)));
+        flemma_edp += f.edp_report().normalized_edp(&base);
+        pcstall_edp += p.edp_report().normalized_edp(&base);
+    }
+    assert!(
+        flemma_edp > pcstall_edp,
+        "RL warm-up should cost EDP on short programs: flemma {flemma_edp:.3} vs pcstall {pcstall_edp:.3}"
+    );
+}
+
+#[test]
+fn oracle_is_an_edp_lower_bound_among_preset_respecting_governors() {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name("spmv").expect("spmv exists").scaled(0.1);
+    let base = run(&cfg, &bench, &mut StaticGovernor::default_point(&cfg.vf_table));
+    let base_report = base.edp_report();
+    let oracle = run_oracle(&cfg, bench.workload().clone(), 0.10, HORIZON);
+    let pcstall = run(&cfg, &bench, &mut PcstallGovernor::new(PcstallConfig::new(0.10)));
+    let oracle_edp = oracle.edp_report().normalized_edp(&base_report);
+    let pcstall_edp = pcstall.edp_report().normalized_edp(&base_report);
+    assert!(
+        oracle_edp <= pcstall_edp * 1.03,
+        "the one-step oracle should not lose to PCSTALL: {oracle_edp:.4} vs {pcstall_edp:.4}"
+    );
+}
+
+#[test]
+fn all_governors_conserve_total_work() {
+    let cfg = GpuConfig::small_test();
+    let bench = by_name("histo").expect("histo exists").scaled(0.1);
+    let expected = bench.workload().total_instructions();
+    let runs = [
+        run(&cfg, &bench, &mut StaticGovernor::default_point(&cfg.vf_table)),
+        run(&cfg, &bench, &mut StaticGovernor::new(0)),
+        run(&cfg, &bench, &mut PcstallGovernor::new(PcstallConfig::new(0.10))),
+        run(&cfg, &bench, &mut FlemmaGovernor::new(FlemmaConfig::new(0.10))),
+    ];
+    for r in &runs {
+        assert_eq!(
+            r.instructions, expected,
+            "{} executed a different amount of work",
+            r.governor
+        );
+    }
+}
