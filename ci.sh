@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, full test suite, and a
+# smoke run of the datagen perf baseline. Run from the repo root; every
+# step must pass. See README.md ("Install & build").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> perf baseline (smoke)"
+cargo run --release -p ssmdvfs-bench --bin perf_baseline -- --smoke
+
+echo "==> CI passed"

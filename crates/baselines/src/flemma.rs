@@ -105,8 +105,7 @@ impl ClusterState {
     }
 
     fn value(&self, f: &[f64; NUM_FEATURES]) -> f64 {
-        self.critic[NUM_FEATURES]
-            + self.critic.iter().zip(f).map(|(wi, fi)| wi * fi).sum::<f64>()
+        self.critic[NUM_FEATURES] + self.critic.iter().zip(f).map(|(wi, fi)| wi * fi).sum::<f64>()
     }
 }
 
@@ -212,8 +211,7 @@ impl DvfsGovernor for FlemmaGovernor {
         if cluster >= self.clusters.len() {
             let eps = self.config.epsilon;
             let n = self.num_actions;
-            self.clusters
-                .resize_with(cluster + 1, || ClusterState::new(n, eps));
+            self.clusters.resize_with(cluster + 1, || ClusterState::new(n, eps));
         }
         let features = Self::features(counters);
         let state = &mut self.clusters[cluster];
@@ -234,8 +232,7 @@ impl DvfsGovernor for FlemmaGovernor {
 
         // Slow path: apply buffered updates only every `update_period`
         // epochs (the hierarchical structure of F-LEMMA).
-        if state.epochs_seen.is_multiple_of(self.config.update_period) && !state.buffer.is_empty()
-        {
+        if state.epochs_seen.is_multiple_of(self.config.update_period) && !state.buffer.is_empty() {
             Self::slow_update(&self.config, state);
         }
 
@@ -321,11 +318,7 @@ mod tests {
         for _ in 0..25 {
             g.decide(0, &c, &table);
         }
-        let moved = g.clusters[0]
-            .actor
-            .iter()
-            .flatten()
-            .any(|w| w.abs() > 1e-9);
+        let moved = g.clusters[0].actor.iter().flatten().any(|w| w.abs() > 1e-9);
         assert!(moved, "actor weights must change after slow-path updates");
     }
 

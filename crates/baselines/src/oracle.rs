@@ -18,12 +18,7 @@ use gpu_sim::{CounterId, GpuConfig, SimResult, Simulation, Time, Workload};
 /// # Panics
 ///
 /// Panics if the configuration is invalid.
-pub fn run_oracle(
-    cfg: &GpuConfig,
-    workload: Workload,
-    preset: f64,
-    max_time: Time,
-) -> SimResult {
+pub fn run_oracle(cfg: &GpuConfig, workload: Workload, preset: f64, max_time: Time) -> SimResult {
     let table = cfg.vf_table.clone();
     let default_idx = table.default_index();
     let n = cfg.num_clusters;
@@ -36,19 +31,10 @@ pub fn run_oracle(
         for op in 0..table.len() {
             let mut probe = sim.clone();
             let record = probe.step_epoch(&vec![op; n]);
-            probe_instrs.push(
-                record
-                    .clusters
-                    .iter()
-                    .map(|c| c.counters[CounterId::TotalInstrs])
-                    .collect(),
-            );
+            probe_instrs
+                .push(record.clusters.iter().map(|c| c.counters[CounterId::TotalInstrs]).collect());
             probe_energy.push(
-                record
-                    .clusters
-                    .iter()
-                    .map(|c| c.counters[CounterId::EnergyEpochJ])
-                    .collect(),
+                record.clusters.iter().map(|c| c.counters[CounterId::EnergyEpochJ]).collect(),
             );
         }
         // Per cluster: the lowest-energy point whose throughput stays within
@@ -76,11 +62,7 @@ mod tests {
     fn memory_workload() -> Workload {
         let k = KernelSpec::new(
             "stream",
-            vec![BasicBlock::new(
-                vec![InstrClass::LoadGlobal, InstrClass::IntAlu],
-                1_200,
-                0.0,
-            )],
+            vec![BasicBlock::new(vec![InstrClass::LoadGlobal, InstrClass::IntAlu], 1_200, 0.0)],
             2,
             16,
             MemoryBehavior::streaming(64 << 20),

@@ -112,9 +112,7 @@ impl DvfsGovernor for PcstallGovernor {
         };
         self.stall_frac[cluster] = Some(smoothed);
 
-        let f_cur = table
-            .point(self.last_op[cluster].unwrap_or(table.default_index()))
-            .freq_mhz();
+        let f_cur = table.point(self.last_op[cluster].unwrap_or(table.default_index())).freq_mhz();
         let f0 = table.default_point().freq_mhz();
         // Minimum frequency whose predicted loss fits the preset.
         let mut choice = table.default_index();
@@ -209,9 +207,7 @@ impl DvfsGovernor for PcstallEdpGovernor {
             None => measured,
         };
         self.stall_frac[cluster] = Some(smoothed);
-        let f_cur = table
-            .point(self.last_op[cluster].unwrap_or(table.default_index()))
-            .freq_mhz();
+        let f_cur = table.point(self.last_op[cluster].unwrap_or(table.default_index())).freq_mhz();
         let choice = (0..table.len())
             .min_by(|&a, &b| {
                 Self::predicted_edp(smoothed, f_cur, table, a)
@@ -274,9 +270,7 @@ mod tests {
         // s = 0: pure compute. At f = f0 the loss is 0; at half clock it
         // doubles time.
         assert!((PcstallGovernor::predicted_loss(0.0, 1000.0, 1000.0, 1000.0)).abs() < 1e-12);
-        assert!(
-            (PcstallGovernor::predicted_loss(0.0, 1000.0, 500.0, 1000.0) - 1.0).abs() < 1e-12
-        );
+        assert!((PcstallGovernor::predicted_loss(0.0, 1000.0, 500.0, 1000.0) - 1.0).abs() < 1e-12);
         // s = 1: pure memory; no loss anywhere.
         assert!((PcstallGovernor::predicted_loss(1.0, 1000.0, 500.0, 1000.0)).abs() < 1e-12);
     }

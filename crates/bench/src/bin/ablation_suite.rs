@@ -26,7 +26,9 @@ use ssmdvfs::{
     train_combined, CombinedModel, FeatureSet, LabelingMode, ModelArch, SsmdvfsConfig,
     SsmdvfsGovernor,
 };
-use ssmdvfs_bench::{artifacts_dir, build_or_load_dataset, format_table, write_csv, PipelineConfig};
+use ssmdvfs_bench::{
+    artifacts_dir, build_or_load_dataset, format_table, write_csv, PipelineConfig,
+};
 
 const SUBSET: [&str; 4] = ["sgemm", "lbm", "spmv", "gemm"];
 const PRESET: f64 = 0.10;
@@ -140,9 +142,7 @@ fn main() {
         Box::new(PcstallGovernor::new(PcstallConfig::new(PRESET)))
     });
     push("pcstall", f64::NAN, f64::NAN, edp, lat);
-    let (edp, lat) = system_score(&config.gpu, &baselines, || {
-        Box::new(PcstallEdpGovernor::new())
-    });
+    let (edp, lat) = system_score(&config.gpu, &baselines, || Box::new(PcstallEdpGovernor::new()));
     push("pcstall-edp (original objective)", f64::NAN, f64::NAN, edp, lat);
     let (edp, lat) = system_score(&config.gpu, &baselines, || {
         Box::new(OndemandGovernor::new(OndemandConfig::default()))

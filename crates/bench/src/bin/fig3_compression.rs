@@ -22,18 +22,8 @@ fn main() {
 
     // Layer-wise series: shrink layers and widths from the paper's full
     // architecture down to a clearly-too-small model.
-    let shapes: &[(usize, usize)] = &[
-        (5, 20),
-        (4, 20),
-        (3, 20),
-        (3, 16),
-        (3, 12),
-        (2, 12),
-        (2, 8),
-        (1, 8),
-        (1, 4),
-        (1, 2),
-    ];
+    let shapes: &[(usize, usize)] =
+        &[(5, 20), (4, 20), (3, 20), (3, 16), (3, 12), (2, 12), (2, 8), (1, 8), (1, 4), (1, 2)];
     let t0 = std::time::Instant::now();
     let layerwise = layerwise_sweep(
         &dataset,
@@ -45,8 +35,7 @@ fn main() {
     eprintln!("[fig3] layer-wise sweep finished in {:.1?}", t0.elapsed());
 
     // Pruning series over the full model.
-    let (model, _) =
-        train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
+    let (model, _) = train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
     let params: &[(f32, f32)] = &[
         (0.2, 0.90),
         (0.4, 0.90),
@@ -82,10 +71,7 @@ fn main() {
             ]);
         }
     }
-    println!(
-        "{}",
-        format_table(&["series", "config", "flops", "accuracy_%", "mape_%"], &rows)
-    );
+    println!("{}", format_table(&["series", "config", "flops", "accuracy_%", "mape_%"], &rows));
     write_csv(
         artifacts_dir().join("fig3_compression.csv"),
         &["series", "config", "flops", "accuracy", "mape"],

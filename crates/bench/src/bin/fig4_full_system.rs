@@ -19,8 +19,8 @@ use gpu_sim::Time;
 use gpu_workloads::evaluation_set;
 use ssmdvfs::{compress_and_finetune, ModelArch};
 use ssmdvfs_bench::{
-    artifacts_dir, build_or_load_dataset, compare_on_benchmark, format_table,
-    train_or_load_model, write_csv, ComparisonRow, GovernorKind, PipelineConfig,
+    artifacts_dir, build_or_load_dataset, compare_on_benchmark, format_table, train_or_load_model,
+    write_csv, ComparisonRow, GovernorKind, PipelineConfig,
 };
 use tinynn::TrainConfig;
 
@@ -77,8 +77,7 @@ fn main() {
         let mut rows = Vec::new();
         for bench in evaluation_set() {
             let t0 = std::time::Instant::now();
-            let cells =
-                compare_on_benchmark(&config.gpu, &bench, &governors, preset, horizon);
+            let cells = compare_on_benchmark(&config.gpu, &bench, &governors, preset, horizon);
             eprintln!("[fig4] {} @ {:.0}%: {:.1?}", bench.name(), preset * 100.0, t0.elapsed());
             all_rows.extend(cells.clone());
             for c in cells {
@@ -90,10 +89,7 @@ fn main() {
                 ]);
             }
         }
-        println!(
-            "{}",
-            format_table(&["benchmark", "governor", "norm_edp", "norm_latency"], &rows)
-        );
+        println!("{}", format_table(&["benchmark", "governor", "norm_edp", "norm_latency"], &rows));
 
         // Aggregate per governor at this preset.
         let mut per_gov: BTreeMap<String, Vec<&ComparisonRow>> = BTreeMap::new();
@@ -142,7 +138,8 @@ fn main() {
 
     // Headline numbers across both presets (Section V-C).
     println!("\n=== Section V-C headline comparison (mean over both presets) ===\n");
-    let mean_of = |gov: &str| mean(all_rows.iter().filter(|r| r.governor == gov).map(|r| r.normalized_edp));
+    let mean_of =
+        |gov: &str| mean(all_rows.iter().filter(|r| r.governor == gov).map(|r| r.normalized_edp));
     let base = 1.0;
     let pcstall = mean_of("pcstall");
     let flemma = mean_of("flemma");
@@ -152,13 +149,20 @@ fn main() {
     let pct = |ours: f64, theirs: f64| (theirs - ours) / theirs * 100.0;
     println!(
         "uncompressed SSMDVFS: EDP {:+.2}% vs baseline | {:+.2}% vs PCSTALL | {:+.2}% vs F-LEMMA",
-        -pct(ssm, base), -pct(ssm, pcstall), -pct(ssm, flemma)
+        -pct(ssm, base),
+        -pct(ssm, pcstall),
+        -pct(ssm, flemma)
     );
     println!("  (paper reports:      -7.85%               | -9.91%             | -29.19%)");
     println!(
         "compressed SSMDVFS:   EDP {:+.2}% vs baseline | {:+.2}% vs PCSTALL | {:+.2}% vs F-LEMMA",
-        -pct(comp, base), -pct(comp, pcstall), -pct(comp, flemma)
+        -pct(comp, base),
+        -pct(comp, pcstall),
+        -pct(comp, flemma)
     );
     println!("  (paper reports:      -11.09%              | -13.17%            | -36.80%)");
-    println!("calibrator ablation:  with {:.4} vs without {:.4} mean normalized EDP", ssm, ssm_nocal);
+    println!(
+        "calibrator ablation:  with {:.4} vs without {:.4} mean normalized EDP",
+        ssm, ssm_nocal
+    );
 }

@@ -32,9 +32,7 @@ fn main() {
             let bench = by_name(name).expect("benchmark exists");
             let mut base_sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut base_gov = StaticGovernor::default_point(&gpu.vf_table);
-            let base = base_sim
-                .run(&mut base_gov, Time::from_micros(3_000.0))
-                .edp_report();
+            let base = base_sim.run(&mut base_gov, Time::from_micros(3_000.0)).edp_report();
             let mut sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut governor = PcstallGovernor::new(PcstallConfig::new(0.10));
             let r = sim.run(&mut governor, Time::from_micros(3_000.0)).edp_report();
@@ -50,10 +48,7 @@ fn main() {
         ]);
     }
     println!("\n=== DVFS granularity sweep (24 SMs total, PCSTALL @10%, subset {SUBSET:?}) ===\n");
-    println!(
-        "{}",
-        format_table(&["clusters_x_sms", "mean_norm_edp", "mean_norm_latency"], &rows)
-    );
+    println!("{}", format_table(&["clusters_x_sms", "mean_norm_edp", "mean_norm_latency"], &rows));
     write_csv(
         artifacts_dir().join("granularity_sweep.csv"),
         &["shape", "mean_norm_edp", "mean_norm_latency"],

@@ -65,7 +65,9 @@ fn main() {
             &rows
         )
     );
-    println!("paper (compressed): 192 cycles, 0.160 µs, 1.65% of a 10 µs epoch, 0.0080 mm², 0.0025 W");
+    println!(
+        "paper (compressed): 192 cycles, 0.160 µs, 1.65% of a 10 µs epoch, 0.0080 mm², 0.0025 W"
+    );
     println!("(the INT8 row is an extension beyond the paper's FP32 module)");
     write_csv(
         artifacts_dir().join("hw_cost.csv"),

@@ -13,8 +13,7 @@ use tinynn::{confusion_matrix, mean_class_distance};
 fn main() {
     let config = PipelineConfig::default();
     let dataset = build_or_load_dataset(&config, "main");
-    let (model, _) =
-        train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
+    let (model, _) = train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
     let num_ops = model.num_ops;
 
     // Decision head analysis over the full corpus.

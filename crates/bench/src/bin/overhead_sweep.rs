@@ -24,8 +24,7 @@ const OVERHEADS_NS: [f64; 6] = [0.0, 100.0, 160.0, 500.0, 1_000.0, 5_000.0];
 fn main() {
     let config = PipelineConfig::default();
     let dataset = build_or_load_dataset(&config, "main");
-    let (model, _) =
-        train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
+    let (model, _) = train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
 
     let mut rows = Vec::new();
     for overhead_ns in OVERHEADS_NS {
@@ -39,9 +38,7 @@ fn main() {
             // overhead — normalization stays comparable across rows.
             let mut base_sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut base_gov = StaticGovernor::default_point(&gpu.vf_table);
-            let base = base_sim
-                .run(&mut base_gov, Time::from_micros(3_000.0))
-                .edp_report();
+            let base = base_sim.run(&mut base_gov, Time::from_micros(3_000.0)).edp_report();
             let mut sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut governor = SsmdvfsGovernor::new(model.clone(), SsmdvfsConfig::new(0.10));
             let r = sim.run(&mut governor, Time::from_micros(3_000.0)).edp_report();
@@ -58,10 +55,7 @@ fn main() {
     }
 
     println!("\n=== DVFS overhead sweep (subset {SUBSET:?}, preset 10%) ===\n");
-    println!(
-        "{}",
-        format_table(&["overhead_ns", "mean_norm_edp", "mean_norm_latency"], &rows)
-    );
+    println!("{}", format_table(&["overhead_ns", "mean_norm_edp", "mean_norm_latency"], &rows));
     println!(
         "paper §V-D: the 0.16 µs inference latency is 1.65% of an epoch and should be\n\
          invisible at system level — the EDP column should be flat until the overhead\n\

@@ -1,0 +1,122 @@
+//! Perf-regression baseline for the parallel data-generation engine.
+//!
+//! Measures sequential vs parallel `generate_workload_jobs` throughput and
+//! the per-breakpoint checkpoint cost (cheap `SimSnapshot` vs full
+//! `Simulation` clone), then writes `BENCH_datagen.json` into the artifact
+//! directory so CI can diff runs. Pass `--smoke` (or set
+//! `SSMDVFS_SMOKE=1`) for a seconds-long run on tiny inputs; the numbers
+//! are still recorded but not meaningful as a baseline.
+
+use std::time::Instant;
+
+use gpu_sim::{GpuConfig, Simulation, Time};
+use gpu_workloads::by_name;
+use serde::Serialize;
+use ssmdvfs::exec::effective_jobs;
+use ssmdvfs::{generate_workload_jobs, DataGenConfig};
+use ssmdvfs_bench::artifacts_dir;
+
+#[derive(Serialize)]
+struct DatagenBaseline {
+    smoke: bool,
+    workers: usize,
+    samples_per_run: usize,
+    sequential_secs: f64,
+    parallel_secs: f64,
+    sequential_samples_per_sec: f64,
+    parallel_samples_per_sec: f64,
+    speedup: f64,
+    snapshot_cost_us: f64,
+    full_clone_cost_us: f64,
+    snapshot_vs_clone: f64,
+}
+
+fn time_generate(
+    bench: &gpu_workloads::Benchmark,
+    cfg: &GpuConfig,
+    dg: &DataGenConfig,
+    jobs: usize,
+    runs: usize,
+) -> (f64, usize) {
+    let mut samples = 0;
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        samples =
+            generate_workload_jobs(bench.name(), bench.workload().clone(), cfg, dg, jobs).len();
+    }
+    (t0.elapsed().as_secs_f64() / runs as f64, samples)
+}
+
+fn time_checkpoints(sim: &Simulation, iters: usize) -> (f64, f64) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(sim.snapshot());
+    }
+    let snapshot_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(sim.clone());
+    }
+    let clone_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    (snapshot_us, clone_us)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var_os("SSMDVFS_SMOKE").is_some_and(|v| v != "0");
+    let cfg = GpuConfig::small_test();
+    let (scale, max_us, runs, checkpoint_iters) =
+        if smoke { (0.05, 300.0, 1, 50) } else { (0.4, 2_000.0, 3, 500) };
+    let dg = DataGenConfig {
+        breakpoint_interval_epochs: 5,
+        max_time: Time::from_micros(max_us),
+        ..DataGenConfig::default()
+    };
+    let bench = by_name("lbm").expect("lbm exists").scaled(scale);
+    let workers = effective_jobs(0);
+
+    eprintln!("[perf_baseline] datagen on '{}' (smoke={smoke}, workers={workers})", bench.name());
+    let (sequential_secs, samples) = time_generate(&bench, &cfg, &dg, 1, runs);
+    let (parallel_secs, par_samples) = time_generate(&bench, &cfg, &dg, 0, runs);
+    assert_eq!(samples, par_samples, "parallel datagen changed the sample count");
+    assert!(samples > 0, "datagen produced no samples");
+
+    let ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+    let mut sim = Simulation::new(cfg, bench.workload().clone());
+    for _ in 0..300 {
+        if sim.is_complete() {
+            break;
+        }
+        sim.step_epoch(&ops);
+    }
+    let (snapshot_cost_us, full_clone_cost_us) = time_checkpoints(&sim, checkpoint_iters);
+
+    let baseline = DatagenBaseline {
+        smoke,
+        workers,
+        samples_per_run: samples,
+        sequential_secs,
+        parallel_secs,
+        sequential_samples_per_sec: samples as f64 / sequential_secs,
+        parallel_samples_per_sec: samples as f64 / parallel_secs,
+        speedup: sequential_secs / parallel_secs,
+        snapshot_cost_us,
+        full_clone_cost_us,
+        snapshot_vs_clone: full_clone_cost_us / snapshot_cost_us,
+    };
+    let path = artifacts_dir().join("BENCH_datagen.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&path, &json).expect("baseline must be writable");
+    println!("{json}");
+    println!(
+        "[perf_baseline] {:.0} samples/s sequential, {:.0} samples/s parallel ({:.2}x on {} workers); snapshot {:.1} us vs clone {:.1} us ({:.1}x cheaper) -> {}",
+        baseline.sequential_samples_per_sec,
+        baseline.parallel_samples_per_sec,
+        baseline.speedup,
+        workers,
+        snapshot_cost_us,
+        full_clone_cost_us,
+        baseline.snapshot_vs_clone,
+        path.display()
+    );
+}

@@ -16,10 +16,8 @@ fn show_csv(path: &Path, title: &str, max_rows: usize) -> bool {
     let mut lines = content.lines();
     let Some(header) = lines.next() else { return false };
     let header: Vec<&str> = header.split(',').collect();
-    let rows: Vec<Vec<String>> = lines
-        .take(max_rows)
-        .map(|l| l.split(',').map(str::to_string).collect())
-        .collect();
+    let rows: Vec<Vec<String>> =
+        lines.take(max_rows).map(|l| l.split(',').map(str::to_string).collect()).collect();
     if rows.is_empty() {
         return false;
     }
@@ -57,9 +55,7 @@ fn main() {
         }
     }
     if found == 0 {
-        println!(
-            "no artifacts found — run the experiment binaries first (see EXPERIMENTS.md)"
-        );
+        println!("no artifacts found — run the experiment binaries first (see EXPERIMENTS.md)");
     } else {
         println!("({found} artifact files summarized)");
     }

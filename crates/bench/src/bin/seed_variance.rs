@@ -5,6 +5,7 @@
 //! that the reported ordering is not an artifact of one particular
 //! instruction-stream realization.
 
+use dvfs_baselines::{PcstallConfig, PcstallGovernor};
 use gpu_sim::{Simulation, StaticGovernor, Time};
 use gpu_workloads::by_name;
 use ssmdvfs::{ModelArch, SsmdvfsConfig, SsmdvfsGovernor};
@@ -12,7 +13,6 @@ use ssmdvfs_bench::{
     artifacts_dir, build_or_load_dataset, format_table, train_or_load_model, write_csv,
     PipelineConfig,
 };
-use dvfs_baselines::{PcstallConfig, PcstallGovernor};
 
 const SUBSET: [&str; 4] = ["sgemm", "lbm", "spmv", "gemm"];
 const SEEDS: [u64; 3] = [0x55AA_1234, 0xBEEF, 0x1CEB00DA];
@@ -20,8 +20,7 @@ const SEEDS: [u64; 3] = [0x55AA_1234, 0xBEEF, 0x1CEB00DA];
 fn main() {
     let config = PipelineConfig::default();
     let dataset = build_or_load_dataset(&config, "main");
-    let (model, _) =
-        train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
+    let (model, _) = train_or_load_model(&dataset, &ModelArch::paper_full(), &config, "main_full");
 
     let mut rows = Vec::new();
     let mut ssm_all = Vec::new();
@@ -34,9 +33,7 @@ fn main() {
             let bench = by_name(name).expect("benchmark exists");
             let mut base_sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut base_gov = StaticGovernor::default_point(&gpu.vf_table);
-            let base = base_sim
-                .run(&mut base_gov, Time::from_micros(3_000.0))
-                .edp_report();
+            let base = base_sim.run(&mut base_gov, Time::from_micros(3_000.0)).edp_report();
             let mut sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut governor = SsmdvfsGovernor::new(model.clone(), SsmdvfsConfig::new(0.10));
             ssm_sum += sim

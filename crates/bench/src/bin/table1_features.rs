@@ -7,7 +7,9 @@
 //! with the accuracy cost of the reduction.
 
 use ssmdvfs::{select_features, FeatureSet};
-use ssmdvfs_bench::{artifacts_dir, build_or_load_dataset, format_table, write_csv, PipelineConfig};
+use ssmdvfs_bench::{
+    artifacts_dir, build_or_load_dataset, format_table, write_csv, PipelineConfig,
+};
 use tinynn::TrainConfig;
 
 fn main() {
@@ -23,20 +25,11 @@ fn main() {
     println!("\n=== Table I — metrics and performance counters ===\n");
     let paper = FeatureSet::refined();
     let rows = vec![
-        vec![
-            "paper (Table I)".to_string(),
-            paper.names().join(", "),
-        ],
-        vec![
-            "this reproduction (RFE)".to_string(),
-            selection.selected.names().join(", "),
-        ],
+        vec!["paper (Table I)".to_string(), paper.names().join(", ")],
+        vec!["this reproduction (RFE)".to_string(), selection.selected.names().join(", ")],
     ];
     println!("{}", format_table(&["source", "selected counters"], &rows));
-    println!(
-        "full 41-feature accuracy:    {:.2}%",
-        selection.full_accuracy * 100.0
-    );
+    println!("full 41-feature accuracy:    {:.2}%", selection.full_accuracy * 100.0);
     println!(
         "selected 5-feature accuracy: {:.2}%  (paper reports a 0.48% accuracy drop)",
         selection.selected_accuracy * 100.0

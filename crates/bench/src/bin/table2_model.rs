@@ -42,26 +42,14 @@ fn main() {
 
     println!("\n=== Table II — final model information ===\n");
     let rows = vec![
-        vec![
-            "structure".to_string(),
-            structure(&full),
-            structure(&pruned),
-        ],
-        vec![
-            "FLOPs".to_string(),
-            full.flops().to_string(),
-            pruned.sparse_flops().to_string(),
-        ],
+        vec!["structure".to_string(), structure(&full), structure(&pruned)],
+        vec!["FLOPs".to_string(), full.flops().to_string(), pruned.sparse_flops().to_string()],
         vec![
             "accuracy (%)".to_string(),
             format!("{:.2}", full_acc * 100.0),
             format!("{:.2}", pruned_acc * 100.0),
         ],
-        vec![
-            "MAPE (%)".to_string(),
-            format!("{:.2}", full_mape),
-            format!("{:.2}", pruned_mape),
-        ],
+        vec!["MAPE (%)".to_string(), format!("{:.2}", full_mape), format!("{:.2}", pruned_mape)],
     ];
     println!(
         "{}",
@@ -82,11 +70,7 @@ fn main() {
         &["metric", "before", "after"],
         &[
             vec!["flops".into(), full.flops().to_string(), pruned.sparse_flops().to_string()],
-            vec![
-                "accuracy".into(),
-                format!("{full_acc:.6}"),
-                format!("{pruned_acc:.6}"),
-            ],
+            vec!["accuracy".into(), format!("{full_acc:.6}"), format!("{pruned_acc:.6}")],
             vec!["mape".into(), format!("{full_mape:.6}"), format!("{pruned_mape:.6}")],
         ],
     );

@@ -10,10 +10,10 @@ use std::fs;
 use std::path::PathBuf;
 
 use gpu_sim::GpuConfig;
-use gpu_workloads::training_set;
+use gpu_workloads::{training_set, Benchmark};
 use ssmdvfs::{
-    generate, train_combined, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch,
-    TrainSummary,
+    generate_suite, train_combined, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet,
+    ModelArch, TrainSummary,
 };
 use tinynn::TrainConfig;
 
@@ -29,6 +29,8 @@ pub struct PipelineConfig {
     pub scale: f64,
     /// Training hyperparameters.
     pub train: TrainConfig,
+    /// Worker threads for data generation (`0` = one per core).
+    pub jobs: usize,
 }
 
 impl Default for PipelineConfig {
@@ -38,6 +40,7 @@ impl Default for PipelineConfig {
             datagen: DataGenConfig::default(),
             scale: 1.0,
             train: TrainConfig { epochs: 500, patience: 60, lr: 1.5e-3, ..TrainConfig::default() },
+            jobs: 0,
         }
     }
 }
@@ -74,19 +77,19 @@ pub fn build_or_load_dataset(config: &PipelineConfig, tag: &str) -> DvfsDataset 
             return data;
         }
     }
+    let benches: Vec<Benchmark> =
+        training_set().into_iter().map(|b| b.scaled(config.scale)).collect();
+    let t0 = std::time::Instant::now();
+    // Every (benchmark, breakpoint, operating point) replay is one job on
+    // the shared work-stealing pool; per-benchmark sample order is
+    // byte-identical to a sequential run.
+    let parts = generate_suite(&benches, &config.gpu, &config.datagen, config.jobs);
     let mut dataset = DvfsDataset::default();
-    for bench in training_set() {
-        let scaled = bench.scaled(config.scale);
-        let t0 = std::time::Instant::now();
-        let part = generate(&scaled, &config.gpu, &config.datagen);
-        eprintln!(
-            "[pipeline] datagen {}: {} samples in {:.1?}",
-            scaled.name(),
-            part.len(),
-            t0.elapsed()
-        );
+    for (bench, part) in benches.iter().zip(parts) {
+        eprintln!("[pipeline] datagen {}: {} samples", bench.name(), part.len());
         dataset.extend(part);
     }
+    eprintln!("[pipeline] datagen total: {} samples in {:.1?}", dataset.len(), t0.elapsed());
     assert!(!dataset.is_empty(), "data generation produced no samples");
     dataset.save(&path).expect("dataset cache must be writable");
     dataset
@@ -133,10 +136,7 @@ pub fn train_or_load_model(
         summary.calibrator_mape
     );
     model.save(&model_path).expect("model cache must be writable");
-    fs::write(
-        &summary_path,
-        serde_json::to_string_pretty(&summary).expect("summary serializes"),
-    )
-    .expect("summary cache must be writable");
+    fs::write(&summary_path, serde_json::to_string_pretty(&summary).expect("summary serializes"))
+        .expect("summary cache must be writable");
     (model, summary)
 }

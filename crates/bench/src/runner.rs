@@ -1,8 +1,6 @@
 //! The governor-comparison runner behind Fig. 4.
 
-use dvfs_baselines::{
-    run_oracle, FlemmaConfig, FlemmaGovernor, PcstallConfig, PcstallGovernor,
-};
+use dvfs_baselines::{run_oracle, FlemmaConfig, FlemmaGovernor, PcstallConfig, PcstallGovernor};
 use gpu_sim::{DvfsGovernor, GpuConfig, SimResult, Simulation, StaticGovernor, Time};
 use gpu_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
@@ -76,15 +74,9 @@ fn run_one(
         GovernorKind::Oracle => run_oracle(cfg, workload, preset, horizon),
         _ => {
             let mut governor: Box<dyn DvfsGovernor> = match kind {
-                GovernorKind::Baseline => {
-                    Box::new(StaticGovernor::default_point(&cfg.vf_table))
-                }
-                GovernorKind::Pcstall => {
-                    Box::new(PcstallGovernor::new(PcstallConfig::new(preset)))
-                }
-                GovernorKind::Flemma => {
-                    Box::new(FlemmaGovernor::new(FlemmaConfig::new(preset)))
-                }
+                GovernorKind::Baseline => Box::new(StaticGovernor::default_point(&cfg.vf_table)),
+                GovernorKind::Pcstall => Box::new(PcstallGovernor::new(PcstallConfig::new(preset))),
+                GovernorKind::Flemma => Box::new(FlemmaGovernor::new(FlemmaConfig::new(preset))),
                 GovernorKind::SsmdvfsNoCal(model) => Box::new(SsmdvfsGovernor::new(
                     model.clone(),
                     SsmdvfsConfig::new(preset).without_calibration(),
@@ -141,34 +133,17 @@ pub fn compare_on_benchmark(
 /// Maps `f` over `items` using up to `available_parallelism` worker threads
 /// (sequential on single-core machines). Order of results matches input
 /// order.
+///
+/// Delegates to the shared work-stealing pool in [`ssmdvfs::exec`], which
+/// writes each result into its own pre-sized output slot instead of taking
+/// a lock around the whole result vector per item.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
-        for _ in 0..workers.min(items.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results_mutex.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("worker threads must not panic");
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    ssmdvfs::exec::parallel_map_indexed(0, items, |_, item| f(&item))
 }
 
 #[cfg(test)]

@@ -121,8 +121,7 @@ impl Args {
     ///
     /// Returns an error naming the missing option.
     pub fn require(&self, key: &str) -> Result<&str, ParseArgsError> {
-        self.get(key)
-            .ok_or_else(|| ParseArgsError::new(format!("missing required option --{key}")))
+        self.get(key).ok_or_else(|| ParseArgsError::new(format!("missing required option --{key}")))
     }
 
     /// A float option with a default.
@@ -147,9 +146,9 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ParseArgsError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| {
-                ParseArgsError::new(format!("--{key} expects an integer, got '{v}'"))
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseArgsError::new(format!("--{key} expects an integer, got '{v}'"))),
         }
     }
 }

@@ -11,12 +11,10 @@ use dvfs_baselines::{
     run_oracle, FlemmaConfig, FlemmaGovernor, OndemandConfig, OndemandGovernor, PcstallConfig,
     PcstallGovernor,
 };
-use gpu_sim::{
-    epoch_trace_csv, GpuConfig, SimResult, Simulation, StaticGovernor, Time,
-};
+use gpu_sim::{epoch_trace_csv, GpuConfig, SimResult, Simulation, StaticGovernor, Time};
 use gpu_workloads::{by_name, suite, Benchmark};
 use ssmdvfs::{
-    compress_and_finetune, estimate_asic, evaluate, generate, train_combined, AsicConfig,
+    compress_and_finetune, estimate_asic, evaluate, generate_suite, train_combined, AsicConfig,
     CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch, SsmdvfsConfig,
     SsmdvfsGovernor,
 };
@@ -45,6 +43,7 @@ COMMANDS:
               [--clusters <n>] [--sms <n>] [--scale <f>] [--trace <out.csv>]
   datagen     --out <file>            run the Fig. 2 data-generation pipeline
               [--benchmarks a,b,c] [--scale <f>] [--clusters <n>]
+              [--jobs <n>]            replay worker threads (0 = one per core)
   train       --dataset <file> --out <model.json>
               [--arch full|compressed] [--epochs <n>]
   compress    --model <in> --dataset <file> --out <model.json>
@@ -68,9 +67,8 @@ fn gpu_config(args: &Args) -> Result<GpuConfig, ParseArgsError> {
 
 fn benchmark(args: &Args) -> Result<Benchmark, ParseArgsError> {
     let name = args.require("benchmark")?;
-    let bench = by_name(name).ok_or_else(|| {
-        err(format!("unknown benchmark '{name}'; see 'ssmdvfs list-benchmarks'"))
-    })?;
+    let bench = by_name(name)
+        .ok_or_else(|| err(format!("unknown benchmark '{name}'; see 'ssmdvfs list-benchmarks'")))?;
     let scale = args.get_f64("scale", 1.0)?;
     if scale <= 0.0 {
         return Err(err("--scale must be positive"));
@@ -88,10 +86,8 @@ fn load_dataset(path: &str) -> Result<DvfsDataset, ParseArgsError> {
 
 /// `list-benchmarks`.
 pub fn list_benchmarks() -> CmdResult {
-    let mut out = format!(
-        "{:<14} {:<10} {:<10} {:>14}\n",
-        "name", "family", "character", "instructions"
-    );
+    let mut out =
+        format!("{:<14} {:<10} {:<10} {:>14}\n", "name", "family", "character", "instructions");
     for b in suite() {
         let _ = writeln!(
             out,
@@ -172,23 +168,24 @@ pub fn datagen(args: &Args) -> CmdResult {
         Some(spec) => spec
             .split(',')
             .map(|n| {
-                by_name(n.trim())
-                    .ok_or_else(|| err(format!("unknown benchmark '{}'", n.trim())))
+                by_name(n.trim()).ok_or_else(|| err(format!("unknown benchmark '{}'", n.trim())))
             })
             .collect::<Result<_, _>>()?,
     };
+    let jobs = args.get_usize("jobs", 0)?;
     let dg = DataGenConfig::default();
+    let scaled: Vec<Benchmark> = benches.into_iter().map(|b| b.scaled(scale)).collect();
+    // Fan every (benchmark, breakpoint, operating point) replay out over
+    // the shared work-stealing pool; the sample order is identical to a
+    // sequential per-benchmark run.
+    let parts = generate_suite(&scaled, &cfg, &dg, jobs);
     let mut dataset = DvfsDataset::default();
     let mut out = String::new();
-    for b in benches {
-        let scaled = b.scaled(scale);
-        let part = generate(&scaled, &cfg, &dg);
-        let _ = writeln!(out, "{:<14} {:>6} samples", scaled.name(), part.len());
+    for (b, part) in scaled.iter().zip(parts) {
+        let _ = writeln!(out, "{:<14} {:>6} samples", b.name(), part.len());
         dataset.extend(part);
     }
-    dataset
-        .save(out_path)
-        .map_err(|e| err(format!("cannot write '{out_path}': {e}")))?;
+    dataset.save(out_path).map_err(|e| err(format!("cannot write '{out_path}': {e}")))?;
     let _ = writeln!(out, "total: {} samples -> {out_path}", dataset.len());
     Ok(out)
 }
@@ -205,15 +202,11 @@ fn arch(args: &Args) -> Result<ModelArch, ParseArgsError> {
 pub fn train(args: &Args) -> CmdResult {
     let dataset = load_dataset(args.require("dataset")?)?;
     let out_path = args.require("out")?;
-    let train_cfg = TrainConfig {
-        epochs: args.get_usize("epochs", 300)?,
-        ..TrainConfig::default()
-    };
+    let train_cfg =
+        TrainConfig { epochs: args.get_usize("epochs", 300)?, ..TrainConfig::default() };
     let (model, summary) =
         train_combined(&dataset, &FeatureSet::refined(), &arch(args)?, 6, &train_cfg, 0.25);
-    model
-        .save(out_path)
-        .map_err(|e| err(format!("cannot write model '{out_path}': {e}")))?;
+    model.save(out_path).map_err(|e| err(format!("cannot write model '{out_path}': {e}")))?;
     Ok(format!(
         "trained on {} samples: accuracy {:.2}%, MAPE {:.2}%, {} FLOPs -> {out_path}\n",
         summary.samples,
@@ -235,9 +228,7 @@ pub fn compress(args: &Args) -> CmdResult {
     }
     let finetune = TrainConfig { epochs: args.get_usize("epochs", 80)?, ..TrainConfig::default() };
     let compressed = compress_and_finetune(&model, &dataset, x1, x2, &finetune);
-    compressed
-        .save(out_path)
-        .map_err(|e| err(format!("cannot write model '{out_path}': {e}")))?;
+    compressed.save(out_path).map_err(|e| err(format!("cannot write model '{out_path}': {e}")))?;
     Ok(format!(
         "compressed {} -> {} FLOPs ({:.1}% reduction) -> {out_path}\n",
         model.flops(),
@@ -313,16 +304,9 @@ mod tests {
 
     #[test]
     fn simulate_static_small() {
-        let args = Args::parse([
-            "simulate",
-            "--benchmark",
-            "lbm",
-            "--clusters",
-            "2",
-            "--scale",
-            "0.05",
-        ])
-        .unwrap();
+        let args =
+            Args::parse(["simulate", "--benchmark", "lbm", "--clusters", "2", "--scale", "0.05"])
+                .unwrap();
         let out = simulate(&args).unwrap();
         assert!(out.contains("completed : true"), "{out}");
         assert!(out.contains("EDP"));
@@ -330,8 +314,7 @@ mod tests {
 
     #[test]
     fn simulate_rejects_unknown_benchmark_and_governor() {
-        let args =
-            Args::parse(["simulate", "--benchmark", "nope", "--clusters", "2"]).unwrap();
+        let args = Args::parse(["simulate", "--benchmark", "nope", "--clusters", "2"]).unwrap();
         assert!(simulate(&args).unwrap_err().to_string().contains("unknown benchmark"));
         let args = Args::parse([
             "simulate",
@@ -364,6 +347,8 @@ mod tests {
             "--scale",
             "0.05",
             "--clusters",
+            "2",
+            "--jobs",
             "2",
         ])
         .unwrap();

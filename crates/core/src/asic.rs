@@ -122,14 +122,12 @@ pub fn estimate_asic(
     // layer overhead.
     let macs = (model.sparse_flops() / 2).max(1);
     let layers = (model.decision.layers().len() + model.calibrator.layers().len()) as u64;
-    let cycles = macs.div_ceil(config.mac_units as u64)
-        + layers * config.layer_overhead_cycles;
+    let cycles = macs.div_ceil(config.mac_units as u64) + layers * config.layer_overhead_cycles;
 
     let latency_us = cycles as f64 / freq_mhz; // cycles / (MHz) = µs
     let epoch_fraction = latency_us / epoch_us;
 
-    let weight_bytes = (model.decision.nonzero_weights()
-        + model.calibrator.nonzero_weights())
+    let weight_bytes = (model.decision.nonzero_weights() + model.calibrator.nonzero_weights())
         * config.bytes_per_weight;
     let area_65 = config.mac_area_mm2 * config.mac_units as f64
         + config.sram_area_per_byte_mm2 * weight_bytes as f64

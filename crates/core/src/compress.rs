@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use tinynn::{
-    prune_magnitude, prune_neurons, train_classifier_masked, train_regressor_masked,
-    TrainConfig, ZeroMask,
+    prune_magnitude, prune_neurons, train_classifier_masked, train_regressor_masked, TrainConfig,
+    ZeroMask,
 };
 
 use crate::datagen::DvfsDataset;
@@ -46,8 +46,7 @@ pub fn layerwise_sweep(
         .iter()
         .map(|&(layers, neurons)| {
             let arch = ModelArch::uniform(layers, neurons);
-            let (model, summary) =
-                train_combined(dataset, features, &arch, num_ops, config, 0.25);
+            let (model, summary) = train_combined(dataset, features, &arch, num_ops, config, 0.25);
             CompressionPoint {
                 label: format!("{layers}x{neurons}"),
                 flops: model.flops(),
@@ -218,12 +217,8 @@ mod tests {
             &quick_config(),
             0.25,
         );
-        let pts = pruning_sweep(
-            &model,
-            &data,
-            &[(0.2, 0.95), (0.5, 0.95), (0.8, 0.95)],
-            &quick_config(),
-        );
+        let pts =
+            pruning_sweep(&model, &data, &[(0.2, 0.95), (0.5, 0.95), (0.8, 0.95)], &quick_config());
         assert!(pts[0].flops >= pts[1].flops);
         assert!(pts[1].flops >= pts[2].flops);
     }

@@ -121,9 +121,7 @@ impl SsmdvfsGovernor {
     /// The effective preset currently applied to `cluster` (equals the
     /// original preset until calibration adjusts it).
     pub fn effective_preset(&self, cluster: usize) -> f64 {
-        self.clusters
-            .get(cluster)
-            .map_or(self.config.preset, |s| s.effective_preset)
+        self.clusters.get(cluster).map_or(self.config.preset, |s| s.effective_preset)
     }
 
     fn state_mut(&mut self, cluster: usize) -> &mut ClusterState {

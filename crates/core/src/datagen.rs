@@ -17,11 +17,12 @@
 //! by a frequency change can manifest several epochs later — replaying to
 //! the milestone captures exactly that.
 
-use gpu_sim::{EpochCounters, GpuConfig, Simulation, Time, Workload};
+use gpu_sim::{EpochCounters, EpochRecord, GpuConfig, SimSnapshot, Simulation, Time, Workload};
 use gpu_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 use tinynn::{ClassificationData, Matrix, RegressionData};
 
+use crate::exec::parallel_map_indexed;
 use crate::features::FeatureSet;
 
 /// Parameters of the data-generation process.
@@ -203,9 +204,7 @@ impl DvfsDataset {
             for feats in &variants {
                 for (k, &p0) in DECISION_PRESET_GRID.iter().enumerate() {
                     let preset = p0 * if k % 2 == 0 { jitter } else { 2.0 - jitter };
-                    let label = (0..num_ops)
-                        .find(|&op| loss[op] <= preset)
-                        .unwrap_or(num_ops - 1);
+                    let label = (0..num_ops).find(|&op| loss[op] <= preset).unwrap_or(num_ops - 1);
                     rows.push((feats.clone(), preset as f32, label));
                 }
             }
@@ -250,9 +249,7 @@ impl DvfsDataset {
         use std::collections::HashMap;
         let mut map: HashMap<(&str, usize, usize), Vec<&RawSample>> = HashMap::new();
         for s in &self.samples {
-            map.entry((s.benchmark.as_str(), s.cluster, s.breakpoint))
-                .or_default()
-                .push(s);
+            map.entry((s.benchmark.as_str(), s.cluster, s.breakpoint)).or_default().push(s);
         }
         let mut groups: Vec<Vec<&RawSample>> = map.into_values().collect();
         // Deterministic order independent of hash state.
@@ -314,9 +311,7 @@ impl DvfsDataset {
             }
             for feats in &variants {
                 for &preset in &DECISION_PRESET_GRID {
-                    let label = (0..num_ops)
-                        .find(|&op| loss[op] <= preset)
-                        .unwrap_or(num_ops - 1);
+                    let label = (0..num_ops).find(|&op| loss[op] <= preset).unwrap_or(num_ops - 1);
                     let Some(target) = instr[label] else { continue };
                     if target < MIN_INSTRUCTIONS {
                         continue;
@@ -362,37 +357,49 @@ impl DvfsDataset {
     }
 }
 
-/// Runs the Fig. 2 methodology on one benchmark, returning its samples.
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid (see
-/// [`GpuConfig::validate`]).
-pub fn generate(benchmark: &Benchmark, cfg: &GpuConfig, dg: &DataGenConfig) -> DvfsDataset {
-    generate_workload(benchmark.name(), benchmark.workload().clone(), cfg, dg)
+/// Everything one operating-point replay needs, captured once per
+/// breakpoint from the reference timeline. The six per-operating-point
+/// replays sharing a spec are independent of each other and of every other
+/// breakpoint, which is what the work-stealing fan-out exploits.
+struct ReplaySpec {
+    /// Breakpoint index within the benchmark.
+    breakpoint: usize,
+    /// Machine state at the breakpoint (O(machine), not O(history)).
+    snapshot: SimSnapshot,
+    /// Time of the breakpoint.
+    t_start: Time,
+    /// Per-cluster instruction milestones defined by the reference interval.
+    milestones: Vec<u64>,
+    /// Per-cluster reference times to the milestone (`T_0`).
+    t0: Vec<Option<Time>>,
+    /// The feature-collection window record from the reference timeline.
+    feature_record: EpochRecord,
 }
 
-/// [`generate`] for a bare workload.
-pub fn generate_workload(
-    name: &str,
+/// Phase 1: runs the reference timeline at the default point, snapshotting
+/// at every breakpoint and measuring milestones/`T_0` from the continued
+/// main simulation. Purely sequential — each breakpoint's reference data
+/// depends on the previous interval.
+fn collect_replay_specs(
     workload: Workload,
     cfg: &GpuConfig,
     dg: &DataGenConfig,
-) -> DvfsDataset {
-    let table = cfg.vf_table.clone();
-    let default_idx = table.default_index();
-    let default_ops = vec![default_idx; cfg.num_clusters];
+) -> Vec<ReplaySpec> {
+    let default_ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
     let interval = dg.breakpoint_interval_epochs;
     let max_epochs = (dg.max_time.as_ps() / cfg.epoch.as_ps()) as usize;
 
     let mut sim = Simulation::new(cfg.clone(), workload);
-    let mut samples = Vec::new();
+    // The main timeline only ever looks back one breakpoint interval (for
+    // `T_0` and the feature window), so its record history can be pruned.
+    sim.set_history_limit(Some(interval + 2));
+    let mut specs = Vec::new();
     let mut breakpoint = 0usize;
 
-    while !sim.is_complete() && sim.records().len() < max_epochs {
+    while !sim.is_complete() && sim.epoch_index() < max_epochs {
         // Snapshot at the breakpoint, then produce the reference timeline by
         // continuing the main simulation at the default point.
-        let snapshot = sim.clone();
+        let snapshot = sim.snapshot();
         let start_cums: Vec<u64> =
             (0..cfg.num_clusters).map(|c| sim.cluster_instructions(c)).collect();
         let t_start = sim.now();
@@ -419,63 +426,172 @@ pub fn generate_workload(
         // Feature-collection window counters: the first epoch after the
         // breakpoint, straight from the reference timeline (it ran at the
         // default point, exactly as the methodology prescribes).
-        let feature_record = match sim.records().get(snapshot.records().len()) {
+        let feature_record = match sim.record_at(snapshot.epoch_index()) {
             Some(r) => r.clone(),
             None => break,
         };
 
-        // Replay the interval once per candidate operating point.
-        for op_index in 0..table.len() {
-            let mut replay = snapshot.clone();
-            // Feature window at default, scaling window at the candidate.
-            replay.step_epoch(&default_ops);
-            let scaled_record = replay.step_epoch(&vec![op_index; cfg.num_clusters]).clone();
-            // Back at default until every milestone is reached (bounded).
-            let budget =
-                interval + (interval as f64 * dg.replay_slack).ceil() as usize;
-            while replay.records().len() < snapshot.records().len() + budget
-                && !replay.is_complete()
-                && (0..cfg.num_clusters)
-                    .any(|c| replay.cluster_instructions(c) < milestones[c])
-            {
-                replay.step_epoch(&default_ops);
-            }
-
-            for cluster in 0..cfg.num_clusters {
-                let Some(t0_c) = t0[cluster] else { continue };
-                let Some(tf_c) = replay.time_at_instructions(cluster, milestones[cluster])
-                else {
-                    continue;
-                };
-                let ref_dur = t0_c.saturating_sub(t_start).as_secs();
-                if ref_dur <= 0.0 {
-                    continue;
-                }
-                let scaled_dur = tf_c.saturating_sub(t_start).as_secs();
-                // Sustained-equivalent loss: the extra time the single
-                // scaled epoch cost (including delayed effects, which is why
-                // the measurement runs to the milestone rather than stopping
-                // after 20 µs), normalized to the scaling window's own
-                // duration. This is the slowdown a cluster would sustain if
-                // it ran at this point continuously — the quantity a preset
-                // of "10 % performance loss" constrains at runtime.
-                let perf_loss = (scaled_dur - ref_dur) / cfg.epoch.as_secs();
-                let scaled_cluster = &scaled_record.clusters[cluster];
-                samples.push(RawSample {
-                    benchmark: name.to_string(),
-                    cluster,
-                    breakpoint,
-                    counters: feature_record.clusters[cluster].counters.clone(),
-                    scaled_counters: scaled_cluster.counters.clone(),
-                    op_index,
-                    perf_loss,
-                    instructions: scaled_cluster.counters.total_instructions() as u64,
-                });
-            }
-        }
+        specs.push(ReplaySpec { breakpoint, snapshot, t_start, milestones, t0, feature_record });
         breakpoint += 1;
     }
-    DvfsDataset { samples, ..DvfsDataset::default() }
+    specs
+}
+
+/// Phase 2, one job: replays one breakpoint interval at one candidate
+/// operating point and measures the per-cluster performance loss. Samples
+/// come back in cluster order, so assembling jobs in (breakpoint, op) order
+/// reproduces the sequential sample order exactly.
+fn run_replay(
+    name: &str,
+    cfg: &GpuConfig,
+    dg: &DataGenConfig,
+    spec: &ReplaySpec,
+    op_index: usize,
+) -> Vec<RawSample> {
+    let default_ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+    let interval = dg.breakpoint_interval_epochs;
+    let budget = interval + (interval as f64 * dg.replay_slack).ceil() as usize;
+    // The replay looks up milestone crossings anywhere within its own
+    // window, so retain every epoch it can possibly step.
+    let mut replay = spec.snapshot.restore_with_history(budget.max(2) + 1);
+    // Feature window at default, scaling window at the candidate.
+    replay.step_epoch(&default_ops);
+    let scaled_record = replay.step_epoch(&vec![op_index; cfg.num_clusters]).clone();
+    // Back at default until every milestone is reached (bounded).
+    while replay.epoch_index() < spec.snapshot.epoch_index() + budget
+        && !replay.is_complete()
+        && (0..cfg.num_clusters).any(|c| replay.cluster_instructions(c) < spec.milestones[c])
+    {
+        replay.step_epoch(&default_ops);
+    }
+
+    let mut samples = Vec::new();
+    for cluster in 0..cfg.num_clusters {
+        let Some(t0_c) = spec.t0[cluster] else { continue };
+        let Some(tf_c) = replay.time_at_instructions(cluster, spec.milestones[cluster]) else {
+            continue;
+        };
+        let ref_dur = t0_c.saturating_sub(spec.t_start).as_secs();
+        if ref_dur <= 0.0 {
+            continue;
+        }
+        let scaled_dur = tf_c.saturating_sub(spec.t_start).as_secs();
+        // Sustained-equivalent loss: the extra time the single
+        // scaled epoch cost (including delayed effects, which is why
+        // the measurement runs to the milestone rather than stopping
+        // after 20 µs), normalized to the scaling window's own
+        // duration. This is the slowdown a cluster would sustain if
+        // it ran at this point continuously — the quantity a preset
+        // of "10 % performance loss" constrains at runtime.
+        let perf_loss = (scaled_dur - ref_dur) / cfg.epoch.as_secs();
+        let scaled_cluster = &scaled_record.clusters[cluster];
+        samples.push(RawSample {
+            benchmark: name.to_string(),
+            cluster,
+            breakpoint: spec.breakpoint,
+            counters: spec.feature_record.clusters[cluster].counters.clone(),
+            scaled_counters: scaled_cluster.counters.clone(),
+            op_index,
+            perf_loss,
+            instructions: scaled_cluster.counters.total_instructions() as u64,
+        });
+    }
+    samples
+}
+
+/// Runs the Fig. 2 methodology on one benchmark, returning its samples.
+/// Replays fan out over one worker per core; see [`generate_with_jobs`].
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`GpuConfig::validate`]).
+pub fn generate(benchmark: &Benchmark, cfg: &GpuConfig, dg: &DataGenConfig) -> DvfsDataset {
+    generate_with_jobs(benchmark, cfg, dg, 0)
+}
+
+/// [`generate`] with an explicit worker count (`0` = one per core, `1` =
+/// fully sequential). The result is byte-identical for every worker count:
+/// replays are deterministic given the breakpoint snapshot, and samples are
+/// assembled in (breakpoint, operating point, cluster) order regardless of
+/// which worker ran which replay.
+pub fn generate_with_jobs(
+    benchmark: &Benchmark,
+    cfg: &GpuConfig,
+    dg: &DataGenConfig,
+    jobs: usize,
+) -> DvfsDataset {
+    generate_workload_jobs(benchmark.name(), benchmark.workload().clone(), cfg, dg, jobs)
+}
+
+/// [`generate`] for a bare workload.
+pub fn generate_workload(
+    name: &str,
+    workload: Workload,
+    cfg: &GpuConfig,
+    dg: &DataGenConfig,
+) -> DvfsDataset {
+    generate_workload_jobs(name, workload, cfg, dg, 0)
+}
+
+/// [`generate_workload`] with an explicit worker count (see
+/// [`generate_with_jobs`]).
+pub fn generate_workload_jobs(
+    name: &str,
+    workload: Workload,
+    cfg: &GpuConfig,
+    dg: &DataGenConfig,
+    jobs: usize,
+) -> DvfsDataset {
+    let specs = collect_replay_specs(workload, cfg, dg);
+    let num_ops = cfg.vf_table.len();
+    let job_list: Vec<(usize, usize)> =
+        (0..specs.len()).flat_map(|s| (0..num_ops).map(move |op| (s, op))).collect();
+    let per_job: Vec<Vec<RawSample>> =
+        parallel_map_indexed(jobs, job_list, |_, (spec_idx, op_index)| {
+            run_replay(name, cfg, dg, &specs[spec_idx], op_index)
+        });
+    DvfsDataset { samples: per_job.concat(), ..DvfsDataset::default() }
+}
+
+/// Runs data generation over a whole benchmark suite with global fan-out:
+/// reference timelines run in parallel across benchmarks, then every
+/// (benchmark, breakpoint, operating point) replay becomes one job on the
+/// shared work-stealing pool, so a long benchmark's replays keep all
+/// workers busy while short benchmarks finish. Returns one dataset per
+/// benchmark, in input order, each byte-identical to a sequential
+/// [`generate`] run on that benchmark.
+pub fn generate_suite(
+    benchmarks: &[Benchmark],
+    cfg: &GpuConfig,
+    dg: &DataGenConfig,
+    jobs: usize,
+) -> Vec<DvfsDataset> {
+    // Phase 1: per-benchmark reference timelines (independent of each other).
+    let specs_per_bench: Vec<Vec<ReplaySpec>> =
+        parallel_map_indexed(jobs, benchmarks.to_vec(), |_, bench| {
+            collect_replay_specs(bench.workload().clone(), cfg, dg)
+        });
+    // Phase 2: one global job list over every replay of every benchmark.
+    let num_ops = cfg.vf_table.len();
+    let job_list: Vec<(usize, usize, usize)> = specs_per_bench
+        .iter()
+        .enumerate()
+        .flat_map(|(b, specs)| {
+            (0..specs.len()).flat_map(move |s| (0..num_ops).map(move |op| (b, s, op)))
+        })
+        .collect();
+    let per_job: Vec<Vec<RawSample>> =
+        parallel_map_indexed(jobs, job_list.clone(), |_, (b, s, op)| {
+            run_replay(benchmarks[b].name(), cfg, dg, &specs_per_bench[b][s], op)
+        });
+    // Ordered assembly back into per-benchmark datasets.
+    let mut datasets: Vec<DvfsDataset> =
+        benchmarks.iter().map(|_| DvfsDataset::default()).collect();
+    for ((b, _, _), samples) in job_list.into_iter().zip(per_job) {
+        datasets[b].samples.extend(samples);
+    }
+    datasets
 }
 
 #[cfg(test)]
@@ -490,11 +606,7 @@ mod tests {
     fn compute_workload() -> Workload {
         let k = KernelSpec::new(
             "k",
-            vec![BasicBlock::new(
-                vec![InstrClass::IntAlu, InstrClass::FpAlu],
-                4_000,
-                0.0,
-            )],
+            vec![BasicBlock::new(vec![InstrClass::IntAlu, InstrClass::FpAlu], 4_000, 0.0)],
             2,
             16,
             MemoryBehavior::streaming(1 << 18),
@@ -505,11 +617,7 @@ mod tests {
     fn memory_workload() -> Workload {
         let k = KernelSpec::new(
             "k",
-            vec![BasicBlock::new(
-                vec![InstrClass::LoadGlobal, InstrClass::IntAlu],
-                2_000,
-                0.0,
-            )],
+            vec![BasicBlock::new(vec![InstrClass::LoadGlobal, InstrClass::IntAlu], 2_000, 0.0)],
             2,
             16,
             MemoryBehavior::streaming(64 << 20),
@@ -680,10 +788,8 @@ mod persistence_tests {
         // Caches written before the ablation flags existed must still load,
         // with the deployed defaults.
         let ds = sample_dataset();
-        let mut json: serde_json::Value = serde_json::from_str(
-            &serde_json::to_string(&ds).unwrap(),
-        )
-        .unwrap();
+        let mut json: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&ds).unwrap()).unwrap();
         json.as_object_mut().unwrap().remove("feature_variants");
         json.as_object_mut().unwrap().remove("labeling");
         let loaded: DvfsDataset = serde_json::from_value(json).unwrap();

@@ -1,0 +1,176 @@
+//! Shared work-stealing execution pool for embarrassingly parallel jobs.
+//!
+//! Data generation replays hundreds of independent millisecond-scale
+//! simulation jobs ([`crate::generate_workload`]), and the benchmark runner
+//! fans governor comparisons out across benchmarks. Both funnel through
+//! [`parallel_map_indexed`]: jobs are distributed round-robin into
+//! per-worker deques, workers drain their own deque LIFO and steal FIFO
+//! from the global injector or from peers when they run dry, and every
+//! result is written into a pre-sized, disjoint output slot so no lock is
+//! held around result collection. Output order always matches input order,
+//! which is what makes parallel data generation byte-identical to the
+//! sequential path.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+/// Resolves a requested worker count: `0` means "one per available core".
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    }
+}
+
+/// Write-only view of the output vector handing each job its own slot.
+///
+/// Safety rests on index uniqueness: every job index is enqueued exactly
+/// once, so no two threads ever write the same slot.
+struct SlotWriter<R> {
+    ptr: *mut Option<R>,
+}
+
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+
+impl<R> SlotWriter<R> {
+    /// # Safety
+    ///
+    /// `index` must be in bounds and claimed by exactly one caller.
+    unsafe fn write(&self, index: usize, value: R) {
+        unsafe { *self.ptr.add(index) = Some(value) };
+    }
+}
+
+fn find_task<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T>]) -> Option<T> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match injector.steal() {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    for stealer in stealers {
+        loop {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads (`0` = one per
+/// core), passing each item's input index alongside it. Results come back
+/// in input order regardless of which worker ran which item.
+///
+/// Tasks never spawn sub-tasks, so once every deque and the injector are
+/// observed empty a worker can safely retire.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn parallel_map_indexed<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = effective_jobs(jobs).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let slots = SlotWriter { ptr: results.as_mut_ptr() };
+
+    let injector: Injector<(usize, T)> = Injector::new();
+    let locals: Vec<Worker<(usize, T)>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = locals.iter().map(Worker::stealer).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        locals[i % workers].push((i, item));
+    }
+
+    crossbeam::scope(|scope| {
+        for local in locals {
+            let stealers = &stealers;
+            let injector = &injector;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Some((i, item)) = find_task(&local, injector, stealers) {
+                    let r = f(i, item);
+                    // SAFETY: each index was enqueued exactly once.
+                    unsafe { slots.write(i, r) };
+                }
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+/// Borrowing convenience over [`parallel_map_indexed`] for callers that
+/// only need `&T`.
+pub fn parallel_map_ref<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_indexed(jobs, (0..items.len()).collect(), |_, i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map_indexed(4, (0..257).collect::<Vec<u64>>(), |i, x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, (0..257).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map_ref(8, &vec![1usize; 100], |&x| {
+            counter.fetch_add(x, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn sequential_fallbacks_match_parallel() {
+        let items: Vec<usize> = (0..40).collect();
+        let seq = parallel_map_indexed(1, items.clone(), |i, x| i + x);
+        let par = parallel_map_indexed(0, items, |i, x| i + x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_cores() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = parallel_map_indexed(4, Vec::<u8>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        let one = parallel_map_indexed(4, vec![9u8], |i, x| x + i as u8);
+        assert_eq!(one, vec![9]);
+    }
+}

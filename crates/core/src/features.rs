@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn refined_matches_table_i() {
         let names = FeatureSet::refined().names();
-        assert_eq!(names, vec!["ipc", "power_total_w", "stall_mem_load", "stall_mem_other", "l1_read_miss"]);
+        assert_eq!(
+            names,
+            vec!["ipc", "power_total_w", "stall_mem_load", "stall_mem_other", "l1_read_miss"]
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod asic;
 mod compress;
 mod controller;
 mod datagen;
+pub mod exec;
 mod features;
 mod model;
 mod rfe;
@@ -70,8 +71,8 @@ pub use compress::{
 };
 pub use controller::{SsmdvfsConfig, SsmdvfsGovernor};
 pub use datagen::{
-    generate, generate_workload, DataGenConfig, DvfsDataset, LabelingMode, RawSample,
-    DECISION_PRESET_GRID,
+    generate, generate_suite, generate_with_jobs, generate_workload, generate_workload_jobs,
+    DataGenConfig, DvfsDataset, LabelingMode, RawSample, DECISION_PRESET_GRID,
 };
 pub use features::FeatureSet;
 pub use model::{CombinedModel, ModelArch};

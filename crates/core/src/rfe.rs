@@ -35,11 +35,7 @@ pub struct FeatureSelection {
 /// (instruction + stall + cache categories). Power is excluded because it
 /// is always kept as the direct feature.
 pub fn candidate_counters() -> Vec<CounterId> {
-    CounterId::ALL
-        .iter()
-        .copied()
-        .filter(|c| c.category() != CounterCategory::Power)
-        .collect()
+    CounterId::ALL.iter().copied().filter(|c| c.category() != CounterCategory::Power).collect()
 }
 
 fn train_and_score(
@@ -76,10 +72,7 @@ pub fn select_features(
     config: &TrainConfig,
 ) -> FeatureSelection {
     let candidates = candidate_counters();
-    assert!(
-        keep_indirect < candidates.len(),
-        "keep_indirect must be below the candidate count"
-    );
+    assert!(keep_indirect < candidates.len(), "keep_indirect must be below the candidate count");
     let candidate_set = FeatureSet::new(candidates.clone());
     let full_data = dataset.decision_data(&candidate_set, num_ops);
     let (_, _, _, full_accuracy) = train_and_score(&full_data, config.seed, config);
@@ -116,12 +109,7 @@ pub fn select_features(
     let selected_data = dataset.decision_data(&selected_set, num_ops);
     let (_, _, _, selected_accuracy) = train_and_score(&selected_data, config.seed ^ 7, config);
 
-    FeatureSelection {
-        selected: selected_set,
-        eliminated,
-        full_accuracy,
-        selected_accuracy,
-    }
+    FeatureSelection { selected: selected_set, eliminated, full_accuracy, selected_accuracy }
 }
 
 #[cfg(test)]

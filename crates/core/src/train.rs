@@ -3,9 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tinynn::{
-    accuracy, mape, train_classifier, train_regressor, Mlp, Normalizer, TrainConfig,
-};
+use tinynn::{accuracy, mape, train_classifier, train_regressor, Mlp, Normalizer, TrainConfig};
 
 use crate::datagen::DvfsDataset;
 use crate::features::FeatureSet;
@@ -51,11 +49,8 @@ pub fn train_combined(
     // Decision head.
     let dec_data = dataset.decision_data(features, num_ops);
     let dec_norm = Normalizer::fit(&dec_data.x);
-    let dec_data = tinynn::ClassificationData::new(
-        dec_norm.transform(&dec_data.x),
-        dec_data.y,
-        num_ops,
-    );
+    let dec_data =
+        tinynn::ClassificationData::new(dec_norm.transform(&dec_data.x), dec_data.y, num_ops);
     let (dec_train, dec_val) = dec_data.split(val_frac, &mut rng);
     // The minimum-frequency labels are dominated by the lowest point
     // (memory-tolerant contexts qualify at almost every preset), so the
@@ -107,8 +102,7 @@ pub fn evaluate(model: &CombinedModel, dataset: &DvfsDataset) -> (f64, f64) {
     let dec_data = dataset.decision_data(&model.feature_set, model.num_ops);
     let logits = model.decision_forward_raw(&dec_data.x);
     let acc = accuracy(&logits, &dec_data.y);
-    let cal_data =
-        dataset.calibrator_data(&model.feature_set, model.num_ops, model.instr_scale);
+    let cal_data = dataset.calibrator_data(&model.feature_set, model.num_ops, model.instr_scale);
     let outputs = model.calibrator_forward_raw(&cal_data.x);
     let m = mape(&outputs, &cal_data.y);
     (acc, m)
@@ -191,14 +185,8 @@ mod tests {
     fn paper_full_arch_flops_are_near_the_reported_6960() {
         let data = synthetic_dataset(200);
         let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
-        let (model, _) = train_combined(
-            &data,
-            &FeatureSet::refined(),
-            &ModelArch::paper_full(),
-            6,
-            &cfg,
-            0.25,
-        );
+        let (model, _) =
+            train_combined(&data, &FeatureSet::refined(), &ModelArch::paper_full(), 6, &cfg, 0.25);
         // 5 features + preset, five/four 20-wide hidden layers.
         let flops = model.flops();
         assert!(

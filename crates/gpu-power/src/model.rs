@@ -227,8 +227,7 @@ impl PowerModel {
             + nj(activity.barrier, c.e_barrier_nj);
         let overhead = nj(activity.total_instructions(), c.e_overhead_nj);
 
-        let clock_power =
-            Power::from_watts(c.clock_coeff_w_per_v2hz * v * v * op.freq_hz());
+        let clock_power = Power::from_watts(c.clock_coeff_w_per_v2hz * v * v * op.freq_hz());
         let clock = clock_power.over_seconds(duration_s);
 
         let leakage_power = Power::from_watts(
@@ -243,19 +242,9 @@ impl PowerModel {
         let dram = Energy::from_nanojoules(
             (activity.dram_reads + activity.dram_writes) as f64 * c.e_dram_nj,
         );
-        let dram_background =
-            Power::from_watts(c.dram_background_w).over_seconds(duration_s);
+        let dram_background = Power::from_watts(c.dram_background_w).over_seconds(duration_s);
 
-        EnergyBreakdown {
-            compute,
-            overhead,
-            clock,
-            leakage,
-            l1,
-            l2,
-            dram,
-            dram_background,
-        }
+        EnergyBreakdown { compute, overhead, clock, leakage, l1, l2, dram, dram_background }
     }
 }
 
@@ -339,10 +328,7 @@ mod tests {
         let model = PowerModel::titan_x();
         let table = VfTable::titan_x();
         let op = table.default_point();
-        let idle = Activity {
-            total_cycles: op.cycles_in(EPOCH_S),
-            ..Activity::default()
-        };
+        let idle = Activity { total_cycles: op.cycles_in(EPOCH_S), ..Activity::default() };
         let b = model.epoch_energy(&idle, op, EPOCH_S);
         assert_eq!(b.compute, Energy::ZERO);
         assert!(b.clock.joules() > 0.0);

@@ -278,10 +278,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "ascending frequency")]
     fn unsorted_table_rejected() {
-        VfTable::new(
-            vec![OperatingPoint::new(1.0, 800.0), OperatingPoint::new(1.0, 700.0)],
-            0,
-        );
+        VfTable::new(vec![OperatingPoint::new(1.0, 800.0), OperatingPoint::new(1.0, 700.0)], 0);
     }
 
     #[test]

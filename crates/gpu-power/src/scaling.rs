@@ -83,12 +83,7 @@ impl TechScaler {
     pub fn new(from_nm: f64, to_nm: f64) -> Result<TechScaler, UnsupportedNodeError> {
         let (a_from, e_from) = lookup(from_nm)?;
         let (a_to, e_to) = lookup(to_nm)?;
-        Ok(TechScaler {
-            from_nm,
-            to_nm,
-            area_factor: a_to / a_from,
-            energy_factor: e_to / e_from,
-        })
+        Ok(TechScaler { from_nm, to_nm, area_factor: a_to / a_from, energy_factor: e_to / e_from })
     }
 
     /// The scaler used in the paper: 65 nm synthesis results → 28 nm.

@@ -143,8 +143,7 @@ impl Cluster {
         let mut lat_weight = 0.0;
         for (sm, mem) in &mut self.sms {
             let mut sm_counters = EpochCounters::zeroed();
-            let outcome =
-                sm.run_epoch(start, cycles, period_ps, mem, &self.lat, &mut sm_counters);
+            let outcome = sm.run_epoch(start, cycles, period_ps, mem, &self.lat, &mut sm_counters);
             self.cum_instructions += outcome.instructions;
             occupancy_sum += sm_counters[CounterId::Occupancy];
             let accesses = sm_counters[CounterId::L1ReadAccess];
@@ -197,14 +196,13 @@ impl Cluster {
         counters[PowerMemoryW] = (breakdown.memory() / secs).watts();
         counters[EnergyEpochJ] = breakdown.total().joules();
     }
-
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::isa::InstrClass;
-    use crate::kernel::{BasicBlock, MemoryBehavior, KernelSpec};
+    use crate::kernel::{BasicBlock, KernelSpec, MemoryBehavior};
     use gpu_power::VfTable;
 
     fn kernel() -> KernelSpec {
@@ -307,11 +305,7 @@ mod multi_sm_tests {
     fn kernel() -> KernelSpec {
         KernelSpec::new(
             "k",
-            vec![BasicBlock::new(
-                vec![InstrClass::IntAlu, InstrClass::LoadGlobal],
-                500,
-                0.0,
-            )],
+            vec![BasicBlock::new(vec![InstrClass::IntAlu, InstrClass::LoadGlobal], 500, 0.0)],
             2,
             8,
             MemoryBehavior::streaming(1 << 20),

@@ -255,9 +255,8 @@ mod tests {
 
     #[test]
     fn category_counts_match_taxonomy() {
-        let count = |cat: CounterCategory| {
-            CounterId::ALL.iter().filter(|c| c.category() == cat).count()
-        };
+        let count =
+            |cat: CounterCategory| CounterId::ALL.iter().filter(|c| c.category() == cat).count();
         assert_eq!(count(CounterCategory::Instruction), 13);
         assert_eq!(count(CounterCategory::Stall), 14);
         assert_eq!(count(CounterCategory::Cache), 13);

@@ -104,9 +104,8 @@ impl DvfsGovernor for ScheduleGovernor {
         }
         let pos = self.cursors[cluster];
         self.cursors[cluster] = pos + 1;
-        let idx = *self.schedule.get(pos).unwrap_or(
-            self.schedule.last().expect("schedule is non-empty"),
-        );
+        let idx =
+            *self.schedule.get(pos).unwrap_or(self.schedule.last().expect("schedule is non-empty"));
         idx.min(table.len() - 1)
     }
 

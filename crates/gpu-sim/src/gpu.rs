@@ -72,11 +72,7 @@ impl GpuConfig {
     /// A scaled-down GPU (2 clusters, 16 warp slots) with identical timing
     /// parameters, for fast unit and integration tests.
     pub fn small_test() -> GpuConfig {
-        GpuConfig {
-            num_clusters: 2,
-            max_warps_per_sm: 16,
-            ..GpuConfig::titan_x()
-        }
+        GpuConfig { num_clusters: 2, max_warps_per_sm: 16, ..GpuConfig::titan_x() }
     }
 
     /// Returns a copy with a different seed (for workload replication).

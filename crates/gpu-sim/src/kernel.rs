@@ -57,8 +57,7 @@ impl BasicBlock {
     where
         I: IntoIterator<Item = InstrClass>,
     {
-        let instrs: Vec<InstrTemplate> =
-            instrs.into_iter().map(InstrTemplate::new).collect();
+        let instrs: Vec<InstrTemplate> = instrs.into_iter().map(InstrTemplate::new).collect();
         assert!(!instrs.is_empty(), "a basic block needs at least one instruction");
         assert!(iterations > 0, "a basic block must iterate at least once");
         assert!(

@@ -132,8 +132,8 @@ impl ClusterMemory {
         let occupancy = Time::from_nanos(self.config.dram_tx_ns);
         self.dram_free = ready + occupancy;
         self.dram_busy_ns += self.config.dram_tx_ns;
-        let latency = l1_lat
-            + Time::from_nanos(self.config.l2_hit_ns + self.config.dram_ns + queue_ns);
+        let latency =
+            l1_lat + Time::from_nanos(self.config.l2_hit_ns + self.config.dram_ns + queue_ns);
         MemAccessResult { level: MemLevel::Dram, latency, queue_ns }
     }
 

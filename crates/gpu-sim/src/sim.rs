@@ -43,17 +43,12 @@ pub struct EpochRecord {
 impl EpochRecord {
     /// Total energy consumed by every cluster this epoch.
     pub fn energy(&self) -> Energy {
-        Energy::from_joules(
-            self.clusters.iter().map(|c| c.counters[CounterId::EnergyEpochJ]).sum(),
-        )
+        Energy::from_joules(self.clusters.iter().map(|c| c.counters[CounterId::EnergyEpochJ]).sum())
     }
 
     /// Total instructions retired by every cluster this epoch.
     pub fn instructions(&self) -> u64 {
-        self.clusters
-            .iter()
-            .map(|c| c.counters[CounterId::TotalInstrs] as u64)
-            .sum()
+        self.clusters.iter().map(|c| c.counters[CounterId::TotalInstrs] as u64).sum()
     }
 }
 
@@ -140,7 +135,95 @@ pub struct Simulation {
     kernel_idx: usize,
     now: Time,
     records: Vec<EpochRecord>,
+    /// Global epoch index of `records[0]`; epochs before it were pruned
+    /// (or predate a [`SimSnapshot`] restore).
+    record_base: usize,
+    /// Per-cluster cumulative instruction counts at the start of
+    /// `records[0]`, anchoring [`Simulation::time_at_instructions`] when
+    /// history has been pruned.
+    base_cums: Vec<u64>,
+    /// Maximum number of recent [`EpochRecord`]s to retain (`None` =
+    /// unbounded, the default).
+    history_limit: Option<usize>,
     completed_at: Option<Time>,
+    // Running aggregates over *all* epochs (including pruned ones) so
+    // `result()` never needs the full record history.
+    agg_energy_j: f64,
+    agg_breakdown: EnergySummary,
+    agg_op_histogram: Vec<u64>,
+    /// Number of epochs covered by the aggregates (equals `epoch_index()`
+    /// unless the simulation was restored from a snapshot).
+    agg_epochs: usize,
+}
+
+/// A cheap checkpoint of a [`Simulation`]'s live machine state.
+///
+/// Captures the clusters (SM pipelines, caches, RNG), workload position,
+/// clock, and per-cluster cumulative counters — but **not** the O(elapsed
+/// epochs) record history. Its size is therefore independent of how long
+/// the source simulation has been running, which is what makes the
+/// breakpoint-dense data-generation methodology affordable: one snapshot
+/// per breakpoint, one [`SimSnapshot::restore`] per operating-point replay.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    config: GpuConfig,
+    power: PowerModel,
+    clusters: Vec<Cluster>,
+    workload: Workload,
+    kernel_idx: usize,
+    now: Time,
+    epoch_index: usize,
+    completed_at: Option<Time>,
+}
+
+impl SimSnapshot {
+    /// The simulation time at which the snapshot was taken.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The number of epochs the source simulation had stepped.
+    pub fn epoch_index(&self) -> usize {
+        self.epoch_index
+    }
+
+    /// Per-cluster cumulative instruction counts at the snapshot point.
+    pub fn cluster_instructions(&self, cluster: usize) -> u64 {
+        self.clusters[cluster].cum_instructions()
+    }
+
+    /// Builds a live [`Simulation`] resuming from this snapshot with an
+    /// empty record window and unbounded history. The restored simulation's
+    /// [`Simulation::result`] covers only post-restore epochs.
+    pub fn restore(&self) -> Simulation {
+        self.restore_impl(None)
+    }
+
+    /// Like [`SimSnapshot::restore`], but retaining at most `limit` recent
+    /// epoch records (see [`Simulation::set_history_limit`]).
+    pub fn restore_with_history(&self, limit: usize) -> Simulation {
+        self.restore_impl(Some(limit))
+    }
+
+    fn restore_impl(&self, history_limit: Option<usize>) -> Simulation {
+        Simulation {
+            config: self.config.clone(),
+            power: self.power.clone(),
+            clusters: self.clusters.clone(),
+            workload: self.workload.clone(),
+            kernel_idx: self.kernel_idx,
+            now: self.now,
+            records: Vec::new(),
+            record_base: self.epoch_index,
+            base_cums: self.clusters.iter().map(Cluster::cum_instructions).collect(),
+            history_limit,
+            completed_at: self.completed_at,
+            agg_energy_j: 0.0,
+            agg_breakdown: EnergySummary::default(),
+            agg_op_histogram: vec![0; self.config.vf_table.len()],
+            agg_epochs: 0,
+        }
+    }
 }
 
 impl Simulation {
@@ -167,6 +250,8 @@ impl Simulation {
             })
             .collect();
         let power = PowerModel::new(config.power.clone());
+        let num_clusters = config.num_clusters;
+        let num_ops = config.vf_table.len();
         let mut sim = Simulation {
             config,
             power,
@@ -175,10 +260,58 @@ impl Simulation {
             kernel_idx: 0,
             now: Time::ZERO,
             records: Vec::new(),
+            record_base: 0,
+            base_cums: vec![0; num_clusters],
+            history_limit: None,
             completed_at: None,
+            agg_energy_j: 0.0,
+            agg_breakdown: EnergySummary::default(),
+            agg_op_histogram: vec![0; num_ops],
+            agg_epochs: 0,
         };
         sim.assign_current_kernel();
         sim
+    }
+
+    /// Captures a checkpoint of the live machine state (clusters, caches,
+    /// RNG, clock, cumulative counters) without the record history. See
+    /// [`SimSnapshot`].
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            config: self.config.clone(),
+            power: self.power.clone(),
+            clusters: self.clusters.clone(),
+            workload: self.workload.clone(),
+            kernel_idx: self.kernel_idx,
+            now: self.now,
+            epoch_index: self.epoch_index(),
+            completed_at: self.completed_at,
+        }
+    }
+
+    /// Caps the retained record window to the `limit` most recent epochs
+    /// (`None` = unbounded). Older records are pruned as new epochs are
+    /// stepped; [`Simulation::result`] still covers every epoch because the
+    /// aggregates are maintained incrementally, but
+    /// [`Simulation::time_at_instructions`] can only resolve targets
+    /// crossed inside the retained window.
+    pub fn set_history_limit(&mut self, limit: Option<usize>) {
+        self.history_limit = limit;
+        self.prune_history();
+    }
+
+    fn prune_history(&mut self) {
+        let Some(limit) = self.history_limit else { return };
+        let excess = self.records.len().saturating_sub(limit.max(1));
+        if excess == 0 {
+            return;
+        }
+        for record in self.records.drain(..excess) {
+            for (cluster, c) in record.clusters.iter().enumerate() {
+                self.base_cums[cluster] = c.cum_instructions;
+            }
+        }
+        self.record_base += excess;
     }
 
     fn assign_current_kernel(&mut self) {
@@ -213,9 +346,24 @@ impl Simulation {
         self.now
     }
 
-    /// All epoch records so far.
+    /// The retained epoch records — all of them by default, or the most
+    /// recent window when a history limit is set (see
+    /// [`Simulation::set_history_limit`]).
     pub fn records(&self) -> &[EpochRecord] {
         &self.records
+    }
+
+    /// Total number of epochs stepped since the simulation began,
+    /// including epochs whose records were pruned or predate a snapshot
+    /// restore.
+    pub fn epoch_index(&self) -> usize {
+        self.record_base + self.records.len()
+    }
+
+    /// The record of the epoch with global index `index`, if it is still
+    /// retained.
+    pub fn record_at(&self, index: usize) -> Option<&EpochRecord> {
+        self.records.get(index.checked_sub(self.record_base)?)
     }
 
     /// Returns `true` once every kernel has completed.
@@ -250,11 +398,7 @@ impl Simulation {
     /// Panics if `ops` does not provide one index per cluster or an index is
     /// out of table range.
     pub fn step_epoch(&mut self, ops: &[usize]) -> &EpochRecord {
-        assert_eq!(
-            ops.len(),
-            self.clusters.len(),
-            "need one operating point per cluster"
-        );
+        assert_eq!(ops.len(), self.clusters.len(), "need one operating point per cluster");
         let table = self.config.vf_table.clone();
         let epoch_len = self.config.epoch;
         let transition = self.config.dvfs_transition;
@@ -274,24 +418,33 @@ impl Simulation {
             });
         }
         self.now += epoch_len;
+        self.agg_epochs += 1;
+        let dt = epoch_len.as_secs();
+        for c in &cluster_records {
+            self.agg_energy_j += c.counters[CounterId::EnergyEpochJ];
+            self.agg_breakdown.dynamic +=
+                Energy::from_joules(c.counters[CounterId::PowerDynamicW] * dt);
+            self.agg_breakdown.leakage +=
+                Energy::from_joules(c.counters[CounterId::PowerLeakageW] * dt);
+            self.agg_breakdown.memory +=
+                Energy::from_joules(c.counters[CounterId::PowerMemoryW] * dt);
+            self.agg_op_histogram[c.op_index] += 1;
+        }
         self.records.push(EpochRecord {
-            index: self.records.len(),
+            index: self.epoch_index(),
             start,
             len: epoch_len,
             clusters: cluster_records,
         });
+        self.prune_history();
 
         if self.completed_at.is_none() && self.clusters.iter().all(Cluster::is_idle) {
             if self.kernel_idx + 1 < self.workload.kernels().len() {
                 self.kernel_idx += 1;
                 self.assign_current_kernel();
             } else {
-                self.completed_at = self
-                    .clusters
-                    .iter()
-                    .filter_map(Cluster::finish_time)
-                    .max()
-                    .or(Some(self.now));
+                self.completed_at =
+                    self.clusters.iter().filter_map(Cluster::finish_time).max().or(Some(self.now));
             }
         }
         self.records.last().expect("a record was just pushed")
@@ -320,41 +473,21 @@ impl Simulation {
         self.result(governor.name())
     }
 
-    /// Builds a [`SimResult`] from the current state.
+    /// Builds a [`SimResult`] from the current state. Aggregates are
+    /// maintained incrementally as epochs are stepped, so this covers every
+    /// epoch even when the record window has been pruned. On a simulation
+    /// restored from a [`SimSnapshot`] it covers post-restore epochs only.
     pub fn result(&self, governor_name: &str) -> SimResult {
-        let mut op_histogram = vec![0u64; self.config.vf_table.len()];
-        for record in &self.records {
-            for c in &record.clusters {
-                op_histogram[c.op_index] += 1;
-            }
-        }
-        let energy: f64 = self
-            .records
-            .iter()
-            .map(|r| r.energy().joules())
-            .sum();
-        let mut breakdown = EnergySummary::default();
-        for record in &self.records {
-            let dt = record.len.as_secs();
-            for c in &record.clusters {
-                breakdown.dynamic +=
-                    Energy::from_joules(c.counters[CounterId::PowerDynamicW] * dt);
-                breakdown.leakage +=
-                    Energy::from_joules(c.counters[CounterId::PowerLeakageW] * dt);
-                breakdown.memory +=
-                    Energy::from_joules(c.counters[CounterId::PowerMemoryW] * dt);
-            }
-        }
         SimResult {
             workload: self.workload.name().to_string(),
             governor: governor_name.to_string(),
             completed: self.is_complete(),
             time: self.completed_at.unwrap_or(self.now),
-            energy: Energy::from_joules(energy),
-            energy_breakdown: breakdown,
+            energy: Energy::from_joules(self.agg_energy_j),
+            energy_breakdown: self.agg_breakdown,
             instructions: self.total_instructions(),
-            epochs: self.records.len(),
-            op_histogram,
+            epochs: self.agg_epochs,
+            op_histogram: self.agg_op_histogram.clone(),
         }
     }
 
@@ -366,20 +499,25 @@ impl Simulation {
     /// This is how the data-generation methodology measures per-cluster
     /// execution time to a fixed amount of work (`T_0` and `T_f` in the
     /// paper) without requiring every replay to reach a global breakpoint.
+    ///
+    /// Targets crossed in epochs that were pruned from the record window
+    /// (or that predate a snapshot restore) also return `None`: the
+    /// crossing time is no longer reconstructible. Callers that bound the
+    /// history window must size it to cover every lookup they make.
     pub fn time_at_instructions(&self, cluster: usize, target: u64) -> Option<Time> {
         if target == 0 {
             return Some(Time::ZERO);
         }
-        let mut prev_cum = 0u64;
+        let mut prev_cum = self.base_cums[cluster];
+        if target <= prev_cum {
+            return None;
+        }
         for record in &self.records {
             let c = &record.clusters[cluster];
             if c.cum_instructions >= target {
                 let in_epoch = c.cum_instructions - prev_cum;
-                let frac = if in_epoch == 0 {
-                    0.0
-                } else {
-                    (target - prev_cum) as f64 / in_epoch as f64
-                };
+                let frac =
+                    if in_epoch == 0 { 0.0 } else { (target - prev_cum) as f64 / in_epoch as f64 };
                 let offset = Time::from_ps((record.len.as_ps() as f64 * frac) as u64);
                 return Some(record.start + offset);
             }
@@ -418,11 +556,7 @@ mod tests {
     fn memory_workload() -> Workload {
         let kernel = KernelSpec::new(
             "stream",
-            vec![BasicBlock::new(
-                vec![InstrClass::LoadGlobal, InstrClass::IntAlu],
-                1_500,
-                0.0,
-            )],
+            vec![BasicBlock::new(vec![InstrClass::LoadGlobal, InstrClass::IntAlu], 1_500, 0.0)],
             2,
             16,
             MemoryBehavior::streaming(64 << 20),
@@ -489,10 +623,7 @@ mod tests {
         let fast = run(5);
         let slow = run(0);
         let slowdown = slow.time.as_secs() / fast.time.as_secs();
-        assert!(
-            slowdown < 1.35,
-            "memory-bound slowdown should be small, got {slowdown:.2}"
-        );
+        assert!(slowdown < 1.35, "memory-bound slowdown should be small, got {slowdown:.2}");
         // And EDP should improve: energy drops more than time grows.
         assert!(
             slow.edp_report().edp() < fast.edp_report().edp(),
@@ -516,6 +647,97 @@ mod tests {
             assert_eq!(ra, rb);
         }
         assert_eq!(a.total_instructions(), b.total_instructions());
+    }
+
+    #[test]
+    fn snapshot_restore_matches_full_clone() {
+        // A restored snapshot must step to byte-identical outcomes as a
+        // full clone: same counters, same clock, same milestone timings.
+        let cfg = GpuConfig::small_test();
+        let mut sim = Simulation::new(cfg.clone(), memory_workload());
+        let default_ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+        let low_ops = vec![0usize; cfg.num_clusters];
+        for _ in 0..4 {
+            sim.step_epoch(&default_ops);
+        }
+        let mut cloned = sim.clone();
+        let mut restored = sim.snapshot().restore();
+        assert_eq!(restored.epoch_index(), cloned.epoch_index());
+        assert_eq!(restored.now(), cloned.now());
+        for step in 0..6 {
+            let ops = if step % 2 == 0 { &low_ops } else { &default_ops };
+            let rc = cloned.step_epoch(ops).clone();
+            let rr = restored.step_epoch(ops).clone();
+            assert_eq!(rc, rr, "diverged at replay step {step}");
+        }
+        assert_eq!(restored.total_instructions(), cloned.total_instructions());
+        let target = cloned.cluster_instructions(0);
+        assert_eq!(
+            restored.time_at_instructions(0, target),
+            cloned.time_at_instructions(0, target),
+            "milestone timing must survive the restore"
+        );
+    }
+
+    #[test]
+    fn snapshot_size_is_independent_of_elapsed_epochs() {
+        // The snapshot captures machine state only, so its footprint must
+        // not grow with simulated history — unlike a full clone, whose
+        // record vector grows by one epoch record per step.
+        let cfg = GpuConfig::small_test();
+        let ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+        let mut sim = Simulation::new(cfg.clone(), memory_workload());
+        for _ in 0..2 {
+            sim.step_epoch(&ops);
+        }
+        let snap_early = format!("{:?}", sim.snapshot()).len();
+        let clone_early = format!("{:?}", sim.clone()).len();
+        for _ in 0..200 {
+            sim.step_epoch(&ops);
+        }
+        let snap_late = format!("{:?}", sim.snapshot()).len();
+        let clone_late = format!("{:?}", sim.clone()).len();
+        assert!(
+            clone_late as f64 > clone_early as f64 * 2.0,
+            "a full clone grows with history ({clone_early} -> {clone_late})"
+        );
+        assert!(
+            (snap_late as f64) < snap_early as f64 * 1.5,
+            "a snapshot must not grow with history ({snap_early} -> {snap_late})"
+        );
+    }
+
+    #[test]
+    fn history_limit_prunes_but_keeps_aggregates_and_window_lookups() {
+        let cfg = GpuConfig::small_test();
+        let ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+        let mut full = Simulation::new(cfg.clone(), memory_workload());
+        let mut windowed = Simulation::new(cfg.clone(), memory_workload());
+        windowed.set_history_limit(Some(4));
+        for _ in 0..12 {
+            full.step_epoch(&ops);
+            windowed.step_epoch(&ops);
+        }
+        assert_eq!(windowed.records().len(), 4, "window must stay bounded");
+        assert_eq!(windowed.epoch_index(), 12, "global epoch count keeps running");
+        assert_eq!(full.result("g"), windowed.result("g"), "aggregates cover pruned epochs");
+        // Lookups inside the window still resolve identically.
+        let target = windowed.records()[1].clusters[0].cum_instructions;
+        if target > windowed.records()[0].clusters[0].cum_instructions {
+            assert_eq!(
+                windowed.time_at_instructions(0, target),
+                full.time_at_instructions(0, target)
+            );
+        }
+        // Lookups before the window are reported as unresolvable, and the
+        // retained records carry their global indices.
+        let pre_window = full.records()[2].clusters[0].cum_instructions;
+        if pre_window > 0 {
+            assert_eq!(windowed.time_at_instructions(0, pre_window), None);
+        }
+        assert_eq!(windowed.records()[0].index, 8);
+        assert!(windowed.record_at(3).is_none());
+        assert_eq!(windowed.record_at(8).map(|r| r.index), Some(8));
     }
 
     #[test]
@@ -616,8 +838,7 @@ mod edge_case_tests {
             8,
             MemoryBehavior::streaming(1 << 16),
         );
-        let workload =
-            Workload::new("seq", vec![tiny.clone(), big.clone(), tiny, big]);
+        let workload = Workload::new("seq", vec![tiny.clone(), big.clone(), tiny, big]);
         let expected = workload.total_instructions();
         let mut sim = Simulation::new(cfg.clone(), workload);
         let mut governor = StaticGovernor::default_point(&cfg.vf_table);
@@ -631,11 +852,7 @@ mod edge_case_tests {
         let cfg = GpuConfig::small_test();
         let kernel = KernelSpec::new(
             "k",
-            vec![BasicBlock::new(
-                vec![InstrClass::IntAlu, InstrClass::LoadGlobal],
-                1_000,
-                0.0,
-            )],
+            vec![BasicBlock::new(vec![InstrClass::IntAlu, InstrClass::LoadGlobal], 1_000, 0.0)],
             2,
             8,
             MemoryBehavior::streaming(8 << 20),

@@ -280,8 +280,7 @@ impl SmCore {
 
         counters[TotalCycles] += cycles as f64;
         if cycles > 0 {
-            counters[Occupancy] =
-                occupancy_sum as f64 / (cycles as f64 * self.max_warps as f64);
+            counters[Occupancy] = occupancy_sum as f64 / (cycles as f64 * self.max_warps as f64);
         }
         if mem_lat_count > 0 {
             counters[AvgMemLatencyNs] = mem_lat_sum_ns / mem_lat_count as f64;
@@ -436,11 +435,7 @@ mod tests {
     fn compute_kernel(iterations: u32) -> KernelSpec {
         KernelSpec::new(
             "compute",
-            vec![BasicBlock::new(
-                vec![InstrClass::IntAlu, InstrClass::FpAlu],
-                iterations,
-                0.0,
-            )],
+            vec![BasicBlock::new(vec![InstrClass::IntAlu, InstrClass::FpAlu], iterations, 0.0)],
             2,
             4,
             MemoryBehavior::streaming(1 << 16),
@@ -625,10 +620,7 @@ mod tests {
                     }
                 }
             };
-            (
-                counters[CounterId::TotalInstrs] as u64,
-                counters[CounterId::LoadGlobalInstrs] as u64,
-            )
+            (counters[CounterId::TotalInstrs] as u64, counters[CounterId::LoadGlobalInstrs] as u64)
         };
         assert_eq!(totals_at(858), totals_at(1464));
     }

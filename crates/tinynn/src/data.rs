@@ -48,7 +48,11 @@ impl ClassificationData {
     /// # Panics
     ///
     /// Panics if `val_frac` is not in (0, 1).
-    pub fn split(&self, val_frac: f64, rng: &mut impl Rng) -> (ClassificationData, ClassificationData) {
+    pub fn split(
+        &self,
+        val_frac: f64,
+        rng: &mut impl Rng,
+    ) -> (ClassificationData, ClassificationData) {
         let (train_idx, val_idx) = split_indices(self.len(), val_frac, rng);
         (
             ClassificationData {
@@ -278,7 +282,7 @@ mod tests {
     fn regression_split_partitions() {
         let x = Matrix::from_vec(8, 1, (0..8).map(|v| v as f32).collect());
         let y: Vec<f32> = (0..8).map(|v| v as f32 * 2.0).collect();
-        let data = RegressionData::new(x, y, );
+        let data = RegressionData::new(x, y);
         let mut rng = StdRng::seed_from_u64(3);
         let (train, val) = data.split(0.25, &mut rng);
         assert_eq!(train.len(), 6);

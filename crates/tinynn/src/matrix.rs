@@ -242,8 +242,7 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
         for i in 0..self.rows {
             out.data[i * out.cols..i * out.cols + self.cols].copy_from_slice(self.row(i));
-            out.data[i * out.cols + self.cols..(i + 1) * out.cols]
-                .copy_from_slice(other.row(i));
+            out.data[i * out.cols + self.cols..(i + 1) * out.cols].copy_from_slice(other.row(i));
         }
         out
     }

@@ -10,11 +10,7 @@ use crate::matrix::Matrix;
 /// Panics on an empty slice.
 pub fn argmax(row: &[f32]) -> usize {
     assert!(!row.is_empty(), "argmax of an empty slice");
-    row.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("non-empty")
+    row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).expect("non-empty")
 }
 
 /// Fraction of rows whose argmax equals the label, in [0, 1].
@@ -25,11 +21,7 @@ pub fn argmax(row: &[f32]) -> usize {
 pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
     assert_eq!(logits.rows(), labels.len(), "one label per row");
     assert!(!labels.is_empty(), "accuracy of an empty batch");
-    let correct = labels
-        .iter()
-        .enumerate()
-        .filter(|(i, &l)| argmax(logits.row(*i)) == l)
-        .count();
+    let correct = labels.iter().enumerate().filter(|(i, &l)| argmax(logits.row(*i)) == l).count();
     correct as f64 / labels.len() as f64
 }
 
@@ -121,11 +113,8 @@ pub fn confusion_matrix(logits: &Matrix, labels: &[usize], classes: usize) -> Ve
 pub fn mean_class_distance(logits: &Matrix, labels: &[usize]) -> f64 {
     assert_eq!(logits.rows(), labels.len(), "one label per row");
     assert!(!labels.is_empty(), "mean class distance of an empty batch");
-    let total: usize = labels
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| argmax(logits.row(i)).abs_diff(l))
-        .sum();
+    let total: usize =
+        labels.iter().enumerate().map(|(i, &l)| argmax(logits.row(i)).abs_diff(l)).sum();
     total as f64 / labels.len() as f64
 }
 

@@ -157,7 +157,8 @@ impl Mlp {
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i + 2 == sizes.len() { Activation::Identity } else { Activation::Relu };
+                let act =
+                    if i + 2 == sizes.len() { Activation::Identity } else { Activation::Relu };
                 Dense::new(w[0], w[1], act, rng)
             })
             .collect();

@@ -104,8 +104,13 @@ impl Optimizer for Adam {
         for (l, (dw, db)) in grads.layers.iter().enumerate() {
             let (mw, vw, mb, vb) = &mut self.moments[l];
             let layer = &mut mlp.layers_mut()[l];
-            for (((w, m), v), g) in
-                layer.w.as_mut_slice().iter_mut().zip(mw.iter_mut()).zip(vw.iter_mut()).zip(dw.as_slice())
+            for (((w, m), v), g) in layer
+                .w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(mw.iter_mut())
+                .zip(vw.iter_mut())
+                .zip(dw.as_slice())
             {
                 *m = self.beta1 * *m + (1.0 - self.beta1) * g;
                 *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
@@ -113,8 +118,7 @@ impl Optimizer for Adam {
                 let vhat = *v / bc2;
                 *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
-            for (((b, m), v), g) in
-                layer.b.iter_mut().zip(mb.iter_mut()).zip(vb.iter_mut()).zip(db)
+            for (((b, m), v), g) in layer.b.iter_mut().zip(mb.iter_mut()).zip(vb.iter_mut()).zip(db)
             {
                 *m = self.beta1 * *m + (1.0 - self.beta1) * g;
                 *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;

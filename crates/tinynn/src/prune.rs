@@ -62,10 +62,7 @@ pub fn prune_magnitude(mlp: &mut Mlp, frac: f32) -> usize {
 ///
 /// Panics if `zero_frac` is outside (0, 1].
 pub fn prune_neurons(mlp: &Mlp, zero_frac: f32) -> (Mlp, usize) {
-    assert!(
-        zero_frac > 0.0 && zero_frac <= 1.0,
-        "neuron-pruning threshold must be in (0, 1]"
-    );
+    assert!(zero_frac > 0.0 && zero_frac <= 1.0, "neuron-pruning threshold must be in (0, 1]");
     let mut layers: Vec<Dense> = mlp.layers().to_vec();
     let mut removed_total = 0;
     // Hidden neurons are the outputs of every layer but the last.
@@ -157,10 +154,7 @@ impl ZeroMask {
 
     /// Number of weights the mask leaves free (non-frozen).
     pub fn nonzero_count(&self) -> u64 {
-        self.frozen
-            .iter()
-            .map(|l| l.iter().filter(|f| !**f).count() as u64)
-            .sum()
+        self.frozen.iter().map(|l| l.iter().filter(|f| !**f).count() as u64).sum()
     }
 }
 

@@ -58,11 +58,7 @@ impl QuantizedMlp {
             .layers()
             .iter()
             .map(|layer| {
-                let max = layer
-                    .w
-                    .as_slice()
-                    .iter()
-                    .fold(0.0f32, |acc, v| acc.max(v.abs()));
+                let max = layer.w.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
                 let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
                 let q = layer
                     .w
@@ -79,10 +75,7 @@ impl QuantizedMlp {
                 }
             })
             .collect();
-        QuantizedMlp {
-            layers,
-            activations: mlp.layers().iter().map(|l| l.activation).collect(),
-        }
+        QuantizedMlp { layers, activations: mlp.layers().iter().map(|l| l.activation).collect() }
     }
 
     /// Reconstructs an FP32 model from the quantized weights (for
@@ -108,19 +101,13 @@ impl QuantizedMlp {
     /// Storage for the quantized weights in bytes (1 per weight + 4 per
     /// bias + 4 per layer scale).
     pub fn weight_bytes(&self) -> u64 {
-        self.layers
-            .iter()
-            .map(|l| l.q.len() as u64 + 4 * l.bias.len() as u64 + 4)
-            .sum()
+        self.layers.iter().map(|l| l.q.len() as u64 + 4 * l.bias.len() as u64 + 4).sum()
     }
 
     /// Number of non-zero quantized weights (sparsity survives
     /// quantization: a zero weight quantizes to zero).
     pub fn nonzero_weights(&self) -> u64 {
-        self.layers
-            .iter()
-            .map(|l| l.q.iter().filter(|q| **q != 0).count() as u64)
-            .sum()
+        self.layers.iter().map(|l| l.q.iter().filter(|q| **q != 0).count() as u64).sum()
     }
 
     /// The per-layer quantization data.

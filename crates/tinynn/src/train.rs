@@ -281,7 +281,11 @@ mod tests {
         let mut mlp = Mlp::new(&[2, 16, 1], &mut rng);
         let cfg = TrainConfig { epochs: 200, ..TrainConfig::default() };
         let report = train_regressor(&mut mlp, &train, &val, &cfg);
-        assert!(report.best_metric < 5.0, "linear map MAPE should be <5%, got {:.2}", report.best_metric);
+        assert!(
+            report.best_metric < 5.0,
+            "linear map MAPE should be <5%, got {:.2}",
+            report.best_metric
+        );
     }
 
     #[test]

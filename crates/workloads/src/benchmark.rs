@@ -139,7 +139,12 @@ mod tests {
             100,
             MemoryBehavior::streaming(4096),
         );
-        Benchmark::new("demo", Family::Rodinia, Boundedness::Compute, Workload::new("demo", vec![k]))
+        Benchmark::new(
+            "demo",
+            Family::Rodinia,
+            Boundedness::Compute,
+            Workload::new("demo", vec![k]),
+        )
     }
 
     #[test]

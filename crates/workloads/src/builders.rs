@@ -62,7 +62,11 @@ pub(crate) mod target {
 
 /// Picks a CTA count so the whole launch is close to `target_instructions`,
 /// never below one CTA per cluster of the Titan X configuration.
-pub(crate) fn sized_ctas(instr_per_warp: u64, warps_per_cta: usize, target_instructions: u64) -> usize {
+pub(crate) fn sized_ctas(
+    instr_per_warp: u64,
+    warps_per_cta: usize,
+    target_instructions: u64,
+) -> usize {
     let per_cta = instr_per_warp * warps_per_cta as u64;
     ((target_instructions / per_cta.max(1)) as usize).max(24)
 }
@@ -85,12 +89,8 @@ mod tests {
         assert_eq!(m.len(), 8);
         assert_eq!(m.iter().filter(|c| **c == LoadGlobal).count(), 2);
         // Loads are not adjacent in a 3:1 interleave.
-        let positions: Vec<usize> = m
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| **c == LoadGlobal)
-            .map(|(i, _)| i)
-            .collect();
+        let positions: Vec<usize> =
+            m.iter().enumerate().filter(|(_, c)| **c == LoadGlobal).map(|(i, _)| i).collect();
         assert!(positions[1] - positions[0] > 1);
     }
 

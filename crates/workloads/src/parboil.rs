@@ -147,8 +147,6 @@ pub fn stencil() -> Benchmark {
     bench("stencil", Boundedness::Mixed, vec![k])
 }
 
-
-
 /// `tpacf`: two-point angular correlation. Histogramming angular distances
 /// between galaxy pairs — FP/SFU distance math with scattered histogram
 /// updates.
@@ -208,11 +206,7 @@ mod tests {
     fn sgemm_is_fma_dominated() {
         let b = sgemm();
         let kernel = &b.workload().kernels()[0];
-        let fp = kernel.blocks()[0]
-            .instrs
-            .iter()
-            .filter(|i| i.class == FpAlu)
-            .count();
+        let fp = kernel.blocks()[0].instrs.iter().filter(|i| i.class == FpAlu).count();
         assert!(fp * 2 > kernel.blocks()[0].instrs.len(), "sgemm should be mostly FMA");
     }
 

@@ -151,8 +151,6 @@ pub fn syrk() -> Benchmark {
     bench("syrk", Boundedness::Compute, vec![k])
 }
 
-
-
 /// `fdtd-2d`: finite-difference time domain. Three alternating field-update
 /// sweeps per timestep — stencil reads with streaming writes.
 pub fn fdtd2d() -> Benchmark {

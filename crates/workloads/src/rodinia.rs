@@ -232,8 +232,6 @@ pub fn srad() -> Benchmark {
     bench("srad", Boundedness::Mixed, vec![gather, diffuse])
 }
 
-
-
 /// `streamcluster`: online clustering. Repeated distance evaluations over a
 /// streamed point set — long FP chains against data that mostly misses the
 /// caches, with a divergent assignment branch.

@@ -56,8 +56,21 @@ pub fn suite() -> Vec<Benchmark> {
 
 /// Names of the benchmarks used to generate SSMDVFS training data.
 pub const TRAINING_NAMES: [&str; 15] = [
-    "backprop", "gaussian", "hotspot", "lavamd", "nw", "srad", "cutcp", "lbm", "sgemm",
-    "stencil", "2mm", "atax", "syrk", "correlation", "sad",
+    "backprop",
+    "gaussian",
+    "hotspot",
+    "lavamd",
+    "nw",
+    "srad",
+    "cutcp",
+    "lbm",
+    "sgemm",
+    "stencil",
+    "2mm",
+    "atax",
+    "syrk",
+    "correlation",
+    "sad",
 ];
 
 /// Names of the benchmarks used for full-system evaluation (Fig. 4). Ten of
@@ -65,8 +78,7 @@ pub const TRAINING_NAMES: [&str; 15] = [
 /// ">50 % of the selected programs are not included in the training set".
 pub const EVALUATION_NAMES: [&str; 14] = [
     // Seen during training:
-    "sgemm", "hotspot", "atax", "lbm",
-    // Unseen:
+    "sgemm", "hotspot", "atax", "lbm", // Unseen:
     "bfs", "kmeans", "lud", "histo", "mriq", "spmv", "3mm", "gemm", "mvt", "bicg",
 ];
 
@@ -114,8 +126,7 @@ mod tests {
 
     #[test]
     fn split_satisfies_the_papers_unseen_requirement() {
-        let train: HashSet<String> =
-            training_set().iter().map(|b| b.name().to_string()).collect();
+        let train: HashSet<String> = training_set().iter().map(|b| b.name().to_string()).collect();
         let eval = evaluation_set();
         let unseen = eval.iter().filter(|b| !train.contains(b.name())).count();
         assert!(
@@ -134,8 +145,7 @@ mod tests {
 
     #[test]
     fn training_set_spans_characters() {
-        let chars: HashSet<Boundedness> =
-            training_set().iter().map(Benchmark::character).collect();
+        let chars: HashSet<Boundedness> = training_set().iter().map(Benchmark::character).collect();
         assert!(chars.contains(&Boundedness::Compute));
         assert!(chars.contains(&Boundedness::Memory));
         assert!(chars.contains(&Boundedness::Mixed));

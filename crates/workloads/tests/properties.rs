@@ -67,7 +67,9 @@ fn advertised_characters_match_memory_parameters() {
             }
             Boundedness::Compute => {
                 assert!(
-                    kernels.iter().all(|k| k.mem().hot_frac >= 0.5 || k.mem().working_set_bytes <= 8 << 20),
+                    kernels
+                        .iter()
+                        .all(|k| k.mem().hot_frac >= 0.5 || k.mem().working_set_bytes <= 8 << 20),
                     "{}: compute-bound but streams a large working set",
                     b.name()
                 );

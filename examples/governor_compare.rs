@@ -16,7 +16,11 @@ use tinynn::TrainConfig;
 
 const PRESET: f64 = 0.10;
 
-fn run(cfg: &GpuConfig, bench: &gpu_workloads::Benchmark, governor: &mut dyn DvfsGovernor) -> SimResult {
+fn run(
+    cfg: &GpuConfig,
+    bench: &gpu_workloads::Benchmark,
+    governor: &mut dyn DvfsGovernor,
+) -> SimResult {
     let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
     sim.run(governor, Time::from_micros(10_000.0))
 }
@@ -62,10 +66,6 @@ fn main() {
     print_row(&base);
     print_row(&run(&cfg, &bench, &mut PcstallGovernor::new(PcstallConfig::new(PRESET))));
     print_row(&run(&cfg, &bench, &mut FlemmaGovernor::new(FlemmaConfig::new(PRESET))));
-    print_row(&run(
-        &cfg,
-        &bench,
-        &mut SsmdvfsGovernor::new(model, SsmdvfsConfig::new(PRESET)),
-    ));
+    print_row(&run(&cfg, &bench, &mut SsmdvfsGovernor::new(model, SsmdvfsConfig::new(PRESET))));
     print_row(&run_oracle(&cfg, bench.workload().clone(), PRESET, Time::from_micros(10_000.0)));
 }

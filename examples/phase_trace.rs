@@ -38,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>5} {:>9.1} {:>8} {:>10.2} {:>10.1} {:>9.2}",
             record.index,
             record.start.as_micros(),
-            format!(
-                "{} MHz",
-                cfg.vf_table.point(c.op_index).freq_mhz()
-            ),
+            format!("{} MHz", cfg.vf_table.point(c.op_index).freq_mhz()),
             counters[CounterId::Ipc],
             mem_stall,
             counters[CounterId::PowerTotalW],

@@ -23,7 +23,10 @@ fn main() {
     println!();
 
     // Sweep every static operating point to see the energy/latency tradeoff.
-    println!("{:>5}  {:>12}  {:>10}  {:>10}  {:>12}", "op", "freq (MHz)", "time (µs)", "energy (mJ)", "EDP (nJ·s)");
+    println!(
+        "{:>5}  {:>12}  {:>10}  {:>10}  {:>12}",
+        "op", "freq (MHz)", "time (µs)", "energy (mJ)", "EDP (nJ·s)"
+    );
     let mut baseline_edp = None;
     for idx in (0..cfg.vf_table.len()).rev() {
         let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());

@@ -27,8 +27,7 @@ fn different_seeds_change_timing_but_not_total_work() {
     let cfg = GpuConfig::small_test();
     let bench = by_name("spmv").expect("spmv exists").scaled(0.08);
     let run = |seed: u64| {
-        let mut sim =
-            Simulation::new(cfg.clone().with_seed(seed), bench.workload().clone());
+        let mut sim = Simulation::new(cfg.clone().with_seed(seed), bench.workload().clone());
         let mut governor = StaticGovernor::default_point(&cfg.vf_table);
         sim.run(&mut governor, HORIZON)
     };

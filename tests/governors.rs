@@ -6,7 +6,11 @@ use gpu_workloads::by_name;
 
 const HORIZON: Time = Time::from_ps(20_000 * 1_000_000);
 
-fn run(cfg: &GpuConfig, bench: &gpu_workloads::Benchmark, governor: &mut dyn DvfsGovernor) -> SimResult {
+fn run(
+    cfg: &GpuConfig,
+    bench: &gpu_workloads::Benchmark,
+    governor: &mut dyn DvfsGovernor,
+) -> SimResult {
     let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
     let result = sim.run(governor, HORIZON);
     assert!(result.completed, "{} must finish under {}", bench.name(), governor.name());
@@ -48,8 +52,8 @@ fn flemma_trails_the_analytical_method_on_short_programs() {
     let mut pcstall_edp = 0.0;
     for name in ["lbm", "spmv", "mvt"] {
         let bench = by_name(name).expect("benchmark exists").scaled(0.1);
-        let base = run(&cfg, &bench, &mut StaticGovernor::default_point(&cfg.vf_table))
-            .edp_report();
+        let base =
+            run(&cfg, &bench, &mut StaticGovernor::default_point(&cfg.vf_table)).edp_report();
         let f = run(&cfg, &bench, &mut FlemmaGovernor::new(FlemmaConfig::new(0.10)));
         let p = run(&cfg, &bench, &mut PcstallGovernor::new(PcstallConfig::new(0.10)));
         flemma_edp += f.edp_report().normalized_edp(&base);
@@ -89,10 +93,6 @@ fn all_governors_conserve_total_work() {
         run(&cfg, &bench, &mut FlemmaGovernor::new(FlemmaConfig::new(0.10))),
     ];
     for r in &runs {
-        assert_eq!(
-            r.instructions, expected,
-            "{} executed a different amount of work",
-            r.governor
-        );
+        assert_eq!(r.instructions, expected, "{} executed a different amount of work", r.governor);
     }
 }

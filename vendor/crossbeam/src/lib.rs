@@ -1,0 +1,226 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! [`scope`] wraps `std::thread::scope` behind crossbeam's callback-taking
+//! spawn signature, and [`deque`] provides `Injector`/`Worker`/`Stealer`
+//! with the crossbeam API shape, implemented with locked `VecDeque`s. The
+//! locking implementation is slower per operation than real crossbeam's
+//! lock-free deques, but the workloads scheduled through it in this
+//! workspace are millisecond-scale simulation replays, so queue overhead is
+//! noise.
+
+use std::thread;
+
+/// A scope handed to [`scope`]'s callback; spawns threads that may borrow
+/// from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again, like
+    /// crossbeam's API (commonly ignored as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; returns
+/// once every spawned thread has finished.
+///
+/// # Errors
+///
+/// The `Result` mirrors crossbeam's signature; with `std::thread::scope`
+/// underneath, a panicking child propagates its panic instead of returning
+/// `Err`.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod deque {
+    //! Work-stealing deque API (`Injector` / `Worker` / `Stealer`).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// Nothing to steal.
+        Empty,
+        /// One stolen task.
+        Success(T),
+        /// A race was lost; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns `true` for [`Steal::Empty`].
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Converts to an [`Option`], discarding `Retry`.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO task queue every worker can steal from.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Steals one task from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock").pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Returns `true` when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+    }
+
+    #[derive(Debug)]
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// The owner side of a per-worker deque (LIFO pop for locality).
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The thief side of a worker's deque (FIFO steal).
+    #[derive(Debug, Clone)]
+    pub struct Stealer<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker deque.
+        pub fn new_lifo() -> Worker<T> {
+            Worker { shared: Arc::new(Shared { queue: Mutex::new(VecDeque::new()) }) }
+        }
+
+        /// Creates a FIFO worker deque.
+        pub fn new_fifo() -> Worker<T> {
+            Worker::new_lifo()
+        }
+
+        /// A [`Stealer`] handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { shared: Arc::clone(&self.shared) }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.shared.queue.lock().expect("worker lock").push_back(task);
+        }
+
+        /// Pops a task from the owner's end (most recently pushed first).
+        pub fn pop(&self) -> Option<T> {
+            self.shared.queue.lock().expect("worker lock").pop_back()
+        }
+
+        /// Returns `true` when the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().expect("worker lock").is_empty()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals a task from the opposite end of the owner's.
+        pub fn steal(&self) -> Steal<T> {
+            match self.shared.queue.lock().expect("stealer lock").pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn deque_order_semantics() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops LIFO");
+        assert!(matches!(s.steal(), Steal::Success(1)), "thief steals FIFO");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_drains_across_threads() {
+        let inj = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let seen = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| loop {
+                    match inj.steal() {
+                        Steal::Success(_) => {
+                            seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+        assert!(inj.is_empty());
+    }
+}

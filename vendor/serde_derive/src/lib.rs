@@ -1,0 +1,499 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` available in
+//! this offline environment) and emits `impl serde::Serialize` /
+//! `impl serde::Deserialize` against the stand-in's `Value` data model.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields (including `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes),
+//! - tuple structs (newtype and general),
+//! - unit structs,
+//! - enums with unit variants and struct variants.
+//!
+//! Unknown fields are ignored on deserialization, like real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is handled during deserialization.
+#[derive(Clone)]
+enum FieldDefault {
+    /// Missing field is an error.
+    Required,
+    /// `#[serde(default)]`: use `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Extracts `serde(...)` attribute content if `tokens` (the inside of a
+/// `#[...]` group) is a serde attribute.
+fn serde_attr_default(attr_body: &[TokenTree]) -> Option<FieldDefault> {
+    match attr_body.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let TokenTree::Group(g) = attr_body.get(1)? else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {
+            if inner.len() == 1 {
+                Some(FieldDefault::DefaultTrait)
+            } else if let Some(TokenTree::Literal(lit)) = inner.get(2) {
+                let s = lit.to_string();
+                Some(FieldDefault::Path(s.trim_matches('"').to_string()))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Consumes leading attributes at `i`, returning any serde default spec.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldDefault {
+    let mut default = FieldDefault::Required;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(d) = serde_attr_default(&body) {
+                        default = d;
+                    }
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Consumes a visibility marker (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses the fields of a braced (named-field) body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        // Expect ':' then the type; skip to the next top-level ','.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the elements of a parenthesized (tuple) body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant `= expr` up to the comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility before the item keyword.
+    loop {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                i += 1; // e.g. `union` would fall through to the error below
+            }
+            Some(_) => i += 1,
+            None => return Err("expected `struct` or `enum`".to_string()),
+        }
+    }
+    let TokenTree::Ident(kw) = &tokens[i] else { unreachable!() };
+    let is_struct = kw.to_string() == "struct";
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        return Err("expected an item name".to_string());
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde stand-in cannot derive for generic type `{name}`"));
+        }
+    }
+    if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Struct { name, shape: Shape::Named(parse_named_fields(g.stream())) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct { name, shape: Shape::Tuple(count_tuple_fields(g.stream())) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item::Struct { name, shape: Shape::Unit })
+            }
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream()) })
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        }
+    }
+}
+
+fn default_expr(d: &FieldDefault) -> String {
+    match d {
+        FieldDefault::Required => unreachable!("caller checks"),
+        FieldDefault::DefaultTrait => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(p) => format!("{p}()"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let mut s = String::from("let mut m = ::serde::Map::new();\n");
+                    for f in fields {
+                        s.push_str(&format!(
+                            "m.insert(::std::string::String::from(\"{0}\"), \
+                             ::serde::Serialize::serialize(&self.{0}));\n",
+                            f.name
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(m)");
+                    s
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        let payload = if *n == 1 {
+                            items[0].clone()
+                        } else {
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{v}\"), {payload});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "inner.insert(::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::serialize({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut inner = ::serde::Map::new();\n{inserts}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_named_field_reads(fields: &[Field], type_label: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            FieldDefault::Required => format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"missing field `{}` in {}\"))",
+                f.name, type_label
+            ),
+            other => default_expr(other),
+        };
+        s.push_str(&format!(
+            "{0}: match obj.get(\"{0}\") {{\n\
+             ::std::option::Option::Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+             ::std::option::Option::None => {1},\n}},\n",
+            f.name, missing
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let reads: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match value {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({reads})),\n\
+                         other => ::std::result::Result::Err(\
+                         ::serde::unexpected(\"array of {n} elements\", other)),\n}}",
+                        reads = reads.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let reads = gen_named_field_reads(fields, name);
+                    format!(
+                        "let obj = value.as_object().ok_or_else(|| \
+                         ::serde::unexpected(\"object for {name}\", value))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{reads}}})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::deserialize(payload)?))",
+                                v = v.name
+                            )
+                        } else {
+                            let reads: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+                                .collect();
+                            format!(
+                                "match payload {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{v}({reads})),\n\
+                                 other => ::std::result::Result::Err(\
+                                 ::serde::unexpected(\"array of {n} elements\", other)),\n}}",
+                                v = v.name,
+                                reads = reads.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{v}\" => {{ {body} }}\n", v = v.name));
+                    }
+                    Shape::Named(fields) => {
+                        let reads = gen_named_field_reads(fields, &format!("{name}::{}", v.name));
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let obj = payload.as_object().ok_or_else(|| \
+                             ::serde::unexpected(\"object for {name}::{v}\", payload))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{reads}}})\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, payload) = m.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::unexpected(\"string or 1-key object for {name}\", other)),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn derive(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!(\"serde derive: {msg}\");")
+            .parse()
+            .expect("compile_error must parse"),
+    }
+}
+
+/// Derives `serde::Serialize` (stand-in data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (stand-in data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive(input, gen_deserialize)
+}
