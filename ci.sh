@@ -20,4 +20,33 @@ cargo test --workspace -q
 echo "==> perf baseline (smoke)"
 cargo run --release -p ssmdvfs-bench --bin perf_baseline -- --smoke
 
+echo "==> no stray print macros in library crates"
+# Library code logs through obs; println!/eprintln! are reserved for the
+# CLI binary and bench bin/ entry points. Comment lines are ignored.
+if grep -rn --include='*.rs' -E '(println!|eprintln!)' crates/*/src \
+    | grep -v '/bin/' \
+    | grep -v 'crates/cli/src/main.rs' \
+    | grep -vE ':[0-9]+:\s*(//|///|//!)'; then
+  echo "error: stray println!/eprintln! in library code (use obs log macros)" >&2
+  exit 1
+fi
+
+echo "==> observability smoke (metrics + Chrome trace parse as JSON)"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+cargo run --release -p ssmdvfs-cli --bin ssmdvfs -- datagen \
+  --out "$OBS_TMP/data.json" --benchmarks sgemm --scale 0.05 \
+  --clusters 2 --jobs 2 \
+  --metrics-out "$OBS_TMP/metrics.json" --trace-out "$OBS_TMP/trace.json"
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys, os
+tmp = sys.argv[1]
+metrics = json.load(open(os.path.join(tmp, "metrics.json")))
+assert "datagen.replays" in metrics["counters"], metrics
+trace = json.load(open(os.path.join(tmp, "trace.json")))
+assert isinstance(trace["traceEvents"], list) and trace["traceEvents"], trace
+print(f"metrics: {len(metrics['counters'])} counters; "
+      f"trace: {len(trace['traceEvents'])} events")
+EOF
+
 echo "==> CI passed"

@@ -17,7 +17,7 @@
 //! ε-greedily, and only improves as updates accumulate.
 
 use gpu_power::VfTable;
-use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
+use gpu_sim::{AuditTrail, CounterId, DvfsGovernor, EpochCounters};
 use serde::{Deserialize, Serialize};
 
 use gpu_sim::SplitMix64;
@@ -136,6 +136,7 @@ pub struct FlemmaGovernor {
     clusters: Vec<ClusterState>,
     rng: SplitMix64,
     num_actions: usize,
+    audit: Option<AuditTrail>,
     name: String,
 }
 
@@ -144,7 +145,7 @@ impl FlemmaGovernor {
     pub fn new(config: FlemmaConfig) -> FlemmaGovernor {
         let name = format!("flemma[{:.0}%]", config.preset * 100.0);
         let rng = SplitMix64::new(config.seed);
-        FlemmaGovernor { config, clusters: Vec::new(), rng, num_actions: 0, name }
+        FlemmaGovernor { config, clusters: Vec::new(), rng, num_actions: 0, audit: None, name }
     }
 
     fn features(counters: &EpochCounters) -> [f64; NUM_FEATURES] {
@@ -250,6 +251,17 @@ impl DvfsGovernor for FlemmaGovernor {
                 .expect("non-empty action set")
         };
         state.pending = Some((features, action));
+        if let Some(trail) = self.audit.as_mut() {
+            crate::record_heuristic_decision(
+                trail,
+                cluster,
+                self.config.preset,
+                features.iter().map(|&f| f as f32).collect(),
+                counters,
+                action,
+                table,
+            );
+        }
         action
     }
 
@@ -258,6 +270,15 @@ impl DvfsGovernor for FlemmaGovernor {
         // short-program weakness).
         self.clusters.clear();
         self.rng = SplitMix64::new(self.config.seed);
+        crate::reset_trail(&mut self.audit, &self.name);
+    }
+
+    fn enable_audit(&mut self, capacity: usize) {
+        self.audit = Some(AuditTrail::new(self.name.clone(), capacity));
+    }
+
+    fn audit_trail(&self) -> Option<&AuditTrail> {
+        self.audit.as_ref()
     }
 }
 
@@ -332,6 +353,25 @@ mod tests {
         g.reset();
         assert!(g.clusters.is_empty());
         assert_eq!(g.epsilon(0), None);
+    }
+
+    #[test]
+    fn audit_trail_records_rl_features() {
+        let table = VfTable::titan_x();
+        let mut g = FlemmaGovernor::new(FlemmaConfig::new(0.1));
+        g.enable_audit(16);
+        for _ in 0..5 {
+            g.decide(0, &counters(1.0, 0.5, 5.0), &table);
+        }
+        let trail = g.audit_trail().expect("enabled trail");
+        assert_eq!(trail.len(), 5);
+        for rec in trail.iter() {
+            assert_eq!(rec.features.len(), NUM_FEATURES, "RL feature vector recorded");
+            assert!(rec.op_index < table.len());
+            assert!((rec.preset - 0.1).abs() < 1e-12);
+        }
+        g.reset();
+        assert_eq!(g.audit_trail().expect("trail survives reset").len(), 0);
     }
 
     #[test]

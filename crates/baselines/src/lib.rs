@@ -38,3 +38,45 @@ pub use flemma::{FlemmaConfig, FlemmaGovernor};
 pub use ondemand::{OndemandConfig, OndemandGovernor};
 pub use oracle::run_oracle;
 pub use pcstall::{PcstallConfig, PcstallEdpGovernor, PcstallGovernor};
+
+use gpu_power::VfTable;
+use gpu_sim::{AuditRecord, AuditTrail, EpochCounters};
+
+/// Records one heuristic decision into an audit trail. Heuristic baselines
+/// carry no learned model, so `logits` stay empty and both prediction
+/// fields stay `None`; governors with interpretable per-epoch features
+/// (e.g. F-LEMMA) may still pass them through.
+pub(crate) fn record_heuristic_decision(
+    trail: &mut AuditTrail,
+    cluster: usize,
+    preset: f64,
+    features: Vec<f32>,
+    counters: &EpochCounters,
+    op: usize,
+    table: &VfTable,
+) {
+    let point = table.point(op);
+    trail.record(AuditRecord {
+        seq: 0,
+        cluster,
+        features,
+        logits: Vec::new(),
+        preset,
+        effective_preset: preset,
+        predicted_instructions: None,
+        actual_instructions: counters.total_instructions(),
+        next_predicted_instructions: None,
+        starved: false,
+        op_index: op,
+        freq_mhz: point.freq_mhz(),
+        voltage_v: point.voltage_v(),
+    });
+}
+
+/// Replaces an enabled trail with an empty one of the same capacity, so a
+/// trail always describes exactly one run (mirrors the SSMDVFS governor).
+pub(crate) fn reset_trail(audit: &mut Option<AuditTrail>, governor: &str) {
+    if let Some(trail) = audit {
+        *audit = Some(AuditTrail::new(governor.to_string(), trail.capacity()));
+    }
+}

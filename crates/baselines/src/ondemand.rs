@@ -9,7 +9,7 @@
 //! "what a CPU-style governor would do" reference point.
 
 use gpu_power::VfTable;
-use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
+use gpu_sim::{AuditTrail, CounterId, DvfsGovernor, EpochCounters};
 use serde::{Deserialize, Serialize};
 
 /// Ondemand tunables.
@@ -45,6 +45,7 @@ impl Default for OndemandConfig {
 pub struct OndemandGovernor {
     config: OndemandConfig,
     current: Vec<Option<usize>>,
+    audit: Option<AuditTrail>,
 }
 
 impl OndemandGovernor {
@@ -60,7 +61,7 @@ impl OndemandGovernor {
                 && config.down_threshold < config.up_threshold,
             "thresholds must satisfy 0 <= down < up <= 1"
         );
-        OndemandGovernor { config, current: Vec::new() }
+        OndemandGovernor { config, current: Vec::new(), audit: None }
     }
 }
 
@@ -84,11 +85,32 @@ impl DvfsGovernor for OndemandGovernor {
             cur
         };
         self.current[cluster] = Some(next);
+        if let Some(trail) = self.audit.as_mut() {
+            // Utilization is the only input; no loss preset exists here.
+            crate::record_heuristic_decision(
+                trail,
+                cluster,
+                0.0,
+                vec![utilization as f32],
+                counters,
+                next,
+                table,
+            );
+        }
         next
     }
 
     fn reset(&mut self) {
         self.current.clear();
+        crate::reset_trail(&mut self.audit, "ondemand");
+    }
+
+    fn enable_audit(&mut self, capacity: usize) {
+        self.audit = Some(AuditTrail::new("ondemand".to_string(), capacity));
+    }
+
+    fn audit_trail(&self) -> Option<&AuditTrail> {
+        self.audit.as_ref()
     }
 }
 
@@ -141,6 +163,21 @@ mod tests {
         assert_eq!(g.decide(1, &counters(0.95), &table), 5);
         g.reset();
         assert!(g.current.is_empty());
+    }
+
+    #[test]
+    fn audit_trail_records_utilization_and_choice() {
+        let table = VfTable::titan_x();
+        let mut g = OndemandGovernor::new(OndemandConfig::default());
+        g.enable_audit(4);
+        let op = g.decide(0, &counters(0.95), &table);
+        let trail = g.audit_trail().expect("enabled trail");
+        let rec = trail.iter().next().expect("one record");
+        assert_eq!(rec.op_index, op);
+        assert!((rec.features[0] - 0.95).abs() < 1e-6, "utilization is the recorded feature");
+        assert!(rec.predicted_instructions.is_none());
+        g.reset();
+        assert_eq!(g.audit_trail().expect("trail survives reset").len(), 0);
     }
 
     #[test]

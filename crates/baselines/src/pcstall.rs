@@ -19,7 +19,7 @@
 //! smoothed with an exponential moving average across epochs.
 
 use gpu_power::VfTable;
-use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
+use gpu_sim::{AuditTrail, CounterId, DvfsGovernor, EpochCounters};
 use serde::{Deserialize, Serialize};
 
 /// PCSTALL tunables.
@@ -61,6 +61,7 @@ pub struct PcstallGovernor {
     /// The op index this governor chose last, per cluster (the clock the
     /// incoming counters were measured at).
     last_op: Vec<Option<usize>>,
+    audit: Option<AuditTrail>,
     name: String,
 }
 
@@ -68,7 +69,7 @@ impl PcstallGovernor {
     /// Creates a PCSTALL governor.
     pub fn new(config: PcstallConfig) -> PcstallGovernor {
         let name = format!("pcstall[{:.0}%]", config.preset * 100.0);
-        PcstallGovernor { config, stall_frac: Vec::new(), last_op: Vec::new(), name }
+        PcstallGovernor { config, stall_frac: Vec::new(), last_op: Vec::new(), audit: None, name }
     }
 
     /// The smoothed stall fraction currently estimated for `cluster`.
@@ -124,12 +125,34 @@ impl DvfsGovernor for PcstallGovernor {
             }
         }
         self.last_op[cluster] = Some(choice);
+        if let Some(trail) = self.audit.as_mut() {
+            // The smoothed stall fraction is the whole decision basis —
+            // record it so the trail explains the choice.
+            crate::record_heuristic_decision(
+                trail,
+                cluster,
+                self.config.preset,
+                vec![smoothed as f32],
+                counters,
+                choice,
+                table,
+            );
+        }
         choice
     }
 
     fn reset(&mut self) {
         self.stall_frac.clear();
         self.last_op.clear();
+        crate::reset_trail(&mut self.audit, &self.name);
+    }
+
+    fn enable_audit(&mut self, capacity: usize) {
+        self.audit = Some(AuditTrail::new(self.name.clone(), capacity));
+    }
+
+    fn audit_trail(&self) -> Option<&AuditTrail> {
+        self.audit.as_ref()
     }
 }
 
@@ -159,13 +182,14 @@ pub struct PcstallEdpGovernor {
     /// Smoothed frequency-insensitive fraction per cluster.
     stall_frac: Vec<Option<f64>>,
     last_op: Vec<Option<usize>>,
+    audit: Option<AuditTrail>,
     alpha: f64,
 }
 
 impl PcstallEdpGovernor {
     /// Creates the EDP-objective PCSTALL governor.
     pub fn new() -> PcstallEdpGovernor {
-        PcstallEdpGovernor { stall_frac: Vec::new(), last_op: Vec::new(), alpha: 0.4 }
+        PcstallEdpGovernor { stall_frac: Vec::new(), last_op: Vec::new(), audit: None, alpha: 0.4 }
     }
 
     fn predicted_edp(s: f64, f_cur: f64, table: &VfTable, idx: usize) -> f64 {
@@ -215,12 +239,33 @@ impl DvfsGovernor for PcstallEdpGovernor {
             })
             .expect("table is non-empty");
         self.last_op[cluster] = Some(choice);
+        if let Some(trail) = self.audit.as_mut() {
+            // EDP minimization has no loss preset; 0.0 marks that out.
+            crate::record_heuristic_decision(
+                trail,
+                cluster,
+                0.0,
+                vec![smoothed as f32],
+                counters,
+                choice,
+                table,
+            );
+        }
         choice
     }
 
     fn reset(&mut self) {
         self.stall_frac.clear();
         self.last_op.clear();
+        crate::reset_trail(&mut self.audit, "pcstall-edp");
+    }
+
+    fn enable_audit(&mut self, capacity: usize) {
+        self.audit = Some(AuditTrail::new("pcstall-edp".to_string(), capacity));
+    }
+
+    fn audit_trail(&self) -> Option<&AuditTrail> {
+        self.audit.as_ref()
     }
 }
 
@@ -301,6 +346,39 @@ mod tests {
         g.reset();
         let idx = g.decide(0, &counters(0.0), &table);
         assert!(idx >= 3, "compute-bound EDP optimum stays fast, got {idx}");
+    }
+
+    #[test]
+    fn audit_trail_records_heuristic_decisions() {
+        let table = VfTable::titan_x();
+        let mut g = PcstallGovernor::new(PcstallConfig::new(0.10));
+        assert!(g.audit_trail().is_none(), "audit is opt-in");
+        g.enable_audit(8);
+        let op = g.decide(0, &counters(0.95), &table);
+        let trail = g.audit_trail().expect("enabled trail");
+        assert_eq!(trail.len(), 1);
+        let rec = trail.iter().next().expect("one record");
+        assert_eq!(rec.op_index, op);
+        assert!((rec.freq_mhz - table.point(op).freq_mhz()).abs() < 1e-9);
+        assert!((rec.preset - 0.10).abs() < 1e-12);
+        assert!(rec.predicted_instructions.is_none(), "heuristics carry no calibrator");
+        assert_eq!(rec.features.len(), 1, "smoothed stall fraction is recorded");
+        // Reset starts a fresh per-run trail at the same capacity.
+        g.reset();
+        let trail = g.audit_trail().expect("trail survives reset");
+        assert_eq!(trail.len(), 0);
+        assert_eq!(trail.capacity(), 8);
+    }
+
+    #[test]
+    fn edp_variant_audits_without_a_preset() {
+        let table = VfTable::titan_x();
+        let mut g = PcstallEdpGovernor::new();
+        g.enable_audit(4);
+        g.decide(0, &counters(0.5), &table);
+        let rec = g.audit_trail().expect("enabled").iter().next().expect("one record");
+        assert_eq!(rec.preset, 0.0, "EDP objective has no loss preset");
+        assert!(rec.calibration_error().is_none());
     }
 
     #[test]

@@ -66,11 +66,12 @@ fn refresh_requested() -> bool {
 /// Panics if data generation produces no samples or the cache is
 /// unreadable/unwritable.
 pub fn build_or_load_dataset(config: &PipelineConfig, tag: &str) -> DvfsDataset {
+    let _span = obs::span!("bench", "build_or_load_dataset:{tag}");
     let path = artifacts_dir().join(format!("dataset_{tag}.json"));
     if !refresh_requested() {
         if let Ok(data) = DvfsDataset::load(&path) {
-            eprintln!(
-                "[pipeline] loaded cached dataset ({} samples) from {}",
+            obs::info!(
+                "pipeline: loaded cached dataset ({} samples) from {}",
                 data.len(),
                 path.display()
             );
@@ -86,10 +87,10 @@ pub fn build_or_load_dataset(config: &PipelineConfig, tag: &str) -> DvfsDataset 
     let parts = generate_suite(&benches, &config.gpu, &config.datagen, config.jobs);
     let mut dataset = DvfsDataset::default();
     for (bench, part) in benches.iter().zip(parts) {
-        eprintln!("[pipeline] datagen {}: {} samples", bench.name(), part.len());
+        obs::info!("pipeline: datagen {}: {} samples", bench.name(), part.len());
         dataset.extend(part);
     }
-    eprintln!("[pipeline] datagen total: {} samples in {:.1?}", dataset.len(), t0.elapsed());
+    obs::info!("pipeline: datagen total: {} samples in {:.1?}", dataset.len(), t0.elapsed());
     assert!(!dataset.is_empty(), "data generation produced no samples");
     dataset.save(&path).expect("dataset cache must be writable");
     dataset
@@ -107,6 +108,7 @@ pub fn train_or_load_model(
     config: &PipelineConfig,
     tag: &str,
 ) -> (CombinedModel, TrainSummary) {
+    let _span = obs::span!("bench", "train_or_load_model:{tag}");
     let dir = artifacts_dir();
     let model_path = dir.join(format!("model_{tag}.json"));
     let summary_path = dir.join(format!("summary_{tag}.json"));
@@ -115,7 +117,7 @@ pub fn train_or_load_model(
             (CombinedModel::load(&model_path), fs::read_to_string(&summary_path))
         {
             if let Ok(summary) = serde_json::from_str::<TrainSummary>(&summary_json) {
-                eprintln!("[pipeline] loaded cached model '{tag}'");
+                obs::info!("pipeline: loaded cached model '{tag}'");
                 return (model, summary);
             }
         }
@@ -129,8 +131,8 @@ pub fn train_or_load_model(
         &config.train,
         0.25,
     );
-    eprintln!(
-        "[pipeline] trained '{tag}' in {:.1?}: accuracy {:.2}%, MAPE {:.2}%",
+    obs::info!(
+        "pipeline: trained '{tag}' in {:.1?}: accuracy {:.2}%, MAPE {:.2}%",
         t0.elapsed(),
         summary.decision_accuracy * 100.0,
         summary.calibrator_mape

@@ -69,6 +69,8 @@ fn run_one(
     preset: f64,
     horizon: Time,
 ) -> SimResult {
+    let _span = obs::span!("bench", "run_one:{}@{}", bench.name(), kind.label());
+    obs::counter!("bench.runs").inc(1);
     let workload = bench.workload().clone();
     match kind {
         GovernorKind::Oracle => run_oracle(cfg, workload, preset, horizon),
@@ -105,6 +107,7 @@ pub fn compare_on_benchmark(
     preset: f64,
     horizon: Time,
 ) -> Vec<ComparisonRow> {
+    let _span = obs::span!("bench", "compare:{}", bench.name());
     let baseline = run_one(cfg, bench, &GovernorKind::Baseline, preset, horizon);
     let base_report = baseline.edp_report();
     governors

@@ -11,7 +11,9 @@ use dvfs_baselines::{
     run_oracle, FlemmaConfig, FlemmaGovernor, OndemandConfig, OndemandGovernor, PcstallConfig,
     PcstallGovernor,
 };
-use gpu_sim::{epoch_trace_csv, GpuConfig, SimResult, Simulation, StaticGovernor, Time};
+use gpu_sim::{
+    epoch_trace_csv, DvfsGovernor, GpuConfig, SimResult, Simulation, StaticGovernor, Time,
+};
 use gpu_workloads::{by_name, suite, Benchmark};
 use ssmdvfs::{
     compress_and_finetune, estimate_asic, evaluate, generate_suite, train_combined, AsicConfig,
@@ -41,6 +43,7 @@ COMMANDS:
               [--governor static|pcstall|flemma|ondemand|oracle|ssmdvfs]
               [--model <file>] [--preset 0.10] [--op <idx>]
               [--clusters <n>] [--sms <n>] [--scale <f>] [--trace <out.csv>]
+              [--audit-out <out.jsonl>] [--audit-cap 4096]
   datagen     --out <file>            run the Fig. 2 data-generation pipeline
               [--benchmarks a,b,c] [--scale <f>] [--clusters <n>]
               [--jobs <n>]            replay worker threads (0 = one per core)
@@ -50,7 +53,13 @@ COMMANDS:
               [--x1 0.6] [--x2 0.9]
   evaluate    --model <file> --dataset <file>
   asic        --model <file> [--freq-mhz 1165]
+  inspect     <audit.jsonl>           summarize a DVFS decision audit trail
   help                                show this message
+
+GLOBAL OPTIONS (any command):
+  --metrics-out <file.json>           write a metrics-registry snapshot
+  --trace-out <file.json>             write a Chrome/Perfetto trace
+  --log-level off|error|warn|info|debug
 "
     .to_string()
 }
@@ -108,40 +117,60 @@ pub fn simulate(args: &Args) -> CmdResult {
     let preset = args.get_f64("preset", 0.10)?;
     let horizon = Time::from_micros(args.get_f64("horizon-us", 20_000.0)?);
     let governor_name = args.get("governor").unwrap_or("static");
+    let audit_out = args.get("audit-out");
+    let audit_cap = args.get_usize("audit-cap", 4096)?;
 
     let mut sim = Simulation::new(cfg.clone(), bench.workload().clone());
-    let result: SimResult = match governor_name {
-        "static" => {
-            let idx = args.get_usize("op", cfg.vf_table.default_index())?;
-            if idx >= cfg.vf_table.len() {
-                return Err(err(format!(
-                    "--op {idx} out of range (table has {} points)",
-                    cfg.vf_table.len()
-                )));
+    let result: SimResult = if governor_name == "oracle" {
+        // The oracle runs its own internal simulations; neither the epoch
+        // trace nor a per-decision audit trail is exposed.
+        if args.get("trace").is_some() {
+            return Err(err("--trace is not available with the oracle governor"));
+        }
+        if audit_out.is_some() {
+            return Err(err("--audit-out is not available with the oracle governor"));
+        }
+        run_oracle(&cfg, bench.workload().clone(), preset, horizon)
+    } else {
+        let mut governor: Box<dyn DvfsGovernor> = match governor_name {
+            "static" => {
+                let idx = args.get_usize("op", cfg.vf_table.default_index())?;
+                if idx >= cfg.vf_table.len() {
+                    return Err(err(format!(
+                        "--op {idx} out of range (table has {} points)",
+                        cfg.vf_table.len()
+                    )));
+                }
+                Box::new(StaticGovernor::new(idx))
             }
-            sim.run(&mut StaticGovernor::new(idx), horizon)
+            "pcstall" => Box::new(PcstallGovernor::new(PcstallConfig::new(preset))),
+            "flemma" => Box::new(FlemmaGovernor::new(FlemmaConfig::new(preset))),
+            "ondemand" => Box::new(OndemandGovernor::new(OndemandConfig::default())),
+            "ssmdvfs" => {
+                let model = load_model(args.require("model")?)?;
+                Box::new(SsmdvfsGovernor::new(model, SsmdvfsConfig::new(preset)))
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown governor '{other}' (static|pcstall|flemma|ondemand|oracle|ssmdvfs)"
+                )))
+            }
+        };
+        if audit_out.is_some() {
+            governor.enable_audit(audit_cap.max(1));
         }
-        "pcstall" => sim.run(&mut PcstallGovernor::new(PcstallConfig::new(preset)), horizon),
-        "flemma" => sim.run(&mut FlemmaGovernor::new(FlemmaConfig::new(preset)), horizon),
-        "ondemand" => sim.run(&mut OndemandGovernor::new(OndemandConfig::default()), horizon),
-        "oracle" => run_oracle(&cfg, bench.workload().clone(), preset, horizon),
-        "ssmdvfs" => {
-            let model = load_model(args.require("model")?)?;
-            let mut governor = SsmdvfsGovernor::new(model, SsmdvfsConfig::new(preset));
-            sim.run(&mut governor, horizon)
+        let result = sim.run(governor.as_mut(), horizon);
+        if let Some(path) = audit_out {
+            let trail = governor.audit_trail().ok_or_else(|| {
+                err(format!("governor '{governor_name}' does not support --audit-out"))
+            })?;
+            fs::write(path, trail.to_jsonl())
+                .map_err(|e| err(format!("cannot write audit trail '{path}': {e}")))?;
         }
-        other => {
-            return Err(err(format!(
-                "unknown governor '{other}' (static|pcstall|flemma|ondemand|oracle|ssmdvfs)"
-            )))
-        }
+        result
     };
 
     if let Some(trace_path) = args.get("trace") {
-        // The oracle path runs its own simulation; its trace is not exposed.
-        if governor_name == "oracle" {
-            return Err(err("--trace is not available with the oracle governor"));
-        }
         fs::write(trace_path, epoch_trace_csv(sim.records()))
             .map_err(|e| err(format!("cannot write trace '{trace_path}': {e}")))?;
     }
@@ -271,6 +300,22 @@ pub fn asic(args: &Args) -> CmdResult {
     ))
 }
 
+/// `inspect <audit.jsonl>`: summarizes a decision audit trail written by
+/// `simulate --audit-out`.
+pub fn inspect(args: &Args) -> CmdResult {
+    let [path] = args.positional() else {
+        return Err(err("inspect expects exactly one audit JSONL file"));
+    };
+    let text =
+        fs::read_to_string(path).map_err(|e| err(format!("cannot read audit '{path}': {e}")))?;
+    let records = obs::audit::parse_jsonl(&text)
+        .map_err(|e| err(format!("cannot parse audit '{path}': {e}")))?;
+    if records.is_empty() {
+        return Err(err(format!("audit '{path}' contains no records")));
+    }
+    Ok(format!("{}\n", obs::summarize(&records)))
+}
+
 /// Dispatches a parsed argument set to its subcommand.
 ///
 /// # Errors
@@ -285,9 +330,40 @@ pub fn dispatch(args: &Args) -> CmdResult {
         "compress" => compress(args),
         "evaluate" => eval_cmd(args),
         "asic" => asic(args),
+        "inspect" => inspect(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command '{other}'\n\n{}", usage()))),
     }
+}
+
+/// [`dispatch`] wrapped with the global observability options: sets the log
+/// level, enables metrics/tracing when an output file is requested, and
+/// writes the snapshot and Chrome-trace files after the command finishes
+/// (even a failing command leaves its partial telemetry behind).
+///
+/// # Errors
+///
+/// As [`dispatch`], plus I/O failures writing the requested output files.
+pub fn run(args: &Args) -> CmdResult {
+    if let Some(level) = args.get("log-level") {
+        let level = obs::log::parse_level(level).map_err(err)?;
+        obs::log::set_level(level);
+    }
+    let metrics_out = args.get("metrics-out");
+    let trace_out = args.get("trace-out");
+    if metrics_out.is_some() || trace_out.is_some() {
+        obs::set_enabled(true);
+    }
+    let result = dispatch(args);
+    if let Some(path) = metrics_out {
+        fs::write(path, obs::metrics::global().snapshot_json())
+            .map_err(|e| err(format!("cannot write metrics '{path}': {e}")))?;
+    }
+    if let Some(path) = trace_out {
+        fs::write(path, obs::trace::chrome_trace_json())
+            .map_err(|e| err(format!("cannot write trace '{path}': {e}")))?;
+    }
+    result
 }
 
 #[cfg(test)]
@@ -463,6 +539,102 @@ mod trace_tests {
         ])
         .unwrap();
         assert!(simulate(&args).unwrap_err().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn simulate_writes_and_inspect_summarizes_an_audit_trail() {
+        let dir = std::env::temp_dir().join("ssmdvfs_cli_audit_test");
+        fs::create_dir_all(&dir).unwrap();
+        let audit = dir.join("audit.jsonl");
+        let args = Args::parse([
+            "simulate",
+            "--benchmark",
+            "lbm",
+            "--clusters",
+            "2",
+            "--scale",
+            "0.05",
+            "--governor",
+            "pcstall",
+            "--audit-out",
+            audit.to_str().unwrap(),
+            "--audit-cap",
+            "64",
+        ])
+        .unwrap();
+        simulate(&args).unwrap();
+        let text = fs::read_to_string(&audit).unwrap();
+        assert!(text.lines().count() >= 2, "expect one record per decide(): {text}");
+        let records = obs::audit::parse_jsonl(&text).unwrap();
+        assert!(records.iter().all(|r| r.freq_mhz > 0.0));
+
+        let args = Args::parse(["inspect", audit.to_str().unwrap()]).unwrap();
+        let out = inspect(&args).unwrap();
+        assert!(out.contains("epochs audited"), "{out}");
+        assert!(out.contains("residency"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn audit_with_oracle_is_rejected() {
+        let args = Args::parse([
+            "simulate",
+            "--benchmark",
+            "lbm",
+            "--clusters",
+            "2",
+            "--scale",
+            "0.05",
+            "--governor",
+            "oracle",
+            "--audit-out",
+            "/tmp/never-written.jsonl",
+        ])
+        .unwrap();
+        assert!(simulate(&args).unwrap_err().to_string().contains("oracle"));
+    }
+
+    #[test]
+    fn inspect_rejects_missing_and_malformed_input() {
+        let args = Args::parse(["inspect", "/nonexistent/audit.jsonl"]).unwrap();
+        assert!(inspect(&args).unwrap_err().to_string().contains("cannot read"));
+        let args = Args::parse(["inspect"]).unwrap();
+        assert!(inspect(&args).unwrap_err().to_string().contains("exactly one"));
+    }
+
+    #[test]
+    fn run_writes_metrics_and_trace_files() {
+        let dir = std::env::temp_dir().join("ssmdvfs_cli_obs_test");
+        fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.json");
+        let trace = dir.join("trace.json");
+        let args = Args::parse([
+            "simulate",
+            "--benchmark",
+            "lbm",
+            "--clusters",
+            "2",
+            "--scale",
+            "0.05",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        let snapshot = fs::read_to_string(&metrics).unwrap();
+        assert!(snapshot.contains("sim.epochs"), "simulate increments sim.epochs: {snapshot}");
+        let trace_json = fs::read_to_string(&trace).unwrap();
+        assert!(trace_json.contains("traceEvents"), "{trace_json}");
+        assert!(trace_json.contains("sim.run"), "{trace_json}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_rejects_bad_log_level() {
+        let args = Args::parse(["help", "--log-level", "shouty"]).unwrap();
+        assert!(run(&args).unwrap_err().to_string().contains("unknown log level"));
     }
 
     #[test]

@@ -19,5 +19,6 @@ mod commands;
 
 pub use args::{Args, ParseArgsError};
 pub use commands::{
-    asic, compress, datagen, dispatch, eval_cmd, list_benchmarks, simulate, train, usage,
+    asic, compress, datagen, dispatch, eval_cmd, inspect, list_benchmarks, run, simulate, train,
+    usage,
 };

@@ -2,7 +2,7 @@
 
 use std::process::ExitCode;
 
-use ssmdvfs_cli::{dispatch, Args};
+use ssmdvfs_cli::{run, Args};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -13,7 +13,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match dispatch(&args) {
+    match run(&args) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS

@@ -15,7 +15,7 @@
 //!    Calibrator to produce the next prediction.
 
 use gpu_power::VfTable;
-use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
+use gpu_sim::{AuditRecord, AuditTrail, CounterId, DvfsGovernor, EpochCounters};
 use serde::{Deserialize, Serialize};
 
 use crate::model::CombinedModel;
@@ -95,6 +95,7 @@ pub struct SsmdvfsGovernor {
     config: SsmdvfsConfig,
     clusters: Vec<ClusterState>,
     name: String,
+    audit: Option<AuditTrail>,
 }
 
 impl SsmdvfsGovernor {
@@ -105,7 +106,7 @@ impl SsmdvfsGovernor {
         } else {
             format!("ssmdvfs-nocal[{:.0}%]", config.preset * 100.0)
         };
-        SsmdvfsGovernor { model, config, clusters: Vec::new(), name }
+        SsmdvfsGovernor { model, config, clusters: Vec::new(), name, audit: None }
     }
 
     /// The controller configuration.
@@ -147,6 +148,10 @@ impl DvfsGovernor for SsmdvfsGovernor {
     fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize {
         let features = self.model.feature_set.extract(counters);
         let preset = self.config.preset;
+        // The prediction made *for* the epoch that just ended; captured
+        // before this call's own prediction overwrites it, so the audit
+        // trail pairs each prediction with the reality it was judged on.
+        let prev_predicted = self.clusters.get(cluster).and_then(|s| s.predicted_instructions);
         let (gain, recovery, min_preset, deadband, calibration) = (
             self.config.gain,
             self.config.recovery,
@@ -184,21 +189,58 @@ impl DvfsGovernor for SsmdvfsGovernor {
                 }
             }
         }
-        let effective = state.effective_preset as f32;
+        let effective_preset = state.effective_preset;
+        let effective = effective_preset as f32;
 
+        // One forward pass yields both the decision and the logits the
+        // audit trail records.
+        let logits = self.model.decision_logits(&features, effective);
         let op = if self.config.argmax_decode {
-            self.model.decide_argmax(&features, effective).min(table.len() - 1)
+            tinynn::argmax(&logits).min(table.len() - 1)
         } else {
-            self.model.decide(&features, effective).min(table.len() - 1)
+            self.model.decode_ordinal(&logits).min(table.len() - 1)
         };
         // The Calibrator always sees the original preset.
         let predicted = self.model.predict_instructions(&features, preset as f32, op);
         self.state_mut(cluster).predicted_instructions = Some(predicted);
+
+        if let Some(trail) = self.audit.as_mut() {
+            let point = table.point(op);
+            trail.record(AuditRecord {
+                seq: 0, // stamped by the trail
+                cluster,
+                features,
+                logits,
+                preset,
+                effective_preset,
+                predicted_instructions: prev_predicted,
+                actual_instructions: counters.total_instructions(),
+                next_predicted_instructions: Some(predicted),
+                starved,
+                op_index: op,
+                freq_mhz: point.freq_mhz(),
+                voltage_v: point.voltage_v(),
+            });
+        }
         op
     }
 
     fn reset(&mut self) {
         self.clusters.clear();
+        // The trail is per-run: a reset starts a fresh one at the same
+        // capacity.
+        if let Some(trail) = &self.audit {
+            let capacity = trail.capacity();
+            self.audit = Some(AuditTrail::new(self.name.clone(), capacity));
+        }
+    }
+
+    fn enable_audit(&mut self, capacity: usize) {
+        self.audit = Some(AuditTrail::new(self.name.clone(), capacity));
+    }
+
+    fn audit_trail(&self) -> Option<&AuditTrail> {
+        self.audit.as_ref()
     }
 }
 
@@ -305,6 +347,33 @@ mod tests {
         gov.reset();
         assert!(gov.clusters.is_empty());
         assert_eq!(gov.effective_preset(0), 0.1);
+    }
+
+    #[test]
+    fn audit_trail_pairs_predictions_with_reality() {
+        let table = VfTable::titan_x();
+        let mut gov = SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1));
+        assert!(gov.audit_trail().is_none(), "auditing is opt-in");
+        gov.enable_audit(16);
+        gov.decide(0, &counters_with(5_000.0), &table);
+        gov.decide(0, &counters_with(4_000.0), &table);
+        let trail = gov.audit_trail().unwrap();
+        assert_eq!(trail.len(), 2);
+        let recs: Vec<&AuditRecord> = trail.iter().collect();
+        // The first epoch had no prior prediction to judge.
+        assert_eq!(recs[0].predicted_instructions, None);
+        // The second record's "predicted" is exactly what the first
+        // decision forecast.
+        assert_eq!(recs[1].predicted_instructions, recs[0].next_predicted_instructions);
+        assert_eq!(recs[1].actual_instructions, 4_000.0);
+        assert_eq!(recs[0].logits.len(), 6);
+        assert!(!recs[0].features.is_empty());
+        assert!(recs[0].freq_mhz > 0.0);
+        // A reset starts a fresh per-run trail at the same capacity.
+        gov.reset();
+        let trail = gov.audit_trail().unwrap();
+        assert!(trail.is_empty());
+        assert_eq!(trail.capacity(), 16);
     }
 
     #[test]

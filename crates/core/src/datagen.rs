@@ -385,6 +385,7 @@ fn collect_replay_specs(
     cfg: &GpuConfig,
     dg: &DataGenConfig,
 ) -> Vec<ReplaySpec> {
+    let _span = obs::span!("datagen", "reference:{}", workload.name());
     let default_ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
     let interval = dg.breakpoint_interval_epochs;
     let max_epochs = (dg.max_time.as_ps() / cfg.epoch.as_ps()) as usize;
@@ -434,6 +435,7 @@ fn collect_replay_specs(
         specs.push(ReplaySpec { breakpoint, snapshot, t_start, milestones, t0, feature_record });
         breakpoint += 1;
     }
+    obs::counter!("datagen.breakpoints").inc(specs.len() as u64);
     specs
 }
 
@@ -448,6 +450,7 @@ fn run_replay(
     spec: &ReplaySpec,
     op_index: usize,
 ) -> Vec<RawSample> {
+    let _span = obs::span!("datagen", "replay:{}#{}@op{}", name, spec.breakpoint, op_index);
     let default_ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
     let interval = dg.breakpoint_interval_epochs;
     let budget = interval + (interval as f64 * dg.replay_slack).ceil() as usize;
@@ -496,6 +499,8 @@ fn run_replay(
             instructions: scaled_cluster.counters.total_instructions() as u64,
         });
     }
+    obs::counter!("datagen.replays").inc(1);
+    obs::counter!("datagen.samples").inc(samples.len() as u64);
     samples
 }
 
@@ -543,6 +548,7 @@ pub fn generate_workload_jobs(
     dg: &DataGenConfig,
     jobs: usize,
 ) -> DvfsDataset {
+    let _span = obs::span!("datagen", "datagen:{name}");
     let specs = collect_replay_specs(workload, cfg, dg);
     let num_ops = cfg.vf_table.len();
     let job_list: Vec<(usize, usize)> =
@@ -567,6 +573,7 @@ pub fn generate_suite(
     dg: &DataGenConfig,
     jobs: usize,
 ) -> Vec<DvfsDataset> {
+    let _span = obs::span!("datagen", "datagen-suite:{} benchmarks", benchmarks.len());
     // Phase 1: per-benchmark reference timelines (independent of each other).
     let specs_per_bench: Vec<Vec<ReplaySpec>> =
         parallel_map_indexed(jobs, benchmarks.to_vec(), |_, bench| {

@@ -11,6 +11,10 @@
 //! which is what makes parallel data generation byte-identical to the
 //! sequential path.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
 /// Resolves a requested worker count: `0` means "one per available core".
@@ -41,13 +45,19 @@ impl<R> SlotWriter<R> {
     }
 }
 
-fn find_task<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T>]) -> Option<T> {
+/// Finds the next task; the flag reports whether it was stolen (from the
+/// injector or a peer) rather than popped from the worker's own deque.
+fn find_task<T>(
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+) -> Option<(T, bool)> {
     if let Some(task) = local.pop() {
-        return Some(task);
+        return Some((task, false));
     }
     loop {
         match injector.steal() {
-            Steal::Success(task) => return Some(task),
+            Steal::Success(task) => return Some((task, true)),
             Steal::Empty => break,
             Steal::Retry => continue,
         }
@@ -55,7 +65,7 @@ fn find_task<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T
     for stealer in stealers {
         loop {
             match stealer.steal() {
-                Steal::Success(task) => return Some(task),
+                Steal::Success(task) => return Some((task, true)),
                 Steal::Empty => break,
                 Steal::Retry => continue,
             }
@@ -73,7 +83,10 @@ fn find_task<T>(local: &Worker<T>, injector: &Injector<T>, stealers: &[Stealer<T
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f`.
+/// Propagates a panic from `f`: the first panicking worker's payload is
+/// captured and resumed on the calling thread, so `panic!` messages and
+/// downcastable payloads survive the pool intact. Remaining workers stop
+/// picking up new tasks once a panic is observed.
 pub fn parallel_map_indexed<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -96,22 +109,54 @@ where
         locals[i % workers].push((i, item));
     }
 
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let panicked = AtomicBool::new(false);
+
     crossbeam::scope(|scope| {
-        for local in locals {
+        for (w, local) in locals.into_iter().enumerate() {
             let stealers = &stealers;
             let injector = &injector;
             let slots = &slots;
             let f = &f;
+            let first_panic = &first_panic;
+            let panicked = &panicked;
             scope.spawn(move |_| {
-                while let Some((i, item)) = find_task(&local, injector, stealers) {
-                    let r = f(i, item);
-                    // SAFETY: each index was enqueued exactly once.
-                    unsafe { slots.write(i, r) };
+                let _span = obs::span!("exec", "exec.worker#{w}");
+                let (mut executed, mut stolen) = (0u64, 0u64);
+                while !panicked.load(Ordering::Relaxed) {
+                    let Some(((i, item), was_stolen)) = find_task(&local, injector, stealers)
+                    else {
+                        break;
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                        // SAFETY: each index was enqueued exactly once.
+                        Ok(r) => unsafe { slots.write(i, r) },
+                        Err(payload) => {
+                            panicked.store(true, Ordering::Relaxed);
+                            let mut slot = first_panic
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            break;
+                        }
+                    }
+                    executed += 1;
+                    stolen += u64::from(was_stolen);
                 }
+                obs::counter!("exec.tasks_executed").inc(executed);
+                obs::counter!("exec.tasks_stolen").inc(stolen);
             });
         }
     })
     .expect("worker threads must not panic");
+
+    if let Some(payload) =
+        first_panic.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        resume_unwind(payload);
+    }
 
     results.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
@@ -164,6 +209,32 @@ mod tests {
     fn effective_jobs_resolves_zero_to_cores() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_caller() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_indexed(4, (0..64).collect::<Vec<u32>>(), |_, x| {
+                if x == 17 {
+                    panic!("job {x} exploded");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("the worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("the original String payload must survive the pool");
+        assert_eq!(msg, "job 17 exploded");
+    }
+
+    #[test]
+    fn static_str_panic_payload_survives() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_indexed(2, vec![0u8, 1], |_, _| panic!("boom"))
+        });
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
     }
 
     #[test]

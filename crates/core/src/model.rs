@@ -81,16 +81,7 @@ impl CombinedModel {
     /// Panics if `features` does not match the model's feature set.
     pub fn decide(&self, features: &[f32], preset: f32) -> usize {
         assert_eq!(features.len(), self.feature_set.len(), "feature count mismatch");
-        let logits = self.decision_logits(features, preset);
-        // Ordinal decoding: the classes are ordered frequencies, so the
-        // probability-weighted mean class (rounded) is used instead of a
-        // plain argmax. A near-miss between adjacent points then lands on
-        // one of them, while argmax can flip to a distant point on a small
-        // logit perturbation — an expensive failure when the points differ
-        // by hundreds of MHz.
-        let probs = tinynn::softmax(&logits);
-        let mean: f32 = probs.iter().enumerate().map(|(i, p)| i as f32 * p).sum();
-        (mean.round() as usize).min(self.num_ops - 1)
+        self.decode_ordinal(&self.decision_logits(features, preset))
     }
 
     /// Plain argmax decoding (ablation alternative to the ordinal decode in
@@ -101,6 +92,23 @@ impl CombinedModel {
     /// Panics if `features` does not match the model's feature set.
     pub fn decide_argmax(&self, features: &[f32], preset: f32) -> usize {
         tinynn::argmax(&self.decision_logits(features, preset))
+    }
+
+    /// Ordinal decode over precomputed logits. Callers that also want the
+    /// raw logits (e.g. the decision audit trail) compute
+    /// [`CombinedModel::decision_logits`] once and decode from it, instead
+    /// of paying a second forward pass through [`CombinedModel::decide`].
+    ///
+    /// Ordinal decoding: the classes are ordered frequencies, so the
+    /// probability-weighted mean class (rounded) is used instead of a
+    /// plain argmax. A near-miss between adjacent points then lands on
+    /// one of them, while argmax can flip to a distant point on a small
+    /// logit perturbation — an expensive failure when the points differ
+    /// by hundreds of MHz.
+    pub fn decode_ordinal(&self, logits: &[f32]) -> usize {
+        let probs = tinynn::softmax(logits);
+        let mean: f32 = probs.iter().enumerate().map(|(i, p)| i as f32 * p).sum();
+        (mean.round() as usize).min(self.num_ops - 1)
     }
 
     /// Full logits for inspection (e.g. confidence analysis).

@@ -44,6 +44,7 @@ pub fn train_combined(
 ) -> (CombinedModel, TrainSummary) {
     assert!(num_ops >= 2, "need at least two operating points");
     assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+    let _span = obs::span!("train", "train_combined:{} samples", dataset.len());
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5A5A);
 
     // Decision head.
@@ -88,6 +89,8 @@ pub fn train_combined(
         flops: model.flops(),
         samples: dataset.len(),
     };
+    obs::gauge!("train.decision_accuracy").set(summary.decision_accuracy);
+    obs::gauge!("train.calibrator_mape").set(summary.calibrator_mape);
     (model, summary)
 }
 

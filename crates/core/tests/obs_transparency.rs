@@ -1,0 +1,55 @@
+//! Observability must be a pure observer: running data generation with
+//! tracing and metrics enabled may not change a single byte of the
+//! produced dataset.
+
+use gpu_sim::{BasicBlock, GpuConfig, InstrClass, KernelSpec, MemoryBehavior, Time, Workload};
+use proptest::prelude::*;
+use ssmdvfs::{generate_workload_jobs, DataGenConfig};
+
+fn workload(iterations: u32, ctas: usize, mem_heavy: bool) -> Workload {
+    let classes = if mem_heavy {
+        vec![InstrClass::LoadGlobal, InstrClass::IntAlu]
+    } else {
+        vec![InstrClass::IntAlu, InstrClass::FpAlu]
+    };
+    let footprint = if mem_heavy { 32 << 20 } else { 1 << 17 };
+    let kernel = KernelSpec::new(
+        "k",
+        vec![BasicBlock::new(classes, iterations, 0.0)],
+        2,
+        ctas,
+        MemoryBehavior::streaming(footprint),
+    );
+    Workload::new("obs-prop", vec![kernel])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn tracing_never_changes_datagen_output(
+        iterations in 500u32..1_500,
+        ctas in 4usize..10,
+        jobs in 1usize..5,
+        mem_heavy in any::<bool>(),
+    ) {
+        let cfg = GpuConfig::small_test();
+        let dg = DataGenConfig {
+            breakpoint_interval_epochs: 5,
+            max_time: Time::from_micros(300.0),
+            ..DataGenConfig::default()
+        };
+        let w = workload(iterations, ctas, mem_heavy);
+
+        obs::set_enabled(false);
+        let silent = generate_workload_jobs("obs-prop", w.clone(), &cfg, &dg, jobs);
+        obs::set_enabled(true);
+        let traced = generate_workload_jobs("obs-prop", w, &cfg, &dg, jobs);
+        obs::set_enabled(false);
+
+        prop_assert!(!silent.is_empty(), "the workload must produce samples");
+        let silent_bytes = serde_json::to_string(&silent).expect("dataset serializes");
+        let traced_bytes = serde_json::to_string(&traced).expect("dataset serializes");
+        prop_assert_eq!(silent_bytes, traced_bytes, "tracing changed the dataset bytes");
+    }
+}

@@ -211,6 +211,7 @@ impl PowerModel {
         op: OperatingPoint,
         duration_s: f64,
     ) -> EnergyBreakdown {
+        obs::counter!("power.epoch_energy_evals").inc(1);
         let c = &self.config;
         let v = op.voltage_v();
         let v_scale = (v / c.nominal_voltage_v).powi(2);

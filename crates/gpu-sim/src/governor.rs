@@ -7,6 +7,7 @@
 //! the trivial governors every experiment needs.
 
 use gpu_power::VfTable;
+pub use obs::{AuditRecord, AuditTrail};
 
 use crate::counters::EpochCounters;
 
@@ -15,6 +16,12 @@ use crate::counters::EpochCounters;
 /// Implementations receive the counters collected during the epoch that just
 /// ended and return the index (into the [`VfTable`]) of the operating point
 /// the cluster should use for the next epoch.
+///
+/// Governors may additionally keep a decision [`AuditTrail`]: one
+/// [`AuditRecord`] per `decide()` call, capturing the decision's full
+/// context for offline inspection. Auditing is opt-in via
+/// [`DvfsGovernor::enable_audit`]; the default implementations make it a
+/// no-op so trivial governors need not care.
 pub trait DvfsGovernor {
     /// A short name for reports.
     fn name(&self) -> &str;
@@ -24,6 +31,18 @@ pub trait DvfsGovernor {
 
     /// Clears any internal state before a fresh run.
     fn reset(&mut self) {}
+
+    /// Starts recording an audit trail retaining at most `capacity`
+    /// decisions. Governors without audit support ignore the call.
+    fn enable_audit(&mut self, capacity: usize) {
+        let _ = capacity;
+    }
+
+    /// The audit trail recorded so far, if auditing is enabled and
+    /// supported.
+    fn audit_trail(&self) -> Option<&AuditTrail> {
+        None
+    }
 }
 
 /// Runs every cluster at one fixed operating point. With the default point
@@ -40,16 +59,17 @@ pub trait DvfsGovernor {
 /// let idx = g.decide(0, &EpochCounters::zeroed(), &table);
 /// assert_eq!(idx, table.default_index());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StaticGovernor {
     index: usize,
+    audit: Option<AuditTrail>,
     name: String,
 }
 
 impl StaticGovernor {
     /// Pins every cluster to `index`.
     pub fn new(index: usize) -> StaticGovernor {
-        StaticGovernor { index, name: format!("static[{index}]") }
+        StaticGovernor { index, audit: None, name: format!("static[{index}]") }
     }
 
     /// Pins every cluster to the table's default point (the paper's
@@ -64,8 +84,41 @@ impl DvfsGovernor for StaticGovernor {
         &self.name
     }
 
-    fn decide(&mut self, _cluster: usize, _counters: &EpochCounters, table: &VfTable) -> usize {
-        self.index.min(table.len() - 1)
+    fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize {
+        let op = self.index.min(table.len() - 1);
+        if let Some(trail) = self.audit.as_mut() {
+            let point = table.point(op);
+            trail.record(AuditRecord {
+                seq: 0,
+                cluster,
+                features: Vec::new(),
+                logits: Vec::new(),
+                preset: 0.0,
+                effective_preset: 0.0,
+                predicted_instructions: None,
+                actual_instructions: counters.total_instructions(),
+                next_predicted_instructions: None,
+                starved: false,
+                op_index: op,
+                freq_mhz: point.freq_mhz(),
+                voltage_v: point.voltage_v(),
+            });
+        }
+        op
+    }
+
+    fn reset(&mut self) {
+        if let Some(trail) = &self.audit {
+            self.audit = Some(AuditTrail::new(self.name.clone(), trail.capacity()));
+        }
+    }
+
+    fn enable_audit(&mut self, capacity: usize) {
+        self.audit = Some(AuditTrail::new(self.name.clone(), capacity));
+    }
+
+    fn audit_trail(&self) -> Option<&AuditTrail> {
+        self.audit.as_ref()
     }
 }
 
@@ -134,6 +187,22 @@ mod tests {
         let table = VfTable::titan_x();
         let mut g = StaticGovernor::new(99);
         assert_eq!(g.decide(0, &EpochCounters::zeroed(), &table), 5);
+    }
+
+    #[test]
+    fn static_governor_audits_when_enabled() {
+        let table = VfTable::titan_x();
+        let mut g = StaticGovernor::new(2);
+        assert!(g.audit_trail().is_none());
+        g.enable_audit(4);
+        g.decide(0, &EpochCounters::zeroed(), &table);
+        let trail = g.audit_trail().expect("enabled trail");
+        assert_eq!(trail.len(), 1);
+        let rec = trail.iter().next().expect("one record");
+        assert_eq!(rec.op_index, 2);
+        assert!((rec.freq_mhz - table.point(2).freq_mhz()).abs() < 1e-9);
+        g.reset();
+        assert_eq!(g.audit_trail().expect("survives reset").len(), 0);
     }
 
     #[test]

@@ -65,7 +65,7 @@ mod warp;
 pub use cache::{Cache, CacheConfig, CacheOutcome};
 pub use cluster::Cluster;
 pub use counters::{CounterCategory, CounterId, EpochCounters};
-pub use governor::{DvfsGovernor, ScheduleGovernor, StaticGovernor};
+pub use governor::{AuditRecord, AuditTrail, DvfsGovernor, ScheduleGovernor, StaticGovernor};
 pub use gpu::GpuConfig;
 pub use isa::{InstrClass, LatencyTable};
 pub use kernel::{BasicBlock, InstrTemplate, KernelSpec, MemoryBehavior, Workload};

@@ -419,8 +419,10 @@ impl Simulation {
         }
         self.now += epoch_len;
         self.agg_epochs += 1;
+        obs::counter!("sim.epochs").inc(1);
         let dt = epoch_len.as_secs();
         for c in &cluster_records {
+            obs::histogram!("sim.epoch_instructions").record(c.counters.total_instructions());
             self.agg_energy_j += c.counters[CounterId::EnergyEpochJ];
             self.agg_breakdown.dynamic +=
                 Energy::from_joules(c.counters[CounterId::PowerDynamicW] * dt);
@@ -455,6 +457,7 @@ impl Simulation {
     /// runs at the default operating point (there are no counters to decide
     /// from yet), matching the paper's inference loop.
     pub fn run(&mut self, governor: &mut dyn DvfsGovernor, max_time: Time) -> SimResult {
+        let _span = obs::span!("sim", "sim.run:{}@{}", self.workload.name(), governor.name());
         governor.reset();
         let table = self.config.vf_table.clone();
         let default_ops = vec![table.default_index(); self.clusters.len()];
@@ -470,6 +473,7 @@ impl Simulation {
             };
             self.step_epoch(&ops);
         }
+        obs::counter!("sim.runs").inc(1);
         self.result(governor.name())
     }
 

@@ -1,0 +1,466 @@
+//! The DVFS decision audit trail.
+//!
+//! Every governor decision is an inference the paper asks us to trust at a
+//! 10 µs cadence; the audit trail makes each one reviewable after the fact.
+//! A governor records one [`AuditRecord`] per `decide()` call into a bounded
+//! [`AuditTrail`] (a [`Ring`], so a long run keeps the newest N decisions),
+//! and the trail dumps as JSONL — one record per line — for offline
+//! inspection with `ssmdvfs inspect` or any line-oriented tooling.
+//!
+//! The record captures the full decision context: the extracted features,
+//! the Decision-maker's logits and decoded class, the user preset and the
+//! calibration-adjusted effective preset, the Calibrator's
+//! predicted-vs-actual instruction counts for the epoch that just ended,
+//! and the applied V/f operating point. Baseline governors (which have no
+//! model) leave the model-specific fields empty.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ring::Ring;
+
+/// One governor decision with its full context. Serialized as a single
+/// JSONL line; see `docs/observability.md` for the schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Sequence number of this decision within the trail (0-based, counts
+    /// evicted records too).
+    pub seq: u64,
+    /// Cluster the decision applies to.
+    pub cluster: usize,
+    /// Feature vector fed to the Decision-maker (empty for governors
+    /// without a model).
+    #[serde(default)]
+    pub features: Vec<f32>,
+    /// Raw Decision-maker logits, one per operating point (empty for
+    /// governors without a model).
+    #[serde(default)]
+    pub logits: Vec<f32>,
+    /// The user's performance-loss preset.
+    pub preset: f64,
+    /// The calibration-adjusted preset actually fed to the Decision-maker.
+    pub effective_preset: f64,
+    /// Instruction count the Calibrator predicted for the epoch that just
+    /// ended (`None` on the first epoch or for governors without one).
+    #[serde(default)]
+    pub predicted_instructions: Option<f32>,
+    /// Instruction count the epoch actually executed.
+    pub actual_instructions: f64,
+    /// The Calibrator's prediction for the *next* epoch at the chosen
+    /// point (`None` for governors without one).
+    #[serde(default)]
+    pub next_predicted_instructions: Option<f32>,
+    /// Whether the epoch was starvation-dominated (excluded from
+    /// calibration).
+    #[serde(default)]
+    pub starved: bool,
+    /// Index of the chosen operating point in the V/f table.
+    pub op_index: usize,
+    /// Core frequency of the applied point, MHz.
+    pub freq_mhz: f64,
+    /// Core voltage of the applied point, volts.
+    pub voltage_v: f64,
+}
+
+impl AuditRecord {
+    /// Relative calibration error `(predicted − actual) / predicted` for
+    /// the epoch that just ended, when a positive prediction exists and the
+    /// epoch was not starved (mirrors the controller's calibration gate).
+    pub fn calibration_error(&self) -> Option<f64> {
+        match self.predicted_instructions {
+            Some(p) if p > 0.0 && !self.starved => {
+                Some((f64::from(p) - self.actual_instructions) / f64::from(p))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the epoch fell short of its prediction by more than the
+    /// user's preset allows — the decision the calibrator exists to catch.
+    pub fn preset_violation(&self) -> bool {
+        self.calibration_error().is_some_and(|e| e > self.preset)
+    }
+}
+
+/// A bounded per-run ring of [`AuditRecord`]s for one governor.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{AuditRecord, AuditTrail};
+///
+/// let mut trail = AuditTrail::new("static", 128);
+/// trail.record(AuditRecord {
+///     seq: 0,
+///     cluster: 0,
+///     features: vec![],
+///     logits: vec![],
+///     preset: 0.1,
+///     effective_preset: 0.1,
+///     predicted_instructions: None,
+///     actual_instructions: 5_000.0,
+///     next_predicted_instructions: None,
+///     starved: false,
+///     op_index: 5,
+///     freq_mhz: 1165.0,
+///     voltage_v: 1.155,
+/// });
+/// assert_eq!(trail.len(), 1);
+/// assert!(trail.to_jsonl().contains("\"freq_mhz\""));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditTrail {
+    governor: String,
+    ring: Ring<AuditRecord>,
+    next_seq: u64,
+}
+
+impl AuditTrail {
+    /// Creates a trail retaining at most `capacity` records.
+    pub fn new(governor: impl Into<String>, capacity: usize) -> AuditTrail {
+        AuditTrail { governor: governor.into(), ring: Ring::new(capacity), next_seq: 0 }
+    }
+
+    /// Name of the governor that produced these records.
+    pub fn governor(&self) -> &str {
+        &self.governor
+    }
+
+    /// Maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Number of currently retained records.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total decisions ever recorded, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.total_pushed()
+    }
+
+    /// Appends a record, stamping its sequence number; the oldest record is
+    /// evicted once the trail is full.
+    pub fn record(&mut self, mut rec: AuditRecord) {
+        rec.seq = self.next_seq;
+        self.next_seq += 1;
+        self.ring.push(rec);
+    }
+
+    /// Iterates the retained records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.ring.iter()
+    }
+
+    /// Clears the retained records (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+
+    /// Serializes the retained records as JSONL, oldest first, one record
+    /// per line with a trailing newline.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.iter() {
+            out.push_str(&serde_json::to_string(rec).expect("audit record serialization"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses audit JSONL produced by [`AuditTrail::to_jsonl`]; blank lines are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns the underlying parse error, prefixed with the 1-based line
+/// number, if any non-blank line is not a valid [`AuditRecord`].
+pub fn parse_jsonl(text: &str) -> Result<Vec<AuditRecord>, serde::Error> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: AuditRecord = serde_json::from_str(line)
+            .map_err(|e| serde::Error::custom(format!("line {}: {}", i + 1, e)))?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Time the run spent at one operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidencyEntry {
+    /// Operating-point index in the V/f table.
+    pub op_index: usize,
+    /// Core frequency of the point, MHz.
+    pub freq_mhz: f64,
+    /// Number of epochs spent at the point.
+    pub epochs: u64,
+    /// Fraction of all audited epochs spent at the point.
+    pub fraction: f64,
+}
+
+/// Distribution of the relative calibration error over calibrated epochs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationErrorStats {
+    /// Number of epochs with a usable (positive, non-starved) prediction.
+    pub epochs: u64,
+    /// Mean of `|predicted − actual| / predicted`.
+    pub mean_abs: f64,
+    /// Median of the absolute relative error.
+    pub p50_abs: f64,
+    /// 90th percentile of the absolute relative error.
+    pub p90_abs: f64,
+    /// Worst absolute relative error.
+    pub max_abs: f64,
+    /// Mean *signed* relative error; positive means the Calibrator
+    /// systematically over-predicts.
+    pub mean_signed: f64,
+}
+
+/// Aggregate view of an audit trail, as printed by `ssmdvfs inspect`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditSummary {
+    /// Number of records summarized.
+    pub epochs: u64,
+    /// Number of distinct clusters observed.
+    pub clusters: usize,
+    /// Per-frequency residency, ascending op index.
+    pub residency: Vec<ResidencyEntry>,
+    /// Epochs whose instruction shortfall exceeded the preset.
+    pub preset_violations: u64,
+    /// `preset_violations` over the calibrated-epoch count (0 when no
+    /// epoch had a usable prediction).
+    pub violation_fraction: f64,
+    /// Calibrator error distribution (`None` when no epoch had a usable
+    /// prediction).
+    #[serde(default)]
+    pub calibration: Option<CalibrationErrorStats>,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Summarizes a slice of records: per-frequency residency,
+/// preset-violation epochs, and the calibrator error distribution.
+pub fn summarize(records: &[AuditRecord]) -> AuditSummary {
+    use std::collections::BTreeMap;
+
+    let mut residency: BTreeMap<usize, (f64, u64)> = BTreeMap::new();
+    let mut clusters: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut violations = 0u64;
+    let mut signed_errs: Vec<f64> = Vec::new();
+    for rec in records {
+        clusters.insert(rec.cluster);
+        let entry = residency.entry(rec.op_index).or_insert((rec.freq_mhz, 0));
+        entry.1 += 1;
+        if let Some(err) = rec.calibration_error() {
+            signed_errs.push(err);
+            if rec.preset_violation() {
+                violations += 1;
+            }
+        }
+    }
+
+    let total = records.len() as u64;
+    let residency = residency
+        .into_iter()
+        .map(|(op_index, (freq_mhz, epochs))| ResidencyEntry {
+            op_index,
+            freq_mhz,
+            epochs,
+            fraction: if total > 0 { epochs as f64 / total as f64 } else { 0.0 },
+        })
+        .collect();
+
+    let calibration = if signed_errs.is_empty() {
+        None
+    } else {
+        let n = signed_errs.len() as f64;
+        let mean_signed = signed_errs.iter().sum::<f64>() / n;
+        let mut abs: Vec<f64> = signed_errs.iter().map(|e| e.abs()).collect();
+        abs.sort_by(f64::total_cmp);
+        Some(CalibrationErrorStats {
+            epochs: signed_errs.len() as u64,
+            mean_abs: abs.iter().sum::<f64>() / n,
+            p50_abs: percentile(&abs, 0.5),
+            p90_abs: percentile(&abs, 0.9),
+            max_abs: *abs.last().expect("non-empty"),
+            mean_signed,
+        })
+    };
+
+    AuditSummary {
+        epochs: total,
+        clusters: clusters.len(),
+        residency,
+        preset_violations: violations,
+        violation_fraction: if signed_errs.is_empty() {
+            0.0
+        } else {
+            violations as f64 / signed_errs.len() as f64
+        },
+        calibration,
+    }
+}
+
+impl fmt::Display for AuditSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "epochs audited: {} across {} cluster(s)", self.epochs, self.clusters)?;
+        writeln!(f, "per-frequency residency:")?;
+        for r in &self.residency {
+            writeln!(
+                f,
+                "  op {:>2} @ {:>6.0} MHz: {:>8} epochs ({:>5.1} %)",
+                r.op_index,
+                r.freq_mhz,
+                r.epochs,
+                r.fraction * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "preset violations: {} ({:.2} % of calibrated epochs)",
+            self.preset_violations,
+            self.violation_fraction * 100.0
+        )?;
+        match &self.calibration {
+            Some(c) => {
+                writeln!(
+                    f,
+                    "calibrator |rel err| over {} epochs: mean {:.4}, p50 {:.4}, p90 {:.4}, max {:.4}",
+                    c.epochs, c.mean_abs, c.p50_abs, c.p90_abs, c.max_abs
+                )?;
+                write!(f, "calibrator signed bias: {:+.4}", c.mean_signed)
+            }
+            None => write!(f, "calibrator: no usable predictions recorded"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, op: usize, predicted: Option<f32>, actual: f64) -> AuditRecord {
+        AuditRecord {
+            seq,
+            cluster: 0,
+            features: vec![0.5, 0.25],
+            logits: vec![0.1, 0.9],
+            preset: 0.10,
+            effective_preset: 0.08,
+            predicted_instructions: predicted,
+            actual_instructions: actual,
+            next_predicted_instructions: Some(1_234.0),
+            starved: false,
+            op_index: op,
+            freq_mhz: 683.0 + op as f64,
+            voltage_v: 1.0,
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_records() {
+        let mut trail = AuditTrail::new("test-gov", 8);
+        trail.record(rec(99, 2, Some(1_000.0), 950.0));
+        trail.record(rec(99, 5, None, 800.0));
+        let jsonl = trail.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        // `record` re-stamps sequence numbers.
+        assert_eq!(parsed[0].seq, 0);
+        assert_eq!(parsed[1].seq, 1);
+        assert_eq!(parsed[0].predicted_instructions, Some(1_000.0));
+        assert_eq!(parsed[1].predicted_instructions, None);
+        assert_eq!(parsed[0].features, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn trail_is_bounded_keeping_newest() {
+        let mut trail = AuditTrail::new("g", 3);
+        for i in 0..10 {
+            trail.record(rec(0, i, None, 0.0));
+        }
+        assert_eq!(trail.len(), 3);
+        assert_eq!(trail.total_recorded(), 10);
+        let seqs: Vec<u64> = trail.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn calibration_error_and_violations() {
+        // 20 % shortfall against a 10 % preset: violation.
+        let r = rec(0, 0, Some(1_000.0), 800.0);
+        assert!((r.calibration_error().unwrap() - 0.2).abs() < 1e-9);
+        assert!(r.preset_violation());
+        // 5 % shortfall: within preset.
+        let ok = rec(0, 0, Some(1_000.0), 950.0);
+        assert!(!ok.preset_violation());
+        // Over-delivery is never a violation.
+        let over = rec(0, 0, Some(1_000.0), 2_000.0);
+        assert!(!over.preset_violation());
+        // Starved epochs are excluded entirely.
+        let mut starved = rec(0, 0, Some(1_000.0), 0.0);
+        starved.starved = true;
+        assert_eq!(starved.calibration_error(), None);
+        assert!(!starved.preset_violation());
+    }
+
+    #[test]
+    fn summarize_residency_and_error_stats() {
+        let records = vec![
+            rec(0, 0, Some(1_000.0), 1_000.0), // err 0.0
+            rec(1, 0, Some(1_000.0), 900.0),   // err 0.1 (not > preset)
+            rec(2, 3, Some(1_000.0), 500.0),   // err 0.5, violation
+            rec(3, 3, None, 700.0),            // uncalibrated
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.epochs, 4);
+        assert_eq!(s.clusters, 1);
+        assert_eq!(s.residency.len(), 2);
+        assert_eq!(s.residency[0].op_index, 0);
+        assert_eq!(s.residency[0].epochs, 2);
+        assert!((s.residency[0].fraction - 0.5).abs() < 1e-12);
+        assert_eq!(s.preset_violations, 1);
+        assert!((s.violation_fraction - 1.0 / 3.0).abs() < 1e-12);
+        let c = s.calibration.unwrap();
+        assert_eq!(c.epochs, 3);
+        assert!((c.max_abs - 0.5).abs() < 1e-9);
+        assert!((c.mean_signed - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_handles_empty_and_uncalibrated() {
+        let s = summarize(&[]);
+        assert_eq!(s.epochs, 0);
+        assert!(s.residency.is_empty());
+        assert_eq!(s.calibration, None);
+        let s2 = summarize(&[rec(0, 1, None, 10.0)]);
+        assert_eq!(s2.calibration, None);
+        assert_eq!(s2.violation_fraction, 0.0);
+        // Display must not panic either way.
+        let _ = format!("{s}\n{s2}");
+    }
+
+    #[test]
+    fn parse_jsonl_reports_bad_line() {
+        let err = parse_jsonl("{\"not\": \"an audit record\"}").unwrap_err();
+        assert!(format!("{err:?}").contains("line 1"));
+    }
+}

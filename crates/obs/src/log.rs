@@ -1,0 +1,160 @@
+//! A minimal leveled logger writing to stderr.
+//!
+//! Library crates in this workspace must not print directly (CI rejects
+//! stray `println!`/`eprintln!` in library code); they log through the
+//! [`crate::error!`], [`crate::warn!`], [`crate::info!`] and
+//! [`crate::debug!`] macros instead, and the CLI/bench binaries pick the
+//! threshold via `--log-level`. Unlike metrics and tracing, logging is
+//! *not* gated on [`crate::enabled`] — progress output stays useful in an
+//! untraced run — but each macro checks the level (one relaxed atomic
+//! load) before formatting.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from silent to most verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No output at all.
+    Off = 0,
+    /// Unrecoverable or surprising failures.
+    Error = 1,
+    /// Suspicious conditions the run survives.
+    Warn = 2,
+    /// Progress milestones (the default).
+    Info = 3,
+    /// Per-step detail for debugging.
+    Debug = 4,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global log threshold; messages above it are dropped before
+/// formatting.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global log threshold.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether a message at `level` would currently be emitted.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    level != Level::Off && level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Parses a `--log-level` value (`off`, `error`, `warn`, `info`, `debug`;
+/// case-insensitive).
+///
+/// # Errors
+///
+/// Returns the unrecognized input.
+pub fn parse_level(s: &str) -> Result<Level, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "off" | "none" => Ok(Level::Off),
+        "error" => Ok(Level::Error),
+        "warn" | "warning" => Ok(Level::Warn),
+        "info" => Ok(Level::Info),
+        "debug" | "trace" => Ok(Level::Debug),
+        other => Err(format!("unknown log level '{other}' (off|error|warn|info|debug)")),
+    }
+}
+
+/// Writes one formatted message to stderr. Called by the logging macros
+/// after the level check; prefer those over calling this directly.
+pub fn write(level: Level, args: fmt::Arguments<'_>) {
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    // A failed stderr write (closed pipe) is not worth crashing over.
+    let _ = writeln!(lock, "[{}] {}", level.tag(), args);
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($fmt:tt)+) => {
+        if $crate::log::level_enabled($crate::log::Level::Error) {
+            $crate::log::write($crate::log::Level::Error, format_args!($($fmt)+));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($fmt:tt)+) => {
+        if $crate::log::level_enabled($crate::log::Level::Warn) {
+            $crate::log::write($crate::log::Level::Warn, format_args!($($fmt)+));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($fmt:tt)+) => {
+        if $crate::log::level_enabled($crate::log::Level::Info) {
+            $crate::log::write($crate::log::Level::Info, format_args!($($fmt)+));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($fmt:tt)+) => {
+        if $crate::log::level_enabled($crate::log::Level::Debug) {
+            $crate::log::write($crate::log::Level::Debug, format_args!($($fmt)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_threshold() {
+        assert!(Level::Error < Level::Debug);
+        set_level(Level::Warn);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Info));
+        set_level(Level::Off);
+        assert!(!level_enabled(Level::Error));
+        set_level(Level::Info);
+        assert!(level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_junk() {
+        assert_eq!(parse_level("OFF").unwrap(), Level::Off);
+        assert_eq!(parse_level("warning").unwrap(), Level::Warn);
+        assert_eq!(parse_level("Debug").unwrap(), Level::Debug);
+        assert!(parse_level("loud").is_err());
+    }
+}

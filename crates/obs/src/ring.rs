@@ -1,0 +1,142 @@
+//! A bounded ring buffer that keeps the newest N items.
+//!
+//! Shared by the trace buffers (per-thread event rings) and the DVFS audit
+//! trail (per-run decision ring): both want a hard memory bound with the
+//! oldest entries evicted first.
+
+/// A fixed-capacity ring keeping the most recent [`Ring::capacity`] pushes.
+///
+/// # Examples
+///
+/// ```
+/// let mut r = obs::Ring::new(2);
+/// r.push(1);
+/// r.push(2);
+/// r.push(3);
+/// assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// assert_eq!(r.total_pushed(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    cap: usize,
+    total: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring retaining at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Ring<T> {
+        let cap = capacity.max(1);
+        Ring { buf: Vec::with_capacity(cap.min(1024)), head: 0, cap, total: 0 }
+    }
+
+    /// The maximum number of retained items.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The number of currently retained items.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total items ever pushed, including evicted ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Appends an item, evicting the oldest once full.
+    pub fn push(&mut self, item: T) {
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Iterates the retained items oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (wrapped, linear) = self.buf.split_at(self.head);
+        linear.iter().chain(wrapped.iter())
+    }
+
+    /// Drains the retained items oldest-first, leaving the ring empty.
+    pub fn drain(&mut self) -> Vec<T> {
+        let head = std::mem::take(&mut self.head);
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.rotate_left(head);
+        buf
+    }
+
+    /// Removes every retained item without resetting the push total.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut r = Ring::new(3);
+        for i in 0..7 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_pushed(), 7);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut r = Ring::new(10);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn drain_returns_oldest_first_and_empties() {
+        let mut r = Ring::new(2);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.drain(), vec![3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 5, "drain must not reset the push total");
+        r.push(9);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = Ring::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn exact_boundary_wrap() {
+        let mut r = Ring::new(4);
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        r.push(4);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+}

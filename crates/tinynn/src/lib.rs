@@ -54,7 +54,7 @@ mod train;
 pub use data::{ClassificationData, Normalizer, RegressionData};
 pub use loss::{cross_entropy, cross_entropy_weighted, mse, softmax};
 pub use matrix::Matrix;
-pub use metrics::{accuracy, argmax, confusion_matrix, mape, mean_class_distance};
+pub use metrics::{accuracy, argmax, confusion_matrix, mape, mape_counted, mean_class_distance};
 pub use mlp::{Activation, Dense, ForwardCache, Gradients, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use prune::{prune_magnitude, prune_neurons, prune_two_stage, ZeroMask};

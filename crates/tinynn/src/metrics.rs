@@ -32,11 +32,25 @@ pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
 ///
 /// Panics if row counts mismatch or no target is usable.
 pub fn mape(outputs: &Matrix, targets: &[f32]) -> f64 {
+    mape_counted(outputs, targets).0
+}
+
+/// [`mape`] that also reports how many near-zero targets were skipped, so
+/// callers can see when the metric silently covers only part of the batch.
+/// The skip count is additionally recorded on the
+/// `tinynn.mape.skipped_targets` counter in the metrics registry.
+///
+/// # Panics
+///
+/// Panics if row counts mismatch or no target is usable.
+pub fn mape_counted(outputs: &Matrix, targets: &[f32]) -> (f64, usize) {
     assert_eq!(outputs.rows(), targets.len(), "one target per row");
     let mut total = 0.0f64;
     let mut count = 0usize;
+    let mut skipped = 0usize;
     for (i, &t) in targets.iter().enumerate() {
         if t.abs() < 1e-6 {
+            skipped += 1;
             continue;
         }
         let y = outputs.row(i)[0];
@@ -44,7 +58,8 @@ pub fn mape(outputs: &Matrix, targets: &[f32]) -> f64 {
         count += 1;
     }
     assert!(count > 0, "MAPE needs at least one non-zero target");
-    100.0 * total / count as f64
+    obs::counter!("tinynn.mape.skipped_targets").inc(skipped as u64);
+    (100.0 * total / count as f64, skipped)
 }
 
 #[cfg(test)]
@@ -75,6 +90,16 @@ mod tests {
     fn mape_skips_zero_targets() {
         let out = Matrix::from_rows(&[&[5.0], &[110.0]]);
         assert!((mape(&out, &[0.0, 100.0]) - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mape_counted_reports_skipped_rows() {
+        let out = Matrix::from_rows(&[&[5.0], &[110.0], &[7.0]]);
+        let (value, skipped) = mape_counted(&out, &[0.0, 100.0, 5e-7]);
+        assert!((value - 10.0).abs() < 1e-5);
+        assert_eq!(skipped, 2);
+        let (_, none_skipped) = mape_counted(&out, &[10.0, 100.0, 1.0]);
+        assert_eq!(none_skipped, 0);
     }
 
     #[test]

@@ -96,6 +96,7 @@ pub fn train_classifier_masked(
 ) -> TrainReport {
     assert_eq!(mlp.output_size(), train.num_classes, "output width must equal class count");
     assert!(!train.is_empty() && !val.is_empty(), "datasets must be non-empty");
+    let _span = obs::span!("train", "train_classifier:{} rows", train.len());
     let class_weights: Option<Vec<f32>> = config.class_balance.then(|| {
         let mut counts = vec![0usize; train.num_classes];
         for &l in &train.y {
@@ -141,6 +142,9 @@ pub fn train_classifier_masked(
         report.train_loss.push((epoch_loss / num_batches as f64) as f32);
         let acc = accuracy(&mlp.forward(&val.x), &val.y);
         report.val_metric.push(acc);
+        obs::counter!("tinynn.train.epochs").inc(1);
+        obs::gauge!("tinynn.train.classifier_loss").set(epoch_loss / num_batches as f64);
+        obs::gauge!("tinynn.train.val_accuracy").set(acc);
         if acc > report.best_metric {
             report.best_metric = acc;
             report.best_epoch = epoch;
@@ -182,6 +186,7 @@ pub fn train_regressor_masked(
     mask: Option<&ZeroMask>,
 ) -> TrainReport {
     assert!(!train.is_empty() && !val.is_empty(), "datasets must be non-empty");
+    let _span = obs::span!("train", "train_regressor:{} rows", train.len());
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut opt = Adam::new(config.lr);
     // As in the classifier: the incoming weights are the first candidate.
@@ -211,6 +216,9 @@ pub fn train_regressor_masked(
         report.train_loss.push((epoch_loss / num_batches as f64) as f32);
         let m = mape(&mlp.forward(&val.x), &val.y);
         report.val_metric.push(m);
+        obs::counter!("tinynn.train.epochs").inc(1);
+        obs::gauge!("tinynn.train.regressor_loss").set(epoch_loss / num_batches as f64);
+        obs::gauge!("tinynn.train.val_mape").set(m);
         if m < report.best_metric {
             report.best_metric = m;
             report.best_epoch = epoch;

@@ -80,6 +80,7 @@ impl Benchmark {
         character: Boundedness,
         workload: Workload,
     ) -> Benchmark {
+        obs::counter!("workloads.benchmarks_built").inc(1);
         Benchmark { name: name.into(), family, character, workload }
     }
 
