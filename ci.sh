@@ -49,4 +49,41 @@ print(f"metrics: {len(metrics['counters'])} counters; "
       f"trace: {len(trace['traceEvents'])} events")
 EOF
 
+SSMDVFS_BIN=target/release/ssmdvfs
+
+echo "==> kill-and-resume smoke (resumed dataset is byte-identical)"
+# Reference: one uninterrupted run. Then the same sweep journaled, killed
+# with SIGKILL mid-flight, and resumed from the journal; the resumed
+# dataset must match the reference byte for byte. If the journaled run
+# happens to finish before the kill lands, resume still has to reproduce
+# the identical bytes, so the step is robust to timing.
+"$SSMDVFS_BIN" datagen --out "$OBS_TMP/ref.json" \
+  --benchmarks sgemm,lbm --scale 0.1 --clusters 2 --jobs 2 --log-level warn
+: > "$OBS_TMP/ck.jsonl"
+"$SSMDVFS_BIN" datagen --out "$OBS_TMP/killed.json" \
+  --benchmarks sgemm,lbm --scale 0.1 --clusters 2 --jobs 2 --log-level warn \
+  --checkpoint "$OBS_TMP/ck.jsonl" &
+KILL_PID=$!
+sleep 1
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+echo "journal lines at kill: $(wc -l < "$OBS_TMP/ck.jsonl")"
+"$SSMDVFS_BIN" datagen --out "$OBS_TMP/resumed.json" \
+  --benchmarks sgemm,lbm --scale 0.1 --clusters 2 --jobs 2 --log-level warn \
+  --resume "$OBS_TMP/ck.jsonl"
+cmp "$OBS_TMP/ref.json" "$OBS_TMP/resumed.json"
+echo "resumed dataset identical to uninterrupted run"
+
+echo "==> fault-injection smoke (quarantine survives an injected panic)"
+# Arm job #0 to panic more times than the retry budget: the sweep must
+# still complete, write a dataset, and print a non-empty fault report
+# naming the dropped unit.
+SSMDVFS_FAILPOINTS="datagen.replay=0x99" "$SSMDVFS_BIN" datagen \
+  --out "$OBS_TMP/faulted.json" --benchmarks sgemm --scale 0.05 \
+  --clusters 2 --jobs 2 --log-level warn --quarantine --max-retries 1 \
+  | tee "$OBS_TMP/fault.log"
+test -s "$OBS_TMP/faulted.json"
+grep -q "fault report: .* 1 dropped units" "$OBS_TMP/fault.log"
+grep -q "failpoint datagen.replay#0" "$OBS_TMP/fault.log"
+
 echo "==> CI passed"

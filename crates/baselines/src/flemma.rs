@@ -270,7 +270,7 @@ impl DvfsGovernor for FlemmaGovernor {
         // short-program weakness).
         self.clusters.clear();
         self.rng = SplitMix64::new(self.config.seed);
-        crate::reset_trail(&mut self.audit, &self.name);
+        crate::reset_trail(&mut self.audit);
     }
 
     fn enable_audit(&mut self, capacity: usize) {
@@ -371,7 +371,9 @@ mod tests {
             assert!((rec.preset - 0.1).abs() < 1e-12);
         }
         g.reset();
-        assert_eq!(g.audit_trail().expect("trail survives reset").len(), 0);
+        let trail = g.audit_trail().expect("trail survives reset");
+        assert_eq!(trail.len(), 0);
+        assert_eq!(trail.capacity(), 16, "in-place clear keeps capacity");
     }
 
     #[test]

@@ -73,10 +73,10 @@ pub(crate) fn record_heuristic_decision(
     });
 }
 
-/// Replaces an enabled trail with an empty one of the same capacity, so a
+/// Clears an enabled trail in place — same capacity, no reallocation — so a
 /// trail always describes exactly one run (mirrors the SSMDVFS governor).
-pub(crate) fn reset_trail(audit: &mut Option<AuditTrail>, governor: &str) {
+pub(crate) fn reset_trail(audit: &mut Option<AuditTrail>) {
     if let Some(trail) = audit {
-        *audit = Some(AuditTrail::new(governor.to_string(), trail.capacity()));
+        trail.clear();
     }
 }

@@ -102,7 +102,7 @@ impl DvfsGovernor for OndemandGovernor {
 
     fn reset(&mut self) {
         self.current.clear();
-        crate::reset_trail(&mut self.audit, "ondemand");
+        crate::reset_trail(&mut self.audit);
     }
 
     fn enable_audit(&mut self, capacity: usize) {
@@ -177,7 +177,9 @@ mod tests {
         assert!((rec.features[0] - 0.95).abs() < 1e-6, "utilization is the recorded feature");
         assert!(rec.predicted_instructions.is_none());
         g.reset();
-        assert_eq!(g.audit_trail().expect("trail survives reset").len(), 0);
+        let trail = g.audit_trail().expect("trail survives reset");
+        assert_eq!(trail.len(), 0);
+        assert_eq!(trail.capacity(), 4, "in-place clear keeps capacity");
     }
 
     #[test]

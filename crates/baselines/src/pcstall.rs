@@ -144,7 +144,7 @@ impl DvfsGovernor for PcstallGovernor {
     fn reset(&mut self) {
         self.stall_frac.clear();
         self.last_op.clear();
-        crate::reset_trail(&mut self.audit, &self.name);
+        crate::reset_trail(&mut self.audit);
     }
 
     fn enable_audit(&mut self, capacity: usize) {
@@ -257,7 +257,7 @@ impl DvfsGovernor for PcstallEdpGovernor {
     fn reset(&mut self) {
         self.stall_frac.clear();
         self.last_op.clear();
-        crate::reset_trail(&mut self.audit, "pcstall-edp");
+        crate::reset_trail(&mut self.audit);
     }
 
     fn enable_audit(&mut self, capacity: usize) {

@@ -11,9 +11,10 @@ use std::path::PathBuf;
 
 use gpu_sim::GpuConfig;
 use gpu_workloads::{training_set, Benchmark};
+use ssmdvfs::checkpoint::{self, CheckpointJournal};
 use ssmdvfs::{
-    generate_suite, train_combined, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet,
-    ModelArch, TrainSummary,
+    generate_suite_with, train_combined, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet,
+    ModelArch, SuiteOptions, TrainSummary,
 };
 use tinynn::TrainConfig;
 
@@ -61,6 +62,12 @@ fn refresh_requested() -> bool {
 /// Generates (or loads from cache) the training dataset over the paper's
 /// training benchmarks.
 ///
+/// Data generation journals each finished replay job to
+/// `dataset_<tag>.ckpt.jsonl` next to the cache file; if a previous run was
+/// killed mid-sweep, the next invocation resumes from that journal instead
+/// of starting over (the output is byte-identical either way). The journal
+/// is removed once the dataset cache is written.
+///
 /// # Panics
 ///
 /// Panics if data generation produces no samples or the cache is
@@ -81,18 +88,41 @@ pub fn build_or_load_dataset(config: &PipelineConfig, tag: &str) -> DvfsDataset 
     let benches: Vec<Benchmark> =
         training_set().into_iter().map(|b| b.scaled(config.scale)).collect();
     let t0 = std::time::Instant::now();
+    // Auto-checkpoint: reuse a leftover journal from an interrupted run,
+    // then keep journaling to it while this run sweeps.
+    let ckpt_path = artifacts_dir().join(format!("dataset_{tag}.ckpt.jsonl"));
+    let mut options = SuiteOptions::new(config.jobs);
+    if ckpt_path.exists() {
+        match checkpoint::load(&ckpt_path) {
+            Ok(entries) => {
+                obs::info!(
+                    "pipeline: resuming datagen from {} journaled jobs in {}",
+                    entries.len(),
+                    ckpt_path.display()
+                );
+                options.completed = checkpoint::completed_jobs(entries);
+            }
+            Err(e) => obs::warn!("pipeline: ignoring unusable checkpoint: {e}"),
+        }
+    }
+    options.journal = CheckpointJournal::append_to(&ckpt_path)
+        .map_err(|e| obs::warn!("pipeline: datagen runs unjournaled: {e}"))
+        .ok();
     // Every (benchmark, breakpoint, operating point) replay is one job on
     // the shared work-stealing pool; per-benchmark sample order is
     // byte-identical to a sequential run.
-    let parts = generate_suite(&benches, &config.gpu, &config.datagen, config.jobs);
+    let outcome = generate_suite_with(&benches, &config.gpu, &config.datagen, &options)
+        .expect("checkpoint journal must stay writable");
     let mut dataset = DvfsDataset::default();
-    for (bench, part) in benches.iter().zip(parts) {
+    for (bench, part) in benches.iter().zip(outcome.datasets) {
         obs::info!("pipeline: datagen {}: {} samples", bench.name(), part.len());
         dataset.extend(part);
     }
     obs::info!("pipeline: datagen total: {} samples in {:.1?}", dataset.len(), t0.elapsed());
     assert!(!dataset.is_empty(), "data generation produced no samples");
     dataset.save(&path).expect("dataset cache must be writable");
+    // The dataset cache is durable now; the journal has served its purpose.
+    fs::remove_file(&ckpt_path).ok();
     dataset
 }
 

@@ -1,6 +1,7 @@
 //! The governor-comparison runner behind Fig. 4.
 
 use dvfs_baselines::{run_oracle, FlemmaConfig, FlemmaGovernor, PcstallConfig, PcstallGovernor};
+use gpu_power::PowerError;
 use gpu_sim::{DvfsGovernor, GpuConfig, SimResult, Simulation, StaticGovernor, Time};
 use gpu_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
@@ -99,7 +100,9 @@ fn run_one(
 ///
 /// # Panics
 ///
-/// Panics if any run fails to produce a result (a configuration error).
+/// Panics if any run fails to produce a result (a configuration error) or
+/// if the baseline is degenerate; report paths that must not abort use
+/// [`try_compare_on_benchmark`].
 pub fn compare_on_benchmark(
     cfg: &GpuConfig,
     bench: &Benchmark,
@@ -107,6 +110,27 @@ pub fn compare_on_benchmark(
     preset: f64,
     horizon: Time,
 ) -> Vec<ComparisonRow> {
+    match try_compare_on_benchmark(cfg, bench, governors, preset, horizon) {
+        Ok(rows) => rows,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`compare_on_benchmark`].
+///
+/// # Errors
+///
+/// Returns [`PowerError::DegenerateBaseline`] if the baseline run's EDP or
+/// time is zero/non-finite (e.g. a horizon so short nothing executed): the
+/// normalized columns would otherwise serialize as `inf`/`NaN` and poison
+/// every downstream report.
+pub fn try_compare_on_benchmark(
+    cfg: &GpuConfig,
+    bench: &Benchmark,
+    governors: &[GovernorKind],
+    preset: f64,
+    horizon: Time,
+) -> Result<Vec<ComparisonRow>, PowerError> {
     let _span = obs::span!("bench", "compare:{}", bench.name());
     let baseline = run_one(cfg, bench, &GovernorKind::Baseline, preset, horizon);
     let base_report = baseline.edp_report();
@@ -119,16 +143,16 @@ pub fn compare_on_benchmark(
                 run_one(cfg, bench, kind, preset, horizon)
             };
             let report = result.edp_report();
-            ComparisonRow {
+            Ok(ComparisonRow {
                 benchmark: bench.name().to_string(),
                 governor: kind.label().to_string(),
                 preset,
-                normalized_edp: report.normalized_edp(&base_report),
-                normalized_latency: report.normalized_latency(&base_report),
+                normalized_edp: report.try_normalized_edp(&base_report)?,
+                normalized_latency: report.try_normalized_latency(&base_report)?,
                 energy_j: report.energy().joules(),
                 time_s: report.time_s(),
                 completed: result.completed,
-            }
+            })
         })
         .collect()
 }
@@ -157,6 +181,19 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..50).collect(), |&x| x * 2);
         assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_compare_matches_panicking_wrapper_on_healthy_runs() {
+        let cfg = GpuConfig::small_test();
+        let bench = gpu_workloads::by_name("sgemm").expect("sgemm exists").scaled(0.1);
+        let governors = [GovernorKind::Baseline];
+        let horizon = Time::from_micros(4_000.0);
+        let fallible =
+            try_compare_on_benchmark(&cfg, &bench, &governors, 0.10, horizon).expect("healthy run");
+        let panicking = compare_on_benchmark(&cfg, &bench, &governors, 0.10, horizon);
+        assert_eq!(fallible, panicking);
+        assert!(fallible[0].normalized_edp.is_finite());
     }
 
     #[test]

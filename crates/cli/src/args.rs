@@ -8,20 +8,38 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Error produced while parsing or reading arguments.
+/// Error produced while parsing arguments or running a subcommand.
+///
+/// Command implementations tag errors with the pipeline stage that failed
+/// (`datagen`, `train`, ...), so `error: [datagen] failed to write dataset
+/// '...'` names the culprit before the binary exits nonzero.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseArgsError {
     message: String,
+    stage: Option<&'static str>,
 }
 
 impl ParseArgsError {
     pub(crate) fn new(message: impl Into<String>) -> ParseArgsError {
-        ParseArgsError { message: message.into() }
+        ParseArgsError { message: message.into(), stage: None }
+    }
+
+    /// An error attributed to a named pipeline stage.
+    pub(crate) fn in_stage(stage: &'static str, message: impl Into<String>) -> ParseArgsError {
+        ParseArgsError { message: message.into(), stage: Some(stage) }
+    }
+
+    /// The pipeline stage this error is attributed to, if any.
+    pub fn stage(&self) -> Option<&'static str> {
+        self.stage
     }
 }
 
 impl fmt::Display for ParseArgsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(stage) = self.stage {
+            write!(f, "[{stage}] ")?;
+        }
         f.write_str(&self.message)
     }
 }

@@ -15,10 +15,12 @@ use gpu_sim::{
     epoch_trace_csv, DvfsGovernor, GpuConfig, SimResult, Simulation, StaticGovernor, Time,
 };
 use gpu_workloads::{by_name, suite, Benchmark};
+use ssmdvfs::checkpoint::CheckpointJournal;
+use ssmdvfs::exec::FaultPolicy;
 use ssmdvfs::{
-    compress_and_finetune, estimate_asic, evaluate, generate_suite, train_combined, AsicConfig,
-    CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch, SsmdvfsConfig,
-    SsmdvfsGovernor,
+    compress_and_finetune, estimate_asic, evaluate, generate_suite_with, train_combined,
+    AsicConfig, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch, SsmdvfsConfig,
+    SsmdvfsGovernor, SuiteOptions,
 };
 use tinynn::TrainConfig;
 
@@ -28,6 +30,12 @@ type CmdResult = Result<String, ParseArgsError>;
 
 fn err(message: impl Into<String>) -> ParseArgsError {
     ParseArgsError::new(message)
+}
+
+/// An error attributed to a named pipeline stage, so the binary's
+/// `error: [stage] ...` line says which part of the pipeline failed.
+fn err_in(stage: &'static str, message: impl Into<String>) -> ParseArgsError {
+    ParseArgsError::in_stage(stage, message)
 }
 
 /// Usage text shown by `help` and on unknown subcommands.
@@ -47,6 +55,9 @@ COMMANDS:
   datagen     --out <file>            run the Fig. 2 data-generation pipeline
               [--benchmarks a,b,c] [--scale <f>] [--clusters <n>]
               [--jobs <n>]            replay worker threads (0 = one per core)
+              [--checkpoint <ck.jsonl>]  journal finished jobs for resume
+              [--resume <ck.jsonl>]   skip jobs journaled by a killed run
+              [--quarantine] [--max-retries 2]  retry/drop panicking jobs
   train       --dataset <file> --out <model.json>
               [--arch full|compressed] [--epochs <n>]
   compress    --model <in> --dataset <file> --out <model.json>
@@ -86,11 +97,12 @@ fn benchmark(args: &Args) -> Result<Benchmark, ParseArgsError> {
 }
 
 fn load_model(path: &str) -> Result<CombinedModel, ParseArgsError> {
-    CombinedModel::load(path).map_err(|e| err(format!("cannot load model '{path}': {e}")))
+    // `CombinedModel::load` already names the artifact, path and cause.
+    CombinedModel::load(path).map_err(|e| err(e.to_string()))
 }
 
 fn load_dataset(path: &str) -> Result<DvfsDataset, ParseArgsError> {
-    DvfsDataset::load(path).map_err(|e| err(format!("cannot load dataset '{path}': {e}")))
+    DvfsDataset::load(path).map_err(|e| err(e.to_string()))
 }
 
 /// `list-benchmarks`.
@@ -201,21 +213,53 @@ pub fn datagen(args: &Args) -> CmdResult {
             })
             .collect::<Result<_, _>>()?,
     };
-    let jobs = args.get_usize("jobs", 0)?;
     let dg = DataGenConfig::default();
     let scaled: Vec<Benchmark> = benches.into_iter().map(|b| b.scaled(scale)).collect();
+
+    let mut options = SuiteOptions::new(args.get_usize("jobs", 0)?);
+    // `--resume <journal>` reuses an interrupted run's completed jobs and
+    // keeps journaling to the same file; `--checkpoint <journal>` starts a
+    // fresh journal.
+    match (args.get("resume"), args.get("checkpoint")) {
+        (Some(_), Some(_)) => {
+            return Err(err("--resume already journals; drop --checkpoint"));
+        }
+        (Some(path), None) => {
+            let entries =
+                ssmdvfs::checkpoint::load(path).map_err(|e| err_in("datagen", e.to_string()))?;
+            options.completed = ssmdvfs::checkpoint::completed_jobs(entries);
+            options.journal = Some(
+                CheckpointJournal::append_to(path).map_err(|e| err_in("datagen", e.to_string()))?,
+            );
+        }
+        (None, Some(path)) => {
+            options.journal = Some(
+                CheckpointJournal::create(path).map_err(|e| err_in("datagen", e.to_string()))?,
+            );
+        }
+        (None, None) => {}
+    }
+    if args.flag("quarantine") || args.get("max-retries").is_some() {
+        options.fault_policy = Some(FaultPolicy { max_retries: args.get_usize("max-retries", 2)? });
+    }
+
     // Fan every (benchmark, breakpoint, operating point) replay out over
     // the shared work-stealing pool; the sample order is identical to a
-    // sequential per-benchmark run.
-    let parts = generate_suite(&scaled, &cfg, &dg, jobs);
+    // sequential per-benchmark run, and (with a journal) byte-identical
+    // across an interruption.
+    let outcome = generate_suite_with(&scaled, &cfg, &dg, &options)
+        .map_err(|e| err_in("datagen", e.to_string()))?;
     let mut dataset = DvfsDataset::default();
     let mut out = String::new();
-    for (b, part) in scaled.iter().zip(parts) {
+    for (b, part) in scaled.iter().zip(outcome.datasets) {
         let _ = writeln!(out, "{:<14} {:>6} samples", b.name(), part.len());
         dataset.extend(part);
     }
-    dataset.save(out_path).map_err(|e| err(format!("cannot write '{out_path}': {e}")))?;
+    dataset.save(out_path).map_err(|e| err_in("datagen", e.to_string()))?;
     let _ = writeln!(out, "total: {} samples -> {out_path}", dataset.len());
+    if !outcome.faults.is_empty() {
+        let _ = writeln!(out, "fault report: {}", outcome.faults);
+    }
     Ok(out)
 }
 
@@ -235,7 +279,7 @@ pub fn train(args: &Args) -> CmdResult {
         TrainConfig { epochs: args.get_usize("epochs", 300)?, ..TrainConfig::default() };
     let (model, summary) =
         train_combined(&dataset, &FeatureSet::refined(), &arch(args)?, 6, &train_cfg, 0.25);
-    model.save(out_path).map_err(|e| err(format!("cannot write model '{out_path}': {e}")))?;
+    model.save(out_path).map_err(|e| err_in("train", e.to_string()))?;
     Ok(format!(
         "trained on {} samples: accuracy {:.2}%, MAPE {:.2}%, {} FLOPs -> {out_path}\n",
         summary.samples,
@@ -257,7 +301,7 @@ pub fn compress(args: &Args) -> CmdResult {
     }
     let finetune = TrainConfig { epochs: args.get_usize("epochs", 80)?, ..TrainConfig::default() };
     let compressed = compress_and_finetune(&model, &dataset, x1, x2, &finetune);
-    compressed.save(out_path).map_err(|e| err(format!("cannot write model '{out_path}': {e}")))?;
+    compressed.save(out_path).map_err(|e| err_in("compress", e.to_string()))?;
     Ok(format!(
         "compressed {} -> {} FLOPs ({:.1}% reduction) -> {out_path}\n",
         model.flops(),

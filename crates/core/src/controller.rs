@@ -146,6 +146,14 @@ impl DvfsGovernor for SsmdvfsGovernor {
     }
 
     fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize {
+        // An empty table is reachable through deserialization (which
+        // bypasses `VfTable::new`); the `len() - 1` decode clamps below
+        // would underflow on it, so refuse up front with a clear message.
+        assert!(
+            !table.is_empty(),
+            "SsmdvfsGovernor::decide needs a non-empty VfTable; \
+             run VfTable::validate() on tables loaded from disk"
+        );
         let features = self.model.feature_set.extract(counters);
         let preset = self.config.preset;
         // The prediction made *for* the epoch that just ended; captured
@@ -228,10 +236,9 @@ impl DvfsGovernor for SsmdvfsGovernor {
     fn reset(&mut self) {
         self.clusters.clear();
         // The trail is per-run: a reset starts a fresh one at the same
-        // capacity.
-        if let Some(trail) = &self.audit {
-            let capacity = trail.capacity();
-            self.audit = Some(AuditTrail::new(self.name.clone(), capacity));
+        // capacity, in place, without reallocating the ring.
+        if let Some(trail) = self.audit.as_mut() {
+            trail.clear();
         }
     }
 
@@ -283,6 +290,19 @@ mod tests {
         c[CounterId::TotalCycles] = 10_000.0;
         c.recompute_derived();
         c
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty VfTable")]
+    fn empty_deserialized_table_is_rejected_not_underflowed() {
+        // Deserialization bypasses `VfTable::new`, so an empty table can
+        // reach `decide`; before the up-front check, `table.len() - 1`
+        // underflowed usize and panicked with an inscrutable message.
+        let empty: VfTable = serde_json::from_str(r#"{"points":[],"default_index":0}"#)
+            .expect("an empty table deserializes fine — that is the bug");
+        assert!(empty.validate().is_err(), "validate flags what decide refuses");
+        let mut gov = SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1));
+        gov.decide(0, &counters_with(5_000.0), &empty);
     }
 
     #[test]

@@ -22,7 +22,9 @@ use gpu_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 use tinynn::{ClassificationData, Matrix, RegressionData};
 
-use crate::exec::parallel_map_indexed;
+use crate::checkpoint::{CheckpointEntry, CheckpointJournal, CompletedJobs};
+use crate::error::{Artifact, SsmdvfsError};
+use crate::exec::{parallel_map_indexed, parallel_map_quarantine, FaultPolicy, FaultReport};
 use crate::features::FeatureSet;
 
 /// Parameters of the data-generation process.
@@ -146,20 +148,27 @@ impl DvfsDataset {
     ///
     /// # Errors
     ///
-    /// Returns any underlying I/O error.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+    /// Returns [`SsmdvfsError::Io`] tagged with [`Artifact::Dataset`] on a
+    /// write failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), SsmdvfsError> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(self)
+            .map_err(|e| SsmdvfsError::parse(Artifact::Dataset, path, e))?;
+        std::fs::write(path, json).map_err(|e| SsmdvfsError::write(Artifact::Dataset, path, e))
     }
 
     /// Loads a dataset serialized by [`DvfsDataset::save`].
     ///
     /// # Errors
     ///
-    /// Returns an error if the file is missing or not a valid dataset.
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<DvfsDataset> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(std::io::Error::other)
+    /// Returns [`SsmdvfsError::Io`] if the file is unreadable and
+    /// [`SsmdvfsError::Parse`] if it is not a valid dataset, both tagged
+    /// with [`Artifact::Dataset`] so the CLI names the failing stage.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<DvfsDataset, SsmdvfsError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| SsmdvfsError::read(Artifact::Dataset, path, e))?;
+        serde_json::from_str(&json).map_err(|e| SsmdvfsError::parse(Artifact::Dataset, path, e))
     }
 
     /// Builds the Decision-maker dataset implementing the paper's
@@ -567,13 +576,82 @@ pub fn generate_workload_jobs(
 /// workers busy while short benchmarks finish. Returns one dataset per
 /// benchmark, in input order, each byte-identical to a sequential
 /// [`generate`] run on that benchmark.
+///
+/// Checkpointing, resume and fault tolerance live on
+/// [`generate_suite_with`]; this wrapper is the plain fail-fast path.
 pub fn generate_suite(
     benchmarks: &[Benchmark],
     cfg: &GpuConfig,
     dg: &DataGenConfig,
     jobs: usize,
 ) -> Vec<DvfsDataset> {
+    match generate_suite_with(benchmarks, cfg, dg, &SuiteOptions::new(jobs)) {
+        Ok(outcome) => outcome.datasets,
+        // Unreachable without a journal (the only fallible option), kept as
+        // a loud failure rather than an `unwrap` in case that changes.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Knobs for a resilient [`generate_suite_with`] sweep.
+#[derive(Debug, Default)]
+pub struct SuiteOptions {
+    /// Worker count (`0` = one per core).
+    pub jobs: usize,
+    /// Journal that every finished replay job is appended to (and flushed)
+    /// as it completes, enabling a later `--resume`.
+    pub journal: Option<CheckpointJournal>,
+    /// Jobs already completed by an interrupted run (loaded from its
+    /// journal); they are skipped and their journaled samples reused.
+    pub completed: CompletedJobs,
+    /// When set, a panicking replay job is quarantined and retried on the
+    /// pool instead of aborting the sweep; jobs that exhaust the retry
+    /// budget are dropped and reported in [`SuiteOutcome::faults`].
+    pub fault_policy: Option<FaultPolicy>,
+}
+
+impl SuiteOptions {
+    /// Plain fail-fast options: no checkpointing, no quarantine.
+    pub fn new(jobs: usize) -> SuiteOptions {
+        SuiteOptions { jobs, ..SuiteOptions::default() }
+    }
+}
+
+/// What a resilient suite sweep produced.
+#[derive(Debug)]
+pub struct SuiteOutcome {
+    /// One dataset per benchmark, in input order.
+    pub datasets: Vec<DvfsDataset>,
+    /// Quarantine activity (empty unless a fault policy was set and a job
+    /// panicked).
+    pub faults: FaultReport,
+}
+
+/// [`generate_suite`] with checkpointing, resume and fault tolerance.
+///
+/// Phase 1 (reference timelines) is recomputed deterministically even on
+/// resume — it is cheap relative to phase 2 and seeds identical
+/// [`ReplaySpec`]s, which is what makes journaled and fresh results
+/// interchangeable. Phase 2 jobs found in `options.completed` are skipped;
+/// the rest run on the pool, each passing the fail-point site
+/// `"datagen.replay"` (keyed by global job index) on entry and appending to
+/// the journal on exit. Assembly walks the full ordered job list mixing
+/// journaled and fresh samples, so the output is byte-identical to an
+/// uninterrupted run regardless of where the previous run died.
+///
+/// # Errors
+///
+/// Returns [`SsmdvfsError::Io`] if a journal append fails. Replay panics
+/// either propagate (no fault policy) or end up in
+/// [`SuiteOutcome::faults`].
+pub fn generate_suite_with(
+    benchmarks: &[Benchmark],
+    cfg: &GpuConfig,
+    dg: &DataGenConfig,
+    options: &SuiteOptions,
+) -> Result<SuiteOutcome, SsmdvfsError> {
     let _span = obs::span!("datagen", "datagen-suite:{} benchmarks", benchmarks.len());
+    let jobs = options.jobs;
     // Phase 1: per-benchmark reference timelines (independent of each other).
     let specs_per_bench: Vec<Vec<ReplaySpec>> =
         parallel_map_indexed(jobs, benchmarks.to_vec(), |_, bench| {
@@ -588,17 +666,87 @@ pub fn generate_suite(
             (0..specs.len()).flat_map(move |s| (0..num_ops).map(move |op| (b, s, op)))
         })
         .collect();
-    let per_job: Vec<Vec<RawSample>> =
-        parallel_map_indexed(jobs, job_list.clone(), |_, (b, s, op)| {
-            run_replay(benchmarks[b].name(), cfg, dg, &specs_per_bench[b][s], op)
-        });
-    // Ordered assembly back into per-benchmark datasets.
+
+    // Split into already-journaled jobs and work still to do. `todo` keeps
+    // each job's global index so fail points and journal entries stay
+    // deterministic across runs with different resume points.
+    let mut cached: Vec<Option<&Vec<RawSample>>> = Vec::with_capacity(job_list.len());
+    let mut todo: Vec<(usize, (usize, usize, usize))> = Vec::new();
+    for (j, &(b, s, op)) in job_list.iter().enumerate() {
+        let key = (benchmarks[b].name().to_string(), s, op);
+        match options.completed.get(&key) {
+            Some(samples) => cached.push(Some(samples)),
+            None => {
+                cached.push(None);
+                todo.push((j, (b, s, op)));
+            }
+        }
+    }
+    if !options.completed.is_empty() {
+        obs::info!(
+            "datagen: resume skips {}/{} replay jobs",
+            job_list.len() - todo.len(),
+            job_list.len()
+        );
+    }
+    obs::counter!("datagen.jobs_resumed").inc((job_list.len() - todo.len()) as u64);
+
+    // A journal append failure inside a worker cannot early-return; park
+    // the first one here and surface it after the sweep.
+    let journal_error: std::sync::Mutex<Option<SsmdvfsError>> = std::sync::Mutex::new(None);
+    let run_one = |job_index: usize, b: usize, s: usize, op: usize| -> Vec<RawSample> {
+        crate::failpoint::hit("datagen.replay", job_index);
+        let samples = run_replay(benchmarks[b].name(), cfg, dg, &specs_per_bench[b][s], op);
+        if let Some(journal) = &options.journal {
+            let entry = CheckpointEntry {
+                benchmark: benchmarks[b].name().to_string(),
+                breakpoint: s,
+                op_index: op,
+                samples: samples.clone(),
+            };
+            if let Err(e) = journal.append(&entry) {
+                let mut slot =
+                    journal_error.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                slot.get_or_insert(e);
+            }
+        }
+        samples
+    };
+
+    let (fresh, faults): (Vec<Option<Vec<RawSample>>>, FaultReport) = match options.fault_policy {
+        Some(policy) => {
+            let (out, report) =
+                parallel_map_quarantine(jobs, &todo, policy, |_, &(j, (b, s, op))| {
+                    run_one(j, b, s, op)
+                });
+            (out, report)
+        }
+        None => {
+            let out =
+                parallel_map_indexed(jobs, todo.clone(), |_, (j, (b, s, op))| run_one(j, b, s, op));
+            (out.into_iter().map(Some).collect(), FaultReport::default())
+        }
+    };
+    if let Some(e) = journal_error.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+        return Err(e);
+    }
+
+    // Ordered assembly back into per-benchmark datasets, merging journaled
+    // results with fresh ones; dropped (faulted) jobs contribute nothing.
+    let mut fresh_by_job: Vec<Option<Vec<RawSample>>> = vec![None; job_list.len()];
+    for ((j, _), result) in todo.into_iter().zip(fresh) {
+        fresh_by_job[j] = result;
+    }
     let mut datasets: Vec<DvfsDataset> =
         benchmarks.iter().map(|_| DvfsDataset::default()).collect();
-    for ((b, _, _), samples) in job_list.into_iter().zip(per_job) {
-        datasets[b].samples.extend(samples);
+    for (j, &(b, _, _)) in job_list.iter().enumerate() {
+        if let Some(samples) = cached[j] {
+            datasets[b].samples.extend(samples.iter().cloned());
+        } else if let Some(samples) = fresh_by_job[j].take() {
+            datasets[b].samples.extend(samples);
+        }
     }
-    datasets
+    Ok(SuiteOutcome { datasets, faults })
 }
 
 #[cfg(test)]

@@ -172,6 +172,198 @@ where
     parallel_map_indexed(jobs, (0..items.len()).collect(), |_, i| f(&items[i]))
 }
 
+/// Retry/drop policy for [`parallel_map_quarantine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// How many times a panicking work unit is re-queued before it is
+    /// dropped. `2` means up to three attempts in total.
+    pub max_retries: usize,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> FaultPolicy {
+        FaultPolicy { max_retries: 2 }
+    }
+}
+
+/// One work unit that kept panicking past its retry budget and was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Input index of the dropped unit.
+    pub index: usize,
+    /// Total attempts made (initial run plus retries).
+    pub attempts: usize,
+    /// The panic message of the final attempt.
+    pub message: String,
+}
+
+/// What [`parallel_map_quarantine`] survived: how many panics were retried
+/// and which units were dropped after exhausting their budget.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Total panic-triggered re-queues across all units.
+    pub retries: u64,
+    /// Units dropped after `max_retries` re-queues, in input order.
+    pub dropped: Vec<FaultRecord>,
+}
+
+impl FaultReport {
+    /// `true` when every unit completed (possibly after retries).
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty()
+    }
+
+    /// `true` when no unit panicked at all.
+    pub fn is_empty(&self) -> bool {
+        self.retries == 0 && self.dropped.is_empty()
+    }
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} retries, {} dropped units", self.retries, self.dropped.len())?;
+        for rec in &self.dropped {
+            write!(f, "\n  unit #{} after {} attempts: {}", rec.index, rec.attempts, rec.message)?;
+        }
+        Ok(())
+    }
+}
+
+/// Best-effort stringification of a panic payload for [`FaultRecord`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-tolerant variant of [`parallel_map_indexed`]: a panicking work
+/// unit is quarantined and re-queued onto the pool for a fresh attempt (its
+/// previous attempt's stack fully unwound) up to `policy.max_retries`
+/// times, then dropped with a logged warning instead of aborting the sweep.
+/// The caller gets `None` in the dropped unit's slot plus a [`FaultReport`]
+/// naming every casualty — the sweep itself always completes.
+///
+/// The closure takes `&T` (not `T`) precisely so a unit survives its own
+/// panic and can be retried.
+pub fn parallel_map_quarantine<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    policy: FaultPolicy,
+    f: F,
+) -> (Vec<Option<R>>, FaultReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = effective_jobs(jobs).min(items.len().max(1));
+    let retries = std::sync::atomic::AtomicU64::new(0);
+    let dropped: Mutex<Vec<FaultRecord>> = Mutex::new(Vec::new());
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    // Attempt one unit once, returning the panic payload on failure.
+    let attempt = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+
+    if workers <= 1 || items.len() <= 1 {
+        for (i, slot) in results.iter_mut().enumerate() {
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                match attempt(i) {
+                    Ok(r) => {
+                        *slot = Some(r);
+                        break;
+                    }
+                    Err(payload) if attempts <= policy.max_retries => {
+                        let _ = payload;
+                        retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(payload) => {
+                        dropped.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(
+                            FaultRecord {
+                                index: i,
+                                attempts,
+                                message: panic_message(payload.as_ref()),
+                            },
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    } else {
+        // Tasks are (input index, attempt number). Retries go through the
+        // global injector, so whichever worker runs dry first picks the
+        // quarantined unit up for a clean re-run.
+        let injector: Injector<(usize, usize)> = Injector::new();
+        let locals: Vec<Worker<(usize, usize)>> =
+            (0..workers).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<(usize, usize)>> = locals.iter().map(Worker::stealer).collect();
+        for i in 0..items.len() {
+            locals[i % workers].push((i, 1));
+        }
+        let slots = SlotWriter { ptr: results.as_mut_ptr() };
+
+        crossbeam::scope(|scope| {
+            for local in locals {
+                let stealers = &stealers;
+                let injector = &injector;
+                let slots = &slots;
+                let attempt = &attempt;
+                let retries = &retries;
+                let dropped = &dropped;
+                scope.spawn(move |_| {
+                    while let Some(((i, attempts), _)) = find_task(&local, injector, stealers) {
+                        match attempt(i) {
+                            // SAFETY: an index is in flight on exactly one
+                            // worker at a time — it is either freshly enqueued
+                            // or re-pushed by the worker that just failed it.
+                            Ok(r) => unsafe { slots.write(i, r) },
+                            Err(payload) if attempts <= policy.max_retries => {
+                                let _ = payload;
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                // Re-queue before this worker looks for other
+                                // work, so the retry cannot be orphaned.
+                                injector.push((i, attempts + 1));
+                            }
+                            Err(payload) => dropped
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push(FaultRecord {
+                                    index: i,
+                                    attempts,
+                                    message: panic_message(payload.as_ref()),
+                                }),
+                        }
+                    }
+                });
+            }
+        })
+        .expect("quarantine workers never propagate panics");
+    }
+
+    let mut dropped = dropped.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    dropped.sort_by_key(|rec| rec.index);
+    let report = FaultReport { retries: retries.load(Ordering::Relaxed), dropped };
+    obs::counter!("exec.quarantine_retries").inc(report.retries);
+    obs::counter!("exec.quarantine_dropped").inc(report.dropped.len() as u64);
+    for rec in &report.dropped {
+        obs::warn!(
+            "exec: dropped work unit #{} after {} attempts: {}",
+            rec.index,
+            rec.attempts,
+            rec.message
+        );
+    }
+    (results, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +435,73 @@ mod tests {
         assert!(empty.is_empty());
         let one = parallel_map_indexed(4, vec![9u8], |i, x| x + i as u8);
         assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn quarantine_without_faults_matches_plain_map() {
+        let items: Vec<u64> = (0..100).collect();
+        let (out, report) =
+            parallel_map_quarantine(4, &items, FaultPolicy::default(), |i, &x| i as u64 + x);
+        assert!(report.is_empty(), "no panics: {report}");
+        let expected: Vec<Option<u64>> = (0..100).map(|x| Some(2 * x)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn quarantine_retries_a_transient_panic_to_success() {
+        let failures_left = AtomicUsize::new(2);
+        let items: Vec<usize> = (0..64).collect();
+        let (out, report) =
+            parallel_map_quarantine(4, &items, FaultPolicy { max_retries: 2 }, |_, &x| {
+                if x == 13
+                    && failures_left
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("transient fault");
+                }
+                x * 10
+            });
+        assert!(report.is_clean(), "unit recovered on retry: {report}");
+        assert_eq!(report.retries, 2);
+        assert_eq!(out[13], Some(130));
+        assert!(out.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn quarantine_drops_a_persistent_panicker_and_finishes() {
+        let items: Vec<usize> = (0..64).collect();
+        let (out, report) =
+            parallel_map_quarantine(4, &items, FaultPolicy { max_retries: 1 }, |_, &x| {
+                if x == 7 {
+                    panic!("unit {x} always explodes");
+                }
+                x
+            });
+        assert_eq!(report.dropped.len(), 1);
+        let rec = &report.dropped[0];
+        assert_eq!(rec.index, 7);
+        assert_eq!(rec.attempts, 2, "initial run plus one retry");
+        assert!(rec.message.contains("always explodes"));
+        assert_eq!(report.retries, 1);
+        assert!(out[7].is_none(), "the dropped unit's slot stays empty");
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 63);
+    }
+
+    #[test]
+    fn quarantine_sequential_path_matches_parallel() {
+        let items: Vec<usize> = (0..20).collect();
+        let fail = |_: usize, &x: &usize| {
+            if x == 3 {
+                panic!("nope");
+            }
+            x + 1
+        };
+        let (seq, seq_report) =
+            parallel_map_quarantine(1, &items, FaultPolicy { max_retries: 1 }, fail);
+        let (par, par_report) =
+            parallel_map_quarantine(4, &items, FaultPolicy { max_retries: 1 }, fail);
+        assert_eq!(seq, par);
+        assert_eq!(seq_report.dropped, par_report.dropped);
     }
 }

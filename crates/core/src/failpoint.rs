@@ -1,0 +1,136 @@
+//! Deterministic fail-point-style fault injection (no external deps).
+//!
+//! A fail point is a named site in the pipeline (e.g. `"datagen.replay"`)
+//! that can be armed to panic on specific work-unit keys, a bounded number
+//! of times. Arming happens either programmatically ([`arm`], for tests) or
+//! through the `SSMDVFS_FAILPOINTS` environment variable (for the CI smoke
+//! test and manual fault drills):
+//!
+//! ```text
+//! SSMDVFS_FAILPOINTS="datagen.replay=3,datagen.replay=7x2"
+//! ```
+//!
+//! arms `datagen.replay` to panic once when it is hit with key 3 and twice
+//! with key 7. Keys are whatever the site passes to [`hit`] — for the
+//! datagen pool it is the global job index, which is deterministic for a
+//! given suite, so an injected fault reproduces exactly.
+//!
+//! Disarmed sites cost two atomic loads per hit (registry init check plus
+//! the armed flag), so the hooks stay in release builds.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Fast path: skip the registry lock entirely while nothing is armed.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<(String, usize), usize>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<(String, usize), usize>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("SSMDVFS_FAILPOINTS") {
+            for (site, key, times) in parse_spec(&spec) {
+                map.insert((site, key), times);
+            }
+        }
+        if !map.is_empty() {
+            ANY_ARMED.store(true, Ordering::Relaxed);
+        }
+        Mutex::new(map)
+    })
+}
+
+/// Parses a `site=key[xN]` comma-separated spec, ignoring malformed terms
+/// (fault injection must never take down a run by itself).
+fn parse_spec(spec: &str) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for term in spec.split(',') {
+        let term = term.trim();
+        if term.is_empty() {
+            continue;
+        }
+        let Some((site, rest)) = term.split_once('=') else { continue };
+        let (key_str, times_str) = match rest.split_once('x') {
+            Some((k, n)) => (k, n),
+            None => (rest, "1"),
+        };
+        let (Ok(key), Ok(times)) = (key_str.parse::<usize>(), times_str.parse::<usize>()) else {
+            continue;
+        };
+        if times > 0 {
+            out.push((site.to_string(), key, times));
+        }
+    }
+    out
+}
+
+/// Arms `site` to panic the next `times` times it is hit with `key`.
+pub fn arm(site: &str, key: usize, times: usize) {
+    if times == 0 {
+        return;
+    }
+    let mut map = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    map.insert((site.to_string(), key), times);
+    ANY_ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms every fail point (tests call this in teardown).
+pub fn disarm_all() {
+    let mut map = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    map.clear();
+    ANY_ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Whether any fail point is currently armed.
+pub fn any_armed() -> bool {
+    ANY_ARMED.load(Ordering::Relaxed)
+}
+
+/// The injection hook: panics iff `site` is armed for `key`, consuming one
+/// of its remaining triggers. Call this at the top of a work unit.
+pub fn hit(site: &str, key: usize) {
+    // Force the registry (and thus the `SSMDVFS_FAILPOINTS` env spec) to
+    // load on the first hit: processes that only arm through the
+    // environment never call `arm`, so the flag alone cannot be trusted
+    // before initialization. After the first call this is one atomic
+    // acquire load.
+    registry();
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let fire = {
+        let mut map = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match map.get_mut(&(site.to_string(), key)) {
+            Some(remaining) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    map.remove(&(site.to_string(), key));
+                    if map.is_empty() {
+                        ANY_ARMED.store(false, Ordering::Relaxed);
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    };
+    if fire {
+        panic!("failpoint {site}#{key} triggered");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_accepts_counts_and_skips_garbage() {
+        let parsed = parse_spec("a=1, b=2x3 ,junk, c=x, d=4x0, e=5x1");
+        assert_eq!(
+            parsed,
+            vec![("a".to_string(), 1, 1), ("b".to_string(), 2, 3), ("e".to_string(), 5, 1)]
+        );
+        assert!(parse_spec("").is_empty());
+    }
+}

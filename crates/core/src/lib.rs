@@ -55,10 +55,13 @@
 #![warn(missing_docs)]
 
 mod asic;
+pub mod checkpoint;
 mod compress;
 mod controller;
 mod datagen;
+mod error;
 pub mod exec;
+pub mod failpoint;
 mod features;
 mod model;
 mod rfe;
@@ -71,9 +74,11 @@ pub use compress::{
 };
 pub use controller::{SsmdvfsConfig, SsmdvfsGovernor};
 pub use datagen::{
-    generate, generate_suite, generate_with_jobs, generate_workload, generate_workload_jobs,
-    DataGenConfig, DvfsDataset, LabelingMode, RawSample, DECISION_PRESET_GRID,
+    generate, generate_suite, generate_suite_with, generate_with_jobs, generate_workload,
+    generate_workload_jobs, DataGenConfig, DvfsDataset, LabelingMode, RawSample, SuiteOptions,
+    SuiteOutcome, DECISION_PRESET_GRID,
 };
+pub use error::{Artifact, IoOp, SsmdvfsError};
 pub use features::FeatureSet;
 pub use model::{CombinedModel, ModelArch};
 pub use rfe::{candidate_counters, select_features, FeatureSelection};

@@ -9,12 +9,12 @@
 //! carries everything the runtime controller needs.
 
 use std::fs;
-use std::io;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 use tinynn::{Matrix, Mlp, Normalizer};
 
+use crate::error::{Artifact, SsmdvfsError};
 use crate::features::FeatureSet;
 
 /// Architecture of the two heads, expressed as hidden-layer widths.
@@ -162,20 +162,27 @@ impl CombinedModel {
     ///
     /// # Errors
     ///
-    /// Returns any underlying I/O error.
-    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
-        fs::write(path, json)
+    /// Returns [`SsmdvfsError::Io`] tagged with [`Artifact::Model`] on a
+    /// write failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SsmdvfsError> {
+        let path = path.as_ref();
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| SsmdvfsError::parse(Artifact::Model, path, e))?;
+        fs::write(path, json).map_err(|e| SsmdvfsError::write(Artifact::Model, path, e))
     }
 
     /// Loads a model serialized by [`CombinedModel::save`].
     ///
     /// # Errors
     ///
-    /// Returns an error if the file is missing or not a valid model.
-    pub fn load(path: impl AsRef<Path>) -> io::Result<CombinedModel> {
-        let json = fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(io::Error::other)
+    /// Returns [`SsmdvfsError::Io`] if the file is unreadable and
+    /// [`SsmdvfsError::Parse`] if it is not a valid model, both tagged with
+    /// [`Artifact::Model`] so the CLI names the failing stage.
+    pub fn load(path: impl AsRef<Path>) -> Result<CombinedModel, SsmdvfsError> {
+        let path = path.as_ref();
+        let json =
+            fs::read_to_string(path).map_err(|e| SsmdvfsError::read(Artifact::Model, path, e))?;
+        serde_json::from_str(&json).map_err(|e| SsmdvfsError::parse(Artifact::Model, path, e))
     }
 }
 

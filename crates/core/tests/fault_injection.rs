@@ -1,0 +1,83 @@
+//! Fault-injection drills: deterministic fail points fired inside the
+//! datagen worker pool, with and without quarantine mode.
+//!
+//! These tests live in their own integration binary because fail points are
+//! process-global: sharing a binary with unrelated parallel tests would let
+//! an armed fail point leak into them.
+
+use gpu_sim::{GpuConfig, Time};
+use gpu_workloads::Benchmark;
+use ssmdvfs::exec::FaultPolicy;
+use ssmdvfs::{failpoint, generate_suite_with, DataGenConfig, SuiteOptions};
+
+fn small_suite() -> (Vec<Benchmark>, GpuConfig, DataGenConfig) {
+    let cfg = GpuConfig::small_test();
+    let dg = DataGenConfig {
+        breakpoint_interval_epochs: 5,
+        max_time: Time::from_micros(300.0),
+        ..DataGenConfig::default()
+    };
+    let benches: Vec<Benchmark> = ["lbm", "sgemm"]
+        .iter()
+        .map(|n| gpu_workloads::by_name(n).expect("suite benchmark").scaled(0.05))
+        .collect();
+    (benches, cfg, dg)
+}
+
+// One #[test] driving every scenario sequentially: fail points are
+// process-global, so scenarios must not run concurrently.
+#[test]
+fn fault_injection_scenarios() {
+    let (benches, cfg, dg) = small_suite();
+    let clean = generate_suite_with(&benches, &cfg, &dg, &SuiteOptions::new(2))
+        .expect("clean sweep")
+        .datasets;
+
+    // Scenario 1: a transient fault (one panic, budget of two retries) is
+    // retried to success — the sweep completes with the exact clean output
+    // and the report shows the retry.
+    failpoint::arm("datagen.replay", 3, 1);
+    let mut options = SuiteOptions::new(2);
+    options.fault_policy = Some(FaultPolicy { max_retries: 2 });
+    let outcome = generate_suite_with(&benches, &cfg, &dg, &options).expect("sweep survives");
+    failpoint::disarm_all();
+    assert_eq!(outcome.faults.retries, 1, "one injected panic, one retry");
+    assert!(outcome.faults.is_clean(), "retry succeeded: {}", outcome.faults);
+    assert_eq!(outcome.datasets, clean, "a retried unit reproduces its samples exactly");
+
+    // Scenario 2: a persistent fault (more panics than the budget) drops
+    // the unit; the sweep still completes, the report names the casualty,
+    // and exactly that unit's samples are missing.
+    failpoint::arm("datagen.replay", 3, usize::MAX);
+    let mut options = SuiteOptions::new(2);
+    options.fault_policy = Some(FaultPolicy { max_retries: 1 });
+    let outcome = generate_suite_with(&benches, &cfg, &dg, &options).expect("sweep survives");
+    failpoint::disarm_all();
+    assert_eq!(outcome.faults.dropped.len(), 1, "exactly one unit dropped: {}", outcome.faults);
+    assert_eq!(outcome.faults.dropped[0].attempts, 2);
+    assert!(outcome.faults.dropped[0].message.contains("failpoint datagen.replay#3"));
+    let clean_total: usize = clean.iter().map(|d| d.len()).sum();
+    let faulted_total: usize = outcome.datasets.iter().map(|d| d.len()).sum();
+    assert!(
+        faulted_total < clean_total,
+        "the dropped unit's samples are missing ({faulted_total} < {clean_total})"
+    );
+
+    // Scenario 3: no fault policy — the injected panic propagates fail-fast
+    // with its message intact, exactly like any other worker panic.
+    failpoint::arm("datagen.replay", 0, 1);
+    let result = std::panic::catch_unwind(|| {
+        generate_suite_with(&benches, &cfg, &dg, &SuiteOptions::new(2))
+    });
+    failpoint::disarm_all();
+    let payload = result.expect_err("without quarantine the panic must propagate");
+    let msg = payload.downcast_ref::<String>().expect("panic message survives the pool");
+    assert!(msg.contains("failpoint datagen.replay#0"), "got: {msg}");
+
+    // Fail points must leave no residue for later runs.
+    assert!(!failpoint::any_armed());
+    let after = generate_suite_with(&benches, &cfg, &dg, &SuiteOptions::new(2))
+        .expect("clean again")
+        .datasets;
+    assert_eq!(after, clean);
+}

@@ -1,10 +1,13 @@
 //! Property-based tests for the SSMDVFS dataset construction and model
 //! plumbing.
 
-use gpu_sim::{CounterId, EpochCounters};
+use gpu_power::VfTable;
+use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
 use proptest::prelude::*;
-use ssmdvfs::{DvfsDataset, FeatureSet, RawSample};
-use tinynn::argmax;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssmdvfs::{CombinedModel, DvfsDataset, FeatureSet, RawSample, SsmdvfsConfig, SsmdvfsGovernor};
+use tinynn::{argmax, Matrix, Mlp, Normalizer};
 
 /// Builds one context (six samples sharing a breakpoint) with the given
 /// per-op losses and instruction counts.
@@ -26,6 +29,39 @@ fn context(losses: &[f64; 6], instrs: &[u64; 6], breakpoint: usize) -> Vec<RawSa
             }
         })
         .collect()
+}
+
+/// A small untrained governor built purely through the public API, for
+/// exercising the calibration loop with arbitrary inputs.
+fn tiny_governor(preset: f64) -> SsmdvfsGovernor {
+    fn unit_normalizer(n: usize) -> Normalizer {
+        let lo = vec![-2.0f32; n];
+        let hi = vec![2.0f32; n];
+        Normalizer::fit(&Matrix::from_rows(&[&lo, &hi]))
+    }
+    let fs = FeatureSet::refined();
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = CombinedModel {
+        decision: Mlp::new(&[fs.len() + 1, 8, 6], &mut rng),
+        calibrator: Mlp::new(&[fs.len() + 2, 8, 1], &mut rng),
+        feature_set: fs.clone(),
+        decision_norm: unit_normalizer(fs.len() + 1),
+        calibrator_norm: unit_normalizer(fs.len() + 2),
+        instr_scale: 1_000.0,
+        num_ops: 6,
+    };
+    SsmdvfsGovernor::new(model, SsmdvfsConfig::new(preset))
+}
+
+/// One epoch's counters: `instrs` retired over `cycles` cycles, of which a
+/// `stall` fraction was spent with an empty pipeline.
+fn epoch_counters(instrs: f64, cycles: f64, stall: f64) -> EpochCounters {
+    let mut c = EpochCounters::zeroed();
+    c[CounterId::TotalInstrs] = instrs;
+    c[CounterId::TotalCycles] = cycles;
+    c[CounterId::StallEmpty] = stall * cycles;
+    c.recompute_derived();
+    c
 }
 
 fn arb_losses() -> impl Strategy<Value = [f64; 6]> {
@@ -119,6 +155,60 @@ proptest! {
         let cal = dataset.calibrator_data(&fs, 6, 1_000.0);
         prop_assert_eq!(cal.x.cols(), fs.len() + 2);
         prop_assert_eq!(cal.x.rows(), cal.y.len());
+    }
+
+    /// The calibration loop may tighten or relax the effective preset, but
+    /// it must never leave `[min_preset, preset]` — no counter or prediction
+    /// sequence may drive the controller out of its contract band.
+    #[test]
+    fn effective_preset_stays_within_its_band(
+        preset in 0.01f64..0.5,
+        epochs in prop::collection::vec(
+            (0.0f64..2e6, 1.0f64..50_000.0, 0.0f64..1.0),
+            1..40,
+        ),
+    ) {
+        let table = VfTable::titan_x();
+        let mut gov = tiny_governor(preset);
+        let min_preset = gov.config().min_preset;
+        for (instrs, cycles, stall) in epochs {
+            gov.decide(0, &epoch_counters(instrs, cycles, stall), &table);
+            let ep = gov.effective_preset(0);
+            prop_assert!(
+                (min_preset - 1e-12..=preset + 1e-12).contains(&ep),
+                "effective preset {ep} left [{min_preset}, {preset}]"
+            );
+        }
+    }
+
+    /// A starved epoch (empty-pipeline stalls above the 20 % exclusion
+    /// threshold) is evidence of missing work, not a slow clock — it must
+    /// never tighten the effective preset, however large the instruction
+    /// shortfall it reports.
+    #[test]
+    fn starved_epochs_never_tighten_the_preset(
+        warmup in prop::collection::vec(
+            (0.0f64..2e6, 1.0f64..50_000.0, 0.0f64..0.15),
+            1..10,
+        ),
+        stall in 0.2001f64..1.0,
+        instrs in 0.0f64..100.0,
+    ) {
+        let table = VfTable::titan_x();
+        let mut gov = tiny_governor(0.1);
+        for (i, c, s) in warmup {
+            gov.decide(0, &epoch_counters(i, c, s), &table);
+        }
+        let before = gov.effective_preset(0);
+        // A starved epoch reporting almost no instructions: calibration
+        // would read this as a massive shortfall if it were not excluded.
+        gov.decide(0, &epoch_counters(instrs, 10_000.0, stall), &table);
+        prop_assert!(
+            gov.effective_preset(0) >= before,
+            "starved epoch tightened the preset: {} -> {}",
+            before,
+            gov.effective_preset(0)
+        );
     }
 }
 

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::Energy;
+use crate::{Energy, PowerError};
 
 /// The end-of-run energy/performance summary every experiment in the paper is
 /// scored on.
@@ -37,13 +37,30 @@ impl EdpReport {
     ///
     /// # Panics
     ///
-    /// Panics if `time_s` is non-positive or non-finite.
+    /// Panics if `time_s` is non-positive or non-finite. Library code that
+    /// must not abort uses [`EdpReport::try_new`] instead.
     pub fn new(energy: Energy, time_s: f64, instructions: u64) -> EdpReport {
-        assert!(
-            time_s.is_finite() && time_s > 0.0,
-            "execution time must be positive and finite, got {time_s}"
-        );
-        EdpReport { energy, time_s, instructions }
+        match EdpReport::try_new(energy, time_s, instructions) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`EdpReport::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::NonPositiveTime`] if `time_s` is non-positive
+    /// or non-finite.
+    pub fn try_new(
+        energy: Energy,
+        time_s: f64,
+        instructions: u64,
+    ) -> Result<EdpReport, PowerError> {
+        if !(time_s.is_finite() && time_s > 0.0) {
+            return Err(PowerError::NonPositiveTime(time_s));
+        }
+        Ok(EdpReport { energy, time_s, instructions })
     }
 
     /// Total energy consumed.
@@ -73,8 +90,27 @@ impl EdpReport {
 
     /// This run's EDP divided by the baseline run's EDP (1.0 = parity,
     /// lower is better).
+    ///
+    /// An idle baseline (zero energy, hence zero EDP) makes the ratio
+    /// `inf`/`NaN`; report paths that serialize the value use
+    /// [`EdpReport::try_normalized_edp`] so the degenerate case surfaces as
+    /// a typed error instead of silently poisoning the output.
     pub fn normalized_edp(&self, baseline: &EdpReport) -> f64 {
         self.edp() / baseline.edp()
+    }
+
+    /// Fallible variant of [`EdpReport::normalized_edp`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::DegenerateBaseline`] if the baseline EDP is
+    /// zero or non-finite (e.g. a run that consumed no modeled energy).
+    pub fn try_normalized_edp(&self, baseline: &EdpReport) -> Result<f64, PowerError> {
+        let base = baseline.edp();
+        if !(base.is_finite() && base > 0.0) {
+            return Err(PowerError::DegenerateBaseline { what: "edp", value: base });
+        }
+        Ok(self.edp() / base)
     }
 
     /// This run's execution time divided by the baseline run's (1.0 =
@@ -83,10 +119,33 @@ impl EdpReport {
         self.time_s / baseline.time_s
     }
 
+    /// Fallible variant of [`EdpReport::normalized_latency`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::DegenerateBaseline`] if the baseline time is
+    /// zero or non-finite (unreachable for reports built through
+    /// [`EdpReport::try_new`], but deserialized reports bypass validation).
+    pub fn try_normalized_latency(&self, baseline: &EdpReport) -> Result<f64, PowerError> {
+        if !(baseline.time_s.is_finite() && baseline.time_s > 0.0) {
+            return Err(PowerError::DegenerateBaseline { what: "time", value: baseline.time_s });
+        }
+        Ok(self.time_s / baseline.time_s)
+    }
+
     /// Performance loss relative to the baseline, e.g. 0.1 for 10 % slower.
     /// Negative values mean this run was faster than the baseline.
     pub fn performance_loss(&self, baseline: &EdpReport) -> f64 {
         self.normalized_latency(baseline) - 1.0
+    }
+
+    /// Fallible variant of [`EdpReport::performance_loss`].
+    ///
+    /// # Errors
+    ///
+    /// As [`EdpReport::try_normalized_latency`].
+    pub fn try_performance_loss(&self, baseline: &EdpReport) -> Result<f64, PowerError> {
+        Ok(self.try_normalized_latency(baseline)? - 1.0)
     }
 }
 
@@ -166,5 +225,39 @@ mod more_tests {
         assert_eq!(r.normalized_edp(&r), 1.0);
         assert_eq!(r.normalized_latency(&r), 1.0);
         assert_eq!(r.performance_loss(&r), 0.0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_error() {
+        assert_eq!(
+            EdpReport::try_new(Energy::from_joules(1.0), 0.0, 1),
+            Err(PowerError::NonPositiveTime(0.0))
+        );
+        assert!(EdpReport::try_new(Energy::from_joules(1.0), f64::NAN, 1).is_err());
+        assert!(EdpReport::try_new(Energy::from_joules(1.0), 1.0, 1).is_ok());
+    }
+
+    #[test]
+    fn zero_energy_baseline_is_a_typed_error_not_inf() {
+        // A baseline that consumed no modeled energy has EDP 0; the plain
+        // ratio silently serializes `inf`, the guarded path refuses.
+        let base = EdpReport::new(Energy::from_joules(0.0), 1.0, 100);
+        let run = EdpReport::new(Energy::from_joules(2.0), 1.0, 100);
+        assert!(run.normalized_edp(&base).is_infinite(), "unguarded ratio is inf");
+        let err = run.try_normalized_edp(&base).unwrap_err();
+        assert_eq!(err, PowerError::DegenerateBaseline { what: "edp", value: 0.0 });
+        // Latency normalization is fine for this baseline (time is positive).
+        assert_eq!(run.try_normalized_latency(&base).unwrap(), 1.0);
+        assert_eq!(run.try_performance_loss(&base).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_baseline_time_is_caught() {
+        // Deserialization bypasses `try_new`, so a zero-time baseline can
+        // exist in memory; the guarded latency path must catch it.
+        let bad = EdpReport { energy: Energy::from_joules(1.0), time_s: 0.0, instructions: 1 };
+        let run = EdpReport::new(Energy::from_joules(1.0), 1.0, 1);
+        assert!(run.try_normalized_latency(&bad).is_err());
+        assert!(run.try_performance_loss(&bad).is_err());
     }
 }

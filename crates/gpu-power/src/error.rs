@@ -1,0 +1,87 @@
+//! Typed errors for the power-model crate.
+//!
+//! Library code in this workspace reports contract violations as values
+//! instead of panicking, so a long profiling sweep can degrade gracefully
+//! (see `docs/robustness.md`). [`PowerError`] is the crate-local error type;
+//! the `ssmdvfs` crate converts it into its workspace-wide hierarchy.
+
+use std::fmt;
+
+/// An invalid input to one of the power-model constructors or reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// An [`crate::EdpReport`] was built with a non-positive or non-finite
+    /// execution time.
+    NonPositiveTime(f64),
+    /// A normalization was attempted against a baseline whose divisor
+    /// (energy, EDP or time) is zero or non-finite, which would silently
+    /// propagate `inf`/`NaN` into serialized reports.
+    DegenerateBaseline {
+        /// Which baseline quantity was degenerate (`"edp"`, `"time"`, …).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A [`crate::VfTable`] with no operating points.
+    EmptyVfTable,
+    /// A [`crate::VfTable`] whose points are not sorted by strictly
+    /// ascending frequency.
+    UnsortedVfTable,
+    /// A [`crate::VfTable`] default index outside the table.
+    BadDefaultIndex {
+        /// The requested default index.
+        index: usize,
+        /// Number of points in the table.
+        len: usize,
+    },
+    /// An operating-point index outside the table.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of points in the table.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::NonPositiveTime(t) => {
+                write!(f, "execution time must be positive and finite, got {t}")
+            }
+            PowerError::DegenerateBaseline { what, value } => {
+                write!(f, "baseline {what} must be positive and finite, got {value}")
+            }
+            PowerError::EmptyVfTable => write!(f, "a VfTable needs at least one point"),
+            PowerError::UnsortedVfTable => {
+                write!(f, "operating points must be sorted by strictly ascending frequency")
+            }
+            PowerError::BadDefaultIndex { index, len } => {
+                write!(f, "default index {index} out of range for {len} points")
+            }
+            PowerError::IndexOutOfRange { index, len } => {
+                write!(f, "operating-point index {index} out of range for {len} points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(PowerError::NonPositiveTime(0.0).to_string().contains("positive"));
+        assert!(PowerError::EmptyVfTable.to_string().contains("at least one point"));
+        assert!(PowerError::UnsortedVfTable.to_string().contains("ascending frequency"));
+        let e = PowerError::DegenerateBaseline { what: "edp", value: 0.0 };
+        assert!(e.to_string().contains("edp"));
+        let e = PowerError::IndexOutOfRange { index: 9, len: 6 };
+        assert!(e.to_string().contains('9'));
+        let e = PowerError::BadDefaultIndex { index: 7, len: 6 };
+        assert!(e.to_string().contains("default index 7"));
+    }
+}

@@ -39,6 +39,7 @@
 mod activity;
 mod edp;
 mod energy;
+mod error;
 mod model;
 mod op;
 mod scaling;
@@ -46,6 +47,7 @@ mod scaling;
 pub use activity::Activity;
 pub use edp::EdpReport;
 pub use energy::{Energy, Power};
+pub use error::PowerError;
 pub use model::{EnergyBreakdown, PowerModel, PowerModelConfig};
 pub use op::{OperatingPoint, VfTable};
 pub use scaling::{TechScaler, UnsupportedNodeError};

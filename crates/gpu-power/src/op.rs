@@ -9,6 +9,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::PowerError;
+
 /// A single voltage/frequency operating point.
 ///
 /// # Examples
@@ -112,19 +114,54 @@ impl VfTable {
     /// # Panics
     ///
     /// Panics if the list is empty, not sorted by ascending frequency, or if
-    /// `default_index` is out of range.
+    /// `default_index` is out of range. Library code that must not abort
+    /// uses [`VfTable::try_new`] instead.
     pub fn new(points: Vec<OperatingPoint>, default_index: usize) -> VfTable {
-        assert!(!points.is_empty(), "a VfTable needs at least one point");
-        assert!(
-            points.windows(2).all(|w| w[0].freq_mhz() < w[1].freq_mhz()),
-            "operating points must be sorted by strictly ascending frequency"
-        );
-        assert!(
-            default_index < points.len(),
-            "default index {default_index} out of range for {} points",
-            points.len()
-        );
-        VfTable { points, default_index }
+        match VfTable::try_new(points, default_index) {
+            Ok(table) => table,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`VfTable::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PowerError`] if the list is empty, not sorted by strictly
+    /// ascending frequency, or if `default_index` is out of range.
+    pub fn try_new(
+        points: Vec<OperatingPoint>,
+        default_index: usize,
+    ) -> Result<VfTable, PowerError> {
+        let table = VfTable { points, default_index };
+        table.validate()?;
+        Ok(table)
+    }
+
+    /// Checks the table invariants: non-empty, strictly ascending
+    /// frequencies, in-range default index.
+    ///
+    /// Deserialization bypasses [`VfTable::new`], so consumers that accept
+    /// tables from disk or over the wire (governors, the CLI) validate once
+    /// up front instead of indexing blind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`PowerError`].
+    pub fn validate(&self) -> Result<(), PowerError> {
+        if self.points.is_empty() {
+            return Err(PowerError::EmptyVfTable);
+        }
+        if !self.points.windows(2).all(|w| w[0].freq_mhz() < w[1].freq_mhz()) {
+            return Err(PowerError::UnsortedVfTable);
+        }
+        if self.default_index >= self.points.len() {
+            return Err(PowerError::BadDefaultIndex {
+                index: self.default_index,
+                len: self.points.len(),
+            });
+        }
+        Ok(())
     }
 
     /// The six GTX Titan X operating points used in the paper
@@ -291,5 +328,31 @@ mod tests {
     fn display_marks_default() {
         let s = format!("{}", VfTable::titan_x());
         assert!(s.contains("*(1.155 V, 1165 MHz)"));
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(VfTable::try_new(vec![], 0), Err(PowerError::EmptyVfTable));
+        assert_eq!(
+            VfTable::try_new(
+                vec![OperatingPoint::new(1.0, 800.0), OperatingPoint::new(1.0, 700.0)],
+                0
+            ),
+            Err(PowerError::UnsortedVfTable)
+        );
+        assert_eq!(
+            VfTable::try_new(vec![OperatingPoint::new(1.0, 800.0)], 3),
+            Err(PowerError::BadDefaultIndex { index: 3, len: 1 })
+        );
+        assert!(VfTable::try_new(vec![OperatingPoint::new(1.0, 800.0)], 0).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_deserialized_empty_table() {
+        // Deserialization bypasses `new`, so an empty table can reach a
+        // consumer; `validate` is the up-front gate.
+        let empty = VfTable { points: vec![], default_index: 0 };
+        assert_eq!(empty.validate(), Err(PowerError::EmptyVfTable));
+        assert!(VfTable::titan_x().validate().is_ok());
     }
 }

@@ -108,8 +108,9 @@ impl DvfsGovernor for StaticGovernor {
     }
 
     fn reset(&mut self) {
-        if let Some(trail) = &self.audit {
-            self.audit = Some(AuditTrail::new(self.name.clone(), trail.capacity()));
+        // In-place per-run reset: same capacity, no reallocation.
+        if let Some(trail) = self.audit.as_mut() {
+            trail.clear();
         }
     }
 
@@ -202,7 +203,9 @@ mod tests {
         assert_eq!(rec.op_index, 2);
         assert!((rec.freq_mhz - table.point(2).freq_mhz()).abs() < 1e-9);
         g.reset();
-        assert_eq!(g.audit_trail().expect("survives reset").len(), 0);
+        let trail = g.audit_trail().expect("survives reset");
+        assert_eq!(trail.len(), 0);
+        assert_eq!(trail.capacity(), 4, "in-place clear keeps capacity");
     }
 
     #[test]

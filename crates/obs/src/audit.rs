@@ -160,9 +160,14 @@ impl AuditTrail {
         self.ring.iter()
     }
 
-    /// Clears the retained records (sequence numbering continues).
+    /// Resets the trail in place for a fresh run: records are dropped,
+    /// sequence numbering restarts at 0, and both the configured capacity
+    /// and the ring's existing allocation are preserved. Equivalent to
+    /// `AuditTrail::new(self.governor(), self.capacity())` without the
+    /// reallocation — governors call this from `reset()` every run.
     pub fn clear(&mut self) {
-        self.ring.clear();
+        self.ring.reset();
+        self.next_seq = 0;
     }
 
     /// Serializes the retained records as JSONL, oldest first, one record
@@ -401,6 +406,22 @@ mod tests {
         assert_eq!(trail.total_recorded(), 10);
         let seqs: Vec<u64> = trail.iter().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn clear_restarts_the_run_in_place() {
+        let mut trail = AuditTrail::new("g", 4);
+        for i in 0..6 {
+            trail.record(rec(0, i, None, 0.0));
+        }
+        trail.clear();
+        assert!(trail.is_empty());
+        assert_eq!(trail.capacity(), 4, "clear must preserve capacity");
+        assert_eq!(trail.total_recorded(), 0, "a cleared trail describes a fresh run");
+        assert_eq!(trail.governor(), "g");
+        // Sequence numbering restarts, exactly as in a new trail.
+        trail.record(rec(42, 1, None, 0.0));
+        assert_eq!(trail.iter().next().unwrap().seq, 0);
     }
 
     #[test]

@@ -82,6 +82,15 @@ impl<T> Ring<T> {
         self.buf.clear();
         self.head = 0;
     }
+
+    /// Restores the ring to its freshly-constructed state — empty, push
+    /// total zeroed — while keeping the buffer allocation, so a per-run
+    /// consumer (e.g. the DVFS audit trail) can reset without reallocating.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.total = 0;
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +136,21 @@ mod tests {
         r.push(2);
         assert_eq!(r.capacity(), 1);
         assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn reset_zeroes_total_but_keeps_capacity() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        r.reset();
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 0);
+        assert_eq!(r.capacity(), 3);
+        r.push(7);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(r.total_pushed(), 1);
     }
 
     #[test]
