@@ -17,8 +17,25 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> criterion benches compile"
+cargo bench --workspace --no-run
+
 echo "==> perf baseline (smoke)"
 cargo run --release -p ssmdvfs-bench --bin perf_baseline -- --smoke
+
+echo "==> train/RFE perf baseline (smoke, JSON well-formed)"
+cargo run --release -p ssmdvfs-bench --bin perf_baseline -- --smoke --train
+python3 - <<'EOF'
+import json
+b = json.load(open("target/ssmdvfs-artifacts/BENCH_train.json"))
+for key in ("epochs_per_sec", "rfe_serial_secs", "rfe_parallel_secs",
+            "infer_dense_ns", "infer_engine_ns", "infer_quantized_ns"):
+    assert b[key] > 0, (key, b)
+assert b["smoke"] is True and b["engine_sparse"] is True, b
+print(f"train baseline: {b['epochs_per_sec']:.0f} epochs/s, "
+      f"RFE {b['rfe_serial_secs']:.2f}s -> {b['rfe_parallel_secs']:.2f}s "
+      f"at {b['rfe_jobs']} workers")
+EOF
 
 echo "==> no stray print macros in library crates"
 # Library code logs through obs; println!/eprintln! are reserved for the

@@ -22,6 +22,7 @@ use dvfs_baselines::{
 };
 use gpu_sim::{CounterId, DvfsGovernor, GpuConfig, SimResult, Simulation, StaticGovernor, Time};
 use gpu_workloads::by_name;
+use ssmdvfs::exec::parallel_map_ref;
 use ssmdvfs::{
     train_combined, CombinedModel, FeatureSet, LabelingMode, ModelArch, SsmdvfsConfig,
     SsmdvfsGovernor,
@@ -39,21 +40,22 @@ fn run_gov(cfg: &GpuConfig, name: &str, governor: &mut dyn DvfsGovernor) -> SimR
     sim.run(governor, Time::from_micros(3_000.0))
 }
 
-/// Mean normalized EDP and latency of a governor over the subset.
+/// Mean normalized EDP and latency of a governor over the subset; one
+/// worker per benchmark.
 fn system_score(
     cfg: &GpuConfig,
     baselines: &[SimResult],
-    mut make: impl FnMut() -> Box<dyn DvfsGovernor>,
+    make: impl Fn() -> Box<dyn DvfsGovernor> + Sync,
 ) -> (f64, f64) {
-    let mut edp = 0.0;
-    let mut lat = 0.0;
-    for (i, name) in SUBSET.iter().enumerate() {
+    let indices: Vec<usize> = (0..SUBSET.len()).collect();
+    let scores = parallel_map_ref(0, &indices, |&i| {
         let mut governor = make();
-        let r = run_gov(cfg, name, governor.as_mut());
+        let r = run_gov(cfg, SUBSET[i], governor.as_mut());
         let base = baselines[i].edp_report();
-        edp += r.edp_report().normalized_edp(&base);
-        lat += r.edp_report().normalized_latency(&base);
-    }
+        (r.edp_report().normalized_edp(&base), r.edp_report().normalized_latency(&base))
+    });
+    let edp: f64 = scores.iter().map(|s| s.0).sum();
+    let lat: f64 = scores.iter().map(|s| s.1).sum();
     (edp / SUBSET.len() as f64, lat / SUBSET.len() as f64)
 }
 
@@ -67,13 +69,10 @@ fn main() {
     };
 
     eprintln!("[ablation] computing baselines");
-    let baselines: Vec<SimResult> = SUBSET
-        .iter()
-        .map(|n| {
-            let mut g = StaticGovernor::default_point(&config.gpu.vf_table);
-            run_gov(&config.gpu, n, &mut g)
-        })
-        .collect();
+    let baselines: Vec<SimResult> = parallel_map_ref(0, &SUBSET, |n| {
+        let mut g = StaticGovernor::default_point(&config.gpu.vf_table);
+        run_gov(&config.gpu, n, &mut g)
+    });
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut push = |name: &str, acc: f64, mape: f64, edp: f64, lat: f64| {
@@ -148,15 +147,15 @@ fn main() {
         Box::new(OndemandGovernor::new(OndemandConfig::default()))
     });
     push("ondemand (Linux-style)", f64::NAN, f64::NAN, edp, lat);
-    let mut oracle_edp = 0.0;
-    let mut oracle_lat = 0.0;
-    for (i, name) in SUBSET.iter().enumerate() {
-        let bench = by_name(name).expect("benchmark exists");
+    let indices: Vec<usize> = (0..SUBSET.len()).collect();
+    let oracle_scores = parallel_map_ref(0, &indices, |&i| {
+        let bench = by_name(SUBSET[i]).expect("benchmark exists");
         let r = run_oracle(&config.gpu, bench.into_workload(), PRESET, Time::from_micros(3_000.0));
         let base = baselines[i].edp_report();
-        oracle_edp += r.edp_report().normalized_edp(&base);
-        oracle_lat += r.edp_report().normalized_latency(&base);
-    }
+        (r.edp_report().normalized_edp(&base), r.edp_report().normalized_latency(&base))
+    });
+    let oracle_edp: f64 = oracle_scores.iter().map(|s| s.0).sum();
+    let oracle_lat: f64 = oracle_scores.iter().map(|s| s.1).sum();
     push(
         "oracle (one-step lookahead)",
         f64::NAN,

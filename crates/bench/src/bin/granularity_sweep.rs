@@ -15,6 +15,7 @@
 use dvfs_baselines::{PcstallConfig, PcstallGovernor};
 use gpu_sim::{GpuConfig, Simulation, StaticGovernor, Time};
 use gpu_workloads::by_name;
+use ssmdvfs::exec::parallel_map_ref;
 use ssmdvfs_bench::{artifacts_dir, format_table, write_csv};
 
 const SUBSET: [&str; 4] = ["sgemm", "lbm", "spmv", "kmeans"];
@@ -26,9 +27,8 @@ fn main() {
         let mut gpu = GpuConfig::titan_x();
         gpu.num_clusters = clusters;
         gpu.sms_per_cluster = sms;
-        let mut edp_sum = 0.0;
-        let mut lat_sum = 0.0;
-        for name in SUBSET {
+        // One worker per benchmark at each shape.
+        let scores = parallel_map_ref(0, &SUBSET, |name| {
             let bench = by_name(name).expect("benchmark exists");
             let mut base_sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut base_gov = StaticGovernor::default_point(&gpu.vf_table);
@@ -36,9 +36,10 @@ fn main() {
             let mut sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut governor = PcstallGovernor::new(PcstallConfig::new(0.10));
             let r = sim.run(&mut governor, Time::from_micros(3_000.0)).edp_report();
-            edp_sum += r.normalized_edp(&base);
-            lat_sum += r.normalized_latency(&base);
-        }
+            (r.normalized_edp(&base), r.normalized_latency(&base))
+        });
+        let edp_sum: f64 = scores.iter().map(|s| s.0).sum();
+        let lat_sum: f64 = scores.iter().map(|s| s.1).sum();
         eprintln!("[granularity] {clusters}x{sms} done");
         let n = SUBSET.len() as f64;
         rows.push(vec![

@@ -1,20 +1,37 @@
-//! Perf-regression baseline for the parallel data-generation engine.
+//! Perf-regression baselines for the offline pipeline.
 //!
-//! Measures sequential vs parallel `generate_workload_jobs` throughput and
-//! the per-breakpoint checkpoint cost (cheap `SimSnapshot` vs full
-//! `Simulation` clone), then writes `BENCH_datagen.json` into the artifact
-//! directory so CI can diff runs. Pass `--smoke` (or set
-//! `SSMDVFS_SMOKE=1`) for a seconds-long run on tiny inputs; the numbers
-//! are still recorded but not meaningful as a baseline.
+//! Two sections, selected by flag:
+//!
+//! * default (or `--datagen`): sequential vs parallel
+//!   `generate_workload_jobs` throughput and the per-breakpoint checkpoint
+//!   cost (cheap `SimSnapshot` vs full `Simulation` clone), written to
+//!   `BENCH_datagen.json`.
+//! * `--train`: training-loop throughput (epochs/sec on the paper-full
+//!   decision head), RFE wall-clock at 1 vs 8 workers, and single-inference
+//!   latency of the compressed 5×12 net (dense vs compiled engine vs
+//!   quantized), written to `BENCH_train.json`.
+//!
+//! Both JSON files land in the artifact directory so CI can diff runs.
+//! Pass `--smoke` (or set `SSMDVFS_SMOKE=1`) for a seconds-long run on
+//! tiny inputs; the numbers are still recorded but not meaningful as a
+//! baseline.
 
 use std::time::Instant;
 
-use gpu_sim::{GpuConfig, Simulation, Time};
+use gpu_sim::{CounterId, EpochCounters, GpuConfig, Simulation, Time};
 use gpu_workloads::by_name;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use ssmdvfs::exec::effective_jobs;
-use ssmdvfs::{generate_workload_jobs, DataGenConfig};
+use ssmdvfs::{
+    generate_workload_jobs, select_features_with, DataGenConfig, DvfsDataset, RawSample, RfeOptions,
+};
 use ssmdvfs_bench::artifacts_dir;
+use tinynn::{
+    prune_magnitude, train_classifier_with, ClassificationData, InferScratch, InferenceNet, Matrix,
+    Mlp, QuantizedMlp, TrainConfig, TrainScratch,
+};
 
 #[derive(Serialize)]
 struct DatagenBaseline {
@@ -29,6 +46,32 @@ struct DatagenBaseline {
     snapshot_cost_us: f64,
     full_clone_cost_us: f64,
     snapshot_vs_clone: f64,
+}
+
+#[derive(Serialize)]
+struct TrainBaseline {
+    smoke: bool,
+    workers: usize,
+    /// Samples in the epochs/sec training set.
+    train_samples: usize,
+    /// Epochs actually executed during the timed run.
+    train_epochs: usize,
+    epochs_per_sec: f64,
+    /// Samples in the RFE dataset.
+    rfe_samples: usize,
+    rfe_importance_repeats: usize,
+    rfe_jobs: usize,
+    rfe_serial_secs: f64,
+    rfe_parallel_secs: f64,
+    rfe_speedup: f64,
+    /// ns per single-sample forward through the compressed 5×12 decision
+    /// head: dense `Mlp`, compiled `InferenceNet` on the pruned net, and
+    /// the int8 `QuantizedMlp`.
+    infer_dense_ns: f64,
+    infer_engine_ns: f64,
+    infer_quantized_ns: f64,
+    /// Whether the pruned engine compiled to the CSR sparse path.
+    engine_sparse: bool,
 }
 
 fn time_generate(
@@ -61,9 +104,7 @@ fn time_checkpoints(sim: &Simulation, iters: usize) -> (f64, f64) {
     (snapshot_us, clone_us)
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var_os("SSMDVFS_SMOKE").is_some_and(|v| v != "0");
+fn run_datagen(smoke: bool) {
     let cfg = GpuConfig::small_test();
     let (scale, max_us, runs, checkpoint_iters) =
         if smoke { (0.05, 300.0, 1, 50) } else { (0.4, 2_000.0, 3, 500) };
@@ -119,4 +160,178 @@ fn main() {
         baseline.snapshot_vs_clone,
         path.display()
     );
+}
+
+/// Synthetic counter samples with a learnable stall-fraction → frequency
+/// rule, with signal spread over several counters so RFE has real work.
+fn synthetic_dataset(n: usize) -> DvfsDataset {
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..n {
+        let stall = (i % 11) as f64 / 10.0;
+        let mut c = EpochCounters::zeroed();
+        c[CounterId::Ipc] = 2.0 - 1.5 * stall;
+        c[CounterId::PowerTotalW] = 3.0 + 4.0 * (1.0 - stall);
+        c[CounterId::StallMemLoad] = stall * 8_000.0;
+        c[CounterId::StallMemOther] = stall * 900.0;
+        c[CounterId::L1ReadMiss] = stall * 600.0;
+        c[CounterId::DramQueueNs] = stall * 2_500.0;
+        c[CounterId::MemTransactions] = stall * 1_200.0;
+        samples.push(RawSample {
+            benchmark: "syn".into(),
+            cluster: i % 4,
+            breakpoint: i / 4,
+            counters: c.clone(),
+            scaled_counters: c,
+            op_index: i % 6,
+            perf_loss: (1.0 - stall) * 0.1 * (5 - i % 6) as f64,
+            instructions: 8_000,
+        });
+    }
+    DvfsDataset { samples, ..DvfsDataset::default() }
+}
+
+/// Epochs/sec through the paper-full decision head on a 1200×6 random
+/// classification set — the training-loop throughput number
+/// docs/performance.md tracks. The raw-matrix setup (not `decision_data`,
+/// which fans each context into variant × preset rows) matches the pre-PR
+/// baseline measurement this number is compared against.
+fn time_training(smoke: bool) -> (usize, usize, f64) {
+    let n = if smoke { 240 } else { 1_200 };
+    let epochs = if smoke { 5 } else { 60 };
+    let reps = if smoke { 1 } else { 5 };
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut x = Matrix::zeros(n, 6);
+    for v in x.as_mut_slice() {
+        *v = rng.gen_range(-1.0f32..1.0);
+    }
+    let y: Vec<usize> = (0..n).map(|i| i % 6).collect();
+    let data = ClassificationData::new(x, y, 6);
+    let (train, val) = data.split(0.25, &mut rng);
+    // patience = epochs disables early stopping so every timed epoch runs.
+    let cfg = TrainConfig { epochs, patience: epochs, ..TrainConfig::default() };
+    let mut scratch = TrainScratch::new();
+    // Warm-up sizes the scratch buffers; the timed runs are allocation-free.
+    let mut mlp = Mlp::new(&[6, 20, 20, 20, 20, 20, 6], &mut rng);
+    train_classifier_with(&mut mlp, &train, &val, &cfg, None, &mut scratch);
+    let mut ran = 0;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut mlp = Mlp::new(&[6, 20, 20, 20, 20, 20, 6], &mut rng);
+        let report = train_classifier_with(&mut mlp, &train, &val, &cfg, None, &mut scratch);
+        ran += report.train_loss.len();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (n, ran, ran as f64 / secs)
+}
+
+/// RFE wall-clock, serial vs `jobs` workers. Identical selection is a
+/// tested invariant; this only reports the time.
+fn time_rfe(smoke: bool, jobs: usize) -> (usize, usize, f64, f64) {
+    let (n, epochs, keep, repeats) = if smoke { (96, 1, 36, 2) } else { (480, 8, 4, 8) };
+    let dataset = synthetic_dataset(n);
+    let cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    let opts = RfeOptions { jobs: 1, importance_repeats: repeats };
+    let t0 = Instant::now();
+    let serial = select_features_with(&dataset, 6, keep, &cfg, &opts);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let opts = RfeOptions { jobs, importance_repeats: repeats };
+    let t0 = Instant::now();
+    let parallel = select_features_with(&dataset, 6, keep, &cfg, &opts);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(serial, parallel, "worker count changed the RFE selection");
+    (n, repeats, serial_secs, parallel_secs)
+}
+
+fn time_inference(smoke: bool) -> (f64, f64, f64, bool) {
+    let iters = if smoke { 20_000 } else { 2_000_000 };
+    let mut rng = StdRng::seed_from_u64(7);
+    // Compressed decision head: 5 features + preset in, 12/12 hidden.
+    let mlp = Mlp::new(&[6, 12, 12, 6], &mut rng);
+    let x = [0.4f32, -0.2, 1.1, 0.3, -0.8, 0.1];
+
+    let mut scratch = InferScratch::new();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(mlp.forward_one_into(std::hint::black_box(&x), &mut scratch));
+    }
+    let dense_ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+
+    let mut pruned = mlp.clone();
+    prune_magnitude(&mut pruned, 0.8);
+    let mut engine = InferenceNet::compile(&pruned);
+    let engine_sparse = engine.is_sparse();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(engine.infer(std::hint::black_box(&x)));
+    }
+    let engine_ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+
+    let quant = QuantizedMlp::quantize(&mlp);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(quant.forward_one_into(std::hint::black_box(&x), &mut scratch));
+    }
+    let quant_ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    (dense_ns, engine_ns, quant_ns, engine_sparse)
+}
+
+fn run_train(smoke: bool) {
+    let workers = effective_jobs(0);
+    let rfe_jobs = 8;
+    eprintln!("[perf_baseline] training loop (smoke={smoke}, workers={workers})");
+    let (train_samples, train_epochs, epochs_per_sec) = time_training(smoke);
+    eprintln!("[perf_baseline] rfe wall-clock at 1 vs {rfe_jobs} workers");
+    let (rfe_samples, rfe_importance_repeats, rfe_serial_secs, rfe_parallel_secs) =
+        time_rfe(smoke, rfe_jobs);
+    eprintln!("[perf_baseline] single-inference latency of the compressed net");
+    let (infer_dense_ns, infer_engine_ns, infer_quantized_ns, engine_sparse) =
+        time_inference(smoke);
+
+    let baseline = TrainBaseline {
+        smoke,
+        workers,
+        train_samples,
+        train_epochs,
+        epochs_per_sec,
+        rfe_samples,
+        rfe_importance_repeats,
+        rfe_jobs,
+        rfe_serial_secs,
+        rfe_parallel_secs,
+        rfe_speedup: rfe_serial_secs / rfe_parallel_secs,
+        infer_dense_ns,
+        infer_engine_ns,
+        infer_quantized_ns,
+        engine_sparse,
+    };
+    let path = artifacts_dir().join("BENCH_train.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&path, &json).expect("baseline must be writable");
+    println!("{json}");
+    println!(
+        "[perf_baseline] {:.1} epochs/s; RFE {:.2}s serial vs {:.2}s at {} workers ({:.2}x); inference {:.0} ns dense / {:.0} ns engine / {:.0} ns quantized -> {}",
+        baseline.epochs_per_sec,
+        baseline.rfe_serial_secs,
+        baseline.rfe_parallel_secs,
+        rfe_jobs,
+        baseline.rfe_speedup,
+        baseline.infer_dense_ns,
+        baseline.infer_engine_ns,
+        baseline.infer_quantized_ns,
+        path.display()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var_os("SSMDVFS_SMOKE").is_some_and(|v| v != "0");
+    let train = args.iter().any(|a| a == "--train");
+    let datagen = args.iter().any(|a| a == "--datagen") || !train;
+    if datagen {
+        run_datagen(smoke);
+    }
+    if train {
+        run_train(smoke);
+    }
 }

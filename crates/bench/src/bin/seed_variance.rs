@@ -8,6 +8,7 @@
 use dvfs_baselines::{PcstallConfig, PcstallGovernor};
 use gpu_sim::{Simulation, StaticGovernor, Time};
 use gpu_workloads::by_name;
+use ssmdvfs::exec::parallel_map_ref;
 use ssmdvfs::{ModelArch, SsmdvfsConfig, SsmdvfsGovernor};
 use ssmdvfs_bench::{
     artifacts_dir, build_or_load_dataset, format_table, train_or_load_model, write_csv,
@@ -27,26 +28,29 @@ fn main() {
     let mut pc_all = Vec::new();
     for seed in SEEDS {
         let gpu = config.gpu.clone().with_seed(seed);
-        let mut ssm_sum = 0.0;
-        let mut pc_sum = 0.0;
-        for name in SUBSET {
+        // One worker per benchmark; each returns (ssmdvfs, pcstall) EDP
+        // normalized to its own static-governor baseline.
+        let scores = parallel_map_ref(0, &SUBSET, |name| {
             let bench = by_name(name).expect("benchmark exists");
             let mut base_sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut base_gov = StaticGovernor::default_point(&gpu.vf_table);
             let base = base_sim.run(&mut base_gov, Time::from_micros(3_000.0)).edp_report();
             let mut sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut governor = SsmdvfsGovernor::new(model.clone(), SsmdvfsConfig::new(0.10));
-            ssm_sum += sim
+            let ssm = sim
                 .run(&mut governor, Time::from_micros(3_000.0))
                 .edp_report()
                 .normalized_edp(&base);
             let mut sim = Simulation::new(gpu.clone(), bench.workload().clone());
             let mut governor = PcstallGovernor::new(PcstallConfig::new(0.10));
-            pc_sum += sim
+            let pc = sim
                 .run(&mut governor, Time::from_micros(3_000.0))
                 .edp_report()
                 .normalized_edp(&base);
-        }
+            (ssm, pc)
+        });
+        let ssm_sum: f64 = scores.iter().map(|s| s.0).sum();
+        let pc_sum: f64 = scores.iter().map(|s| s.1).sum();
         let n = SUBSET.len() as f64;
         eprintln!("[seeds] {seed:#x} done");
         ssm_all.push(ssm_sum / n);

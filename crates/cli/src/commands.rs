@@ -18,9 +18,9 @@ use gpu_workloads::{by_name, suite, Benchmark};
 use ssmdvfs::checkpoint::CheckpointJournal;
 use ssmdvfs::exec::FaultPolicy;
 use ssmdvfs::{
-    compress_and_finetune, estimate_asic, evaluate, generate_suite_with, train_combined,
-    AsicConfig, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch, SsmdvfsConfig,
-    SsmdvfsGovernor, SuiteOptions,
+    compress_and_finetune, estimate_asic, evaluate, generate_suite_with, select_features_with,
+    train_combined, AsicConfig, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch,
+    RfeOptions, SsmdvfsConfig, SsmdvfsGovernor, SuiteOptions,
 };
 use tinynn::TrainConfig;
 
@@ -60,6 +60,11 @@ COMMANDS:
               [--quarantine] [--max-retries 2]  retry/drop panicking jobs
   train       --dataset <file> --out <model.json>
               [--arch full|compressed] [--epochs <n>]
+              [--rfe <keep>]          select <keep> indirect features by RFE
+                                      first, instead of the paper's refined set
+              [--rfe-epochs 8]        retrain epochs per elimination round
+              [--jobs <n>]            importance workers (0 = one per core);
+                                      the selection is identical at any count
   compress    --model <in> --dataset <file> --out <model.json>
               [--x1 0.6] [--x2 0.9]
   evaluate    --model <file> --dataset <file>
@@ -277,16 +282,43 @@ pub fn train(args: &Args) -> CmdResult {
     let out_path = args.require("out")?;
     let train_cfg =
         TrainConfig { epochs: args.get_usize("epochs", 300)?, ..TrainConfig::default() };
-    let (model, summary) =
-        train_combined(&dataset, &FeatureSet::refined(), &arch(args)?, 6, &train_cfg, 0.25);
+    let mut out = String::new();
+    // `--rfe <keep>` re-derives the feature set from this dataset instead of
+    // trusting the paper's refined five; the per-column importance work fans
+    // out over `--jobs` workers without changing the selection.
+    let features = match args.get("rfe") {
+        None => FeatureSet::refined(),
+        Some(_) => {
+            let keep = args.get_usize("rfe", 4)?;
+            let candidates = ssmdvfs::candidate_counters().len();
+            if keep == 0 || keep >= candidates {
+                return Err(err(format!("--rfe must be in 1..{candidates}")));
+            }
+            let rfe_cfg =
+                TrainConfig { epochs: args.get_usize("rfe-epochs", 8)?, ..TrainConfig::default() };
+            let opts = RfeOptions { jobs: args.get_usize("jobs", 1)?, ..RfeOptions::default() };
+            let sel = select_features_with(&dataset, 6, keep, &rfe_cfg, &opts);
+            let _ = writeln!(
+                out,
+                "RFE selected {} (full-set accuracy {:.2}%, selected {:.2}%)",
+                sel.selected.names().join(","),
+                sel.full_accuracy * 100.0,
+                sel.selected_accuracy * 100.0
+            );
+            sel.selected
+        }
+    };
+    let (model, summary) = train_combined(&dataset, &features, &arch(args)?, 6, &train_cfg, 0.25);
     model.save(out_path).map_err(|e| err_in("train", e.to_string()))?;
-    Ok(format!(
-        "trained on {} samples: accuracy {:.2}%, MAPE {:.2}%, {} FLOPs -> {out_path}\n",
+    let _ = writeln!(
+        out,
+        "trained on {} samples: accuracy {:.2}%, MAPE {:.2}%, {} FLOPs -> {out_path}",
         summary.samples,
         summary.decision_accuracy * 100.0,
         summary.calibrator_mape,
         summary.flops
-    ))
+    );
+    Ok(out)
 }
 
 /// `compress`.
@@ -505,6 +537,74 @@ mod tests {
         let out = asic(&args).unwrap();
         assert!(out.contains("cycles/inference"));
 
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_with_rfe_selects_features() {
+        let dir = std::env::temp_dir().join("ssmdvfs_cli_rfe_test");
+        fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.json");
+        let model_path = dir.join("model.json");
+        let args = Args::parse([
+            "datagen",
+            "--out",
+            data_path.to_str().unwrap(),
+            "--benchmarks",
+            "lbm",
+            "--scale",
+            "0.05",
+            "--clusters",
+            "2",
+        ])
+        .unwrap();
+        datagen(&args).unwrap();
+
+        // A cheap selection: two elimination rounds, one epoch each. Going
+        // through `run` with `--metrics-out` also checks that the training
+        // and RFE counters surface in the snapshot.
+        let metrics_path = dir.join("metrics.json");
+        let args = Args::parse([
+            "train",
+            "--dataset",
+            data_path.to_str().unwrap(),
+            "--out",
+            model_path.to_str().unwrap(),
+            "--epochs",
+            "5",
+            "--arch",
+            "compressed",
+            "--rfe",
+            "38",
+            "--rfe-epochs",
+            "1",
+            "--jobs",
+            "2",
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("RFE selected"), "{out}");
+        assert!(out.contains("power_total_w"), "PPC always survives: {out}");
+        let model = CombinedModel::load(&model_path).unwrap();
+        assert_eq!(model.feature_set.len(), 39, "38 indirect + PPC");
+        let snapshot = fs::read_to_string(&metrics_path).unwrap();
+        for name in ["rfe.rounds", "rfe.parallel_tasks", "tinynn.train.epochs"] {
+            assert!(snapshot.contains(name), "metrics snapshot must expose {name}: {snapshot}");
+        }
+
+        let args = Args::parse([
+            "train",
+            "--dataset",
+            data_path.to_str().unwrap(),
+            "--out",
+            model_path.to_str().unwrap(),
+            "--rfe",
+            "0",
+        ])
+        .unwrap();
+        assert!(train(&args).unwrap_err().to_string().contains("--rfe"));
         fs::remove_dir_all(&dir).ok();
     }
 

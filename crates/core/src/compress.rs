@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use tinynn::{
-    prune_magnitude, prune_neurons, train_classifier_masked, train_regressor_masked, TrainConfig,
-    ZeroMask,
+    prune_magnitude, prune_neurons, train_classifier_with, train_regressor_with, TrainConfig,
+    TrainScratch, ZeroMask,
 };
 
 use crate::datagen::DvfsDataset;
@@ -103,14 +103,30 @@ pub fn compress_and_finetune(
     );
     let (dec_train, dec_val) = dec_data.split(0.25, &mut rng);
     let dec_mask = ZeroMask::from_zeros(&out.decision);
-    train_classifier_masked(&mut out.decision, &dec_train, &dec_val, config, Some(&dec_mask));
+    // Both recovery trainings share one scratch, like `train_combined`.
+    let mut scratch = TrainScratch::new();
+    train_classifier_with(
+        &mut out.decision,
+        &dec_train,
+        &dec_val,
+        config,
+        Some(&dec_mask),
+        &mut scratch,
+    );
 
     let cal_data = dataset.calibrator_data(&out.feature_set, out.num_ops, out.instr_scale);
     let cal_data =
         tinynn::RegressionData::new(out.calibrator_norm.transform(&cal_data.x), cal_data.y);
     let (cal_train, cal_val) = cal_data.split(0.25, &mut rng);
     let cal_mask = ZeroMask::from_zeros(&out.calibrator);
-    train_regressor_masked(&mut out.calibrator, &cal_train, &cal_val, config, Some(&cal_mask));
+    train_regressor_with(
+        &mut out.calibrator,
+        &cal_train,
+        &cal_val,
+        config,
+        Some(&cal_mask),
+        &mut scratch,
+    );
     out
 }
 

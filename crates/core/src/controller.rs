@@ -17,6 +17,7 @@
 use gpu_power::VfTable;
 use gpu_sim::{AuditRecord, AuditTrail, CounterId, DvfsGovernor, EpochCounters};
 use serde::{Deserialize, Serialize};
+use tinynn::InferenceNet;
 
 use crate::model::CombinedModel;
 
@@ -96,17 +97,45 @@ pub struct SsmdvfsGovernor {
     clusters: Vec<ClusterState>,
     name: String,
     audit: Option<AuditTrail>,
+    /// Compiled decision head: a dense scratch-buffered engine, or a CSR
+    /// one when pruning left the head mostly zeros. Value-equal to
+    /// `model.decision.forward_one` either way.
+    decision_engine: InferenceNet,
+    /// Compiled calibrator head (same contract as `decision_engine`).
+    calibrator_engine: InferenceNet,
+    /// Reusable per-epoch buffers: the decision happens every 10 µs epoch
+    /// on every cluster, so the hot path must not allocate once warm.
+    features: Vec<f32>,
+    input: Vec<f32>,
+    logits: Vec<f32>,
+    probs: Vec<f32>,
 }
 
 impl SsmdvfsGovernor {
-    /// Creates a governor around a trained model.
+    /// Creates a governor around a trained model, compiling both heads into
+    /// inference engines (sparse CSR when the head is mostly zeros, dense
+    /// otherwise).
     pub fn new(model: CombinedModel, config: SsmdvfsConfig) -> SsmdvfsGovernor {
         let name = if config.calibration {
             format!("ssmdvfs[{:.0}%]", config.preset * 100.0)
         } else {
             format!("ssmdvfs-nocal[{:.0}%]", config.preset * 100.0)
         };
-        SsmdvfsGovernor { model, config, clusters: Vec::new(), name, audit: None }
+        let decision_engine = InferenceNet::compile(&model.decision);
+        let calibrator_engine = InferenceNet::compile(&model.calibrator);
+        SsmdvfsGovernor {
+            model,
+            config,
+            clusters: Vec::new(),
+            name,
+            audit: None,
+            decision_engine,
+            calibrator_engine,
+            features: Vec::new(),
+            input: Vec::new(),
+            logits: Vec::new(),
+            probs: Vec::new(),
+        }
     }
 
     /// The controller configuration.
@@ -117,6 +146,16 @@ impl SsmdvfsGovernor {
     /// The underlying model.
     pub fn model(&self) -> &CombinedModel {
         &self.model
+    }
+
+    /// The compiled decision-head engine (introspection: sparsity, FLOPs).
+    pub fn decision_engine(&self) -> &InferenceNet {
+        &self.decision_engine
+    }
+
+    /// The compiled calibrator-head engine.
+    pub fn calibrator_engine(&self) -> &InferenceNet {
+        &self.calibrator_engine
     }
 
     /// The effective preset currently applied to `cluster` (equals the
@@ -154,7 +193,7 @@ impl DvfsGovernor for SsmdvfsGovernor {
             "SsmdvfsGovernor::decide needs a non-empty VfTable; \
              run VfTable::validate() on tables loaded from disk"
         );
-        let features = self.model.feature_set.extract(counters);
+        self.model.feature_set.extract_into(counters, &mut self.features);
         let preset = self.config.preset;
         // The prediction made *for* the epoch that just ended; captured
         // before this call's own prediction overwrites it, so the audit
@@ -200,16 +239,35 @@ impl DvfsGovernor for SsmdvfsGovernor {
         let effective_preset = state.effective_preset;
         let effective = effective_preset as f32;
 
-        // One forward pass yields both the decision and the logits the
-        // audit trail records.
-        let logits = self.model.decision_logits(&features, effective);
+        // One forward pass through the compiled decision engine yields both
+        // the decision and the logits the audit trail records. The engine
+        // path mirrors `CombinedModel::decision_logits` exactly — assemble
+        // `[features..., effective preset]`, normalize, infer — but through
+        // reusable buffers, so a warm governor allocates nothing per epoch
+        // (audit clones aside).
+        self.input.clear();
+        self.input.extend_from_slice(&self.features);
+        self.input.push(effective);
+        self.model.decision_norm.transform_one(&mut self.input);
+        let out = self.decision_engine.infer(&self.input);
+        self.logits.clear();
+        self.logits.extend_from_slice(out);
         let op = if self.config.argmax_decode {
-            tinynn::argmax(&logits).min(table.len() - 1)
+            tinynn::argmax(&self.logits).min(table.len() - 1)
         } else {
-            self.model.decode_ordinal(&logits).min(table.len() - 1)
+            self.probs.clear();
+            self.probs.extend_from_slice(&self.logits);
+            self.model.decode_ordinal_in_place(&mut self.probs).min(table.len() - 1)
         };
-        // The Calibrator always sees the original preset.
-        let predicted = self.model.predict_instructions(&features, preset as f32, op);
+        // The Calibrator always sees the original preset; this mirrors
+        // `CombinedModel::predict_instructions` through the compiled engine.
+        self.input.clear();
+        self.input.extend_from_slice(&self.features);
+        self.input.push(preset as f32);
+        self.input.push(op as f32 / (self.model.num_ops.max(2) - 1) as f32);
+        self.model.calibrator_norm.transform_one(&mut self.input);
+        let out = self.calibrator_engine.infer(&self.input);
+        let predicted = (out[0] * self.model.instr_scale).max(0.0);
         self.state_mut(cluster).predicted_instructions = Some(predicted);
 
         if let Some(trail) = self.audit.as_mut() {
@@ -217,8 +275,8 @@ impl DvfsGovernor for SsmdvfsGovernor {
             trail.record(AuditRecord {
                 seq: 0, // stamped by the trail
                 cluster,
-                features,
-                logits,
+                features: self.features.clone(),
+                logits: self.logits.clone(),
                 preset,
                 effective_preset,
                 predicted_instructions: prev_predicted,
@@ -394,6 +452,48 @@ mod tests {
         let trail = gov.audit_trail().unwrap();
         assert!(trail.is_empty());
         assert_eq!(trail.capacity(), 16);
+    }
+
+    #[test]
+    fn engine_path_matches_model_methods() {
+        // The buffered engine path in `decide` must replicate the
+        // allocating `CombinedModel` methods exactly: same logits, same
+        // decoded op, same instruction prediction.
+        let table = VfTable::titan_x();
+        let model = dummy_model();
+        let mut gov = SsmdvfsGovernor::new(model.clone(), SsmdvfsConfig::new(0.1));
+        gov.enable_audit(4);
+        let counters = counters_with(5_000.0);
+        let op = gov.decide(0, &counters, &table);
+        let features = model.feature_set.extract(&counters);
+        // First epoch: no prior prediction, so the effective preset is
+        // still the configured preset.
+        let logits = model.decision_logits(&features, 0.1);
+        let rec: &AuditRecord = gov.audit_trail().unwrap().iter().next().unwrap();
+        assert_eq!(rec.features, features);
+        assert_eq!(rec.logits, logits);
+        assert_eq!(op, model.decode_ordinal(&logits).min(table.len() - 1));
+        assert_eq!(
+            gov.clusters[0].predicted_instructions,
+            Some(model.predict_instructions(&features, 0.1, op))
+        );
+    }
+
+    #[test]
+    fn pruned_model_compiles_to_sparse_engine_with_identical_decisions() {
+        let table = VfTable::titan_x();
+        let mut model = dummy_model();
+        tinynn::prune_magnitude(&mut model.decision, 0.8);
+        tinynn::prune_magnitude(&mut model.calibrator, 0.8);
+        for instrs in [1_000.0, 5_000.0, 9_000.0] {
+            let mut gov = SsmdvfsGovernor::new(model.clone(), SsmdvfsConfig::new(0.1));
+            assert!(gov.decision_engine().is_sparse(), "80 % pruned head must go CSR");
+            assert!(gov.decision_engine().flops() < model.decision.flops());
+            let counters = counters_with(instrs);
+            let op = gov.decide(0, &counters, &table);
+            let features = model.feature_set.extract(&counters);
+            assert_eq!(op, model.decide(&features, 0.1).min(table.len() - 1));
+        }
     }
 
     #[test]

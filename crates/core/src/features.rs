@@ -97,7 +97,16 @@ impl FeatureSet {
 
     /// Extracts the feature vector from one epoch's counters.
     pub fn extract(&self, counters: &EpochCounters) -> Vec<f32> {
-        self.counters.iter().map(|&c| counters[c] as f32).collect()
+        let mut out = Vec::with_capacity(self.counters.len());
+        self.extract_into(counters, &mut out);
+        out
+    }
+
+    /// [`FeatureSet::extract`] into a reusable buffer — the allocation-free
+    /// form the per-epoch controller hot path uses.
+    pub fn extract_into(&self, counters: &EpochCounters, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.counters.iter().map(|&c| counters[c] as f32));
     }
 }
 

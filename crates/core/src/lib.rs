@@ -81,5 +81,7 @@ pub use datagen::{
 pub use error::{Artifact, IoOp, SsmdvfsError};
 pub use features::FeatureSet;
 pub use model::{CombinedModel, ModelArch};
-pub use rfe::{candidate_counters, select_features, FeatureSelection};
+pub use rfe::{
+    candidate_counters, select_features, select_features_with, FeatureSelection, RfeOptions,
+};
 pub use train::{evaluate, train_combined, TrainSummary, INSTR_SCALE};

@@ -106,7 +106,16 @@ impl CombinedModel {
     /// logit perturbation — an expensive failure when the points differ
     /// by hundreds of MHz.
     pub fn decode_ordinal(&self, logits: &[f32]) -> usize {
-        let probs = tinynn::softmax(logits);
+        let mut probs = logits.to_vec();
+        self.decode_ordinal_in_place(&mut probs)
+    }
+
+    /// [`CombinedModel::decode_ordinal`] that consumes its scratch buffer:
+    /// `probs` enters holding the logits and leaves holding their softmax.
+    /// The allocation-free form the per-epoch controller uses; identical
+    /// arithmetic to [`CombinedModel::decode_ordinal`].
+    pub fn decode_ordinal_in_place(&self, probs: &mut [f32]) -> usize {
+        tinynn::softmax_in_place(probs);
         let mean: f32 = probs.iter().enumerate().map(|(i, p)| i as f32 * p).sum();
         (mean.round() as usize).min(self.num_ops - 1)
     }

@@ -5,15 +5,27 @@
 //! (instruction and stall metrics) by repeatedly retraining the
 //! Decision-maker, measuring each feature's permutation importance, and
 //! eliminating the weakest until the target count remains.
+//!
+//! # Parallelism and determinism
+//!
+//! Elimination rounds are inherently sequential (each round retrains on the
+//! survivors of the previous one), but *within* a round the per-column
+//! permutation-importance evaluations are independent. They fan out over
+//! [`crate::exec::parallel_map_indexed`]; every `(column, repeat)` shuffle
+//! draws from its own [`splitmix64`]-derived seed inside
+//! [`tinynn::column_importance`], so the importance vector — and therefore
+//! the selected feature set — is byte-identical to the serial result at any
+//! worker count.
 
 use gpu_sim::{CounterCategory, CounterId};
 use serde::{Deserialize, Serialize};
 use tinynn::{
-    accuracy, permutation_importance, train_classifier, ClassificationData, Matrix, Mlp,
+    accuracy, column_importance, splitmix64, train_classifier, ClassificationData, Matrix, Mlp,
     Normalizer, TrainConfig,
 };
 
 use crate::datagen::DvfsDataset;
+use crate::exec;
 use crate::features::FeatureSet;
 use crate::model::ModelArch;
 
@@ -31,12 +43,42 @@ pub struct FeatureSelection {
     pub selected_accuracy: f64,
 }
 
+/// Tuning knobs for [`select_features_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RfeOptions {
+    /// Worker threads for the per-column importance fan-out (`0` = one per
+    /// core). The result is identical at every worker count.
+    pub jobs: usize,
+    /// Shuffle repeats averaged per column importance. More repeats cost
+    /// proportionally more forward passes but smooth the importance
+    /// estimate; the paper-scale runs use 3.
+    pub importance_repeats: usize,
+}
+
+impl Default for RfeOptions {
+    fn default() -> RfeOptions {
+        RfeOptions { jobs: 1, importance_repeats: 3 }
+    }
+}
+
 /// The candidate counters RFE may select from: the *indirect* features
 /// (instruction + stall + cache categories). Power is excluded because it
 /// is always kept as the direct feature.
 pub fn candidate_counters() -> Vec<CounterId> {
     CounterId::ALL.iter().copied().filter(|c| c.category() != CounterCategory::Power).collect()
 }
+
+/// A decorrelated seed for one stage of the selection run. Rounds use their
+/// round number as the stage; the full-set and selected-set reference
+/// trainings use reserved stage ids far above any round count.
+fn stage_seed(base: u64, stage: u64) -> u64 {
+    splitmix64(base ^ splitmix64(stage))
+}
+
+/// Stage id for the full-candidate-set reference training.
+const FULL_STAGE: u64 = 1 << 32;
+/// Stage id for the final selected-set training.
+const SELECTED_STAGE: u64 = (1 << 32) + 1;
 
 fn train_and_score(
     data: &ClassificationData,
@@ -59,7 +101,8 @@ fn train_and_score(
 
 /// Runs RFE on the Decision-maker task, keeping `keep_indirect` indirect
 /// features plus the direct PPC feature — reproducing Table I (which keeps
-/// four indirect features: IPC, MH, MH\L, L1CRM).
+/// four indirect features: IPC, MH, MH\L, L1CRM). Serial, default repeats;
+/// see [`select_features_with`] for the tunable version.
 ///
 /// # Panics
 ///
@@ -71,28 +114,69 @@ pub fn select_features(
     keep_indirect: usize,
     config: &TrainConfig,
 ) -> FeatureSelection {
+    select_features_with(dataset, num_ops, keep_indirect, config, &RfeOptions::default())
+}
+
+/// [`select_features`] with explicit [`RfeOptions`]: the per-column
+/// importance fan-out runs on `opts.jobs` workers and averages
+/// `opts.importance_repeats` shuffles per column.
+///
+/// Per-stage seeds are derived with [`splitmix64`], so the selection is a
+/// pure function of `(dataset, num_ops, keep_indirect, config, repeats)` —
+/// in particular it does *not* depend on `opts.jobs`. The concrete selected
+/// set may legitimately change when the seed-derivation scheme changes
+/// (features of similar importance swap places); only the determinism
+/// contract is stable.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty, `keep_indirect` is not smaller than the
+/// candidate count, or `opts.importance_repeats` is zero.
+pub fn select_features_with(
+    dataset: &DvfsDataset,
+    num_ops: usize,
+    keep_indirect: usize,
+    config: &TrainConfig,
+    opts: &RfeOptions,
+) -> FeatureSelection {
     let candidates = candidate_counters();
     assert!(keep_indirect < candidates.len(), "keep_indirect must be below the candidate count");
+    assert!(opts.importance_repeats > 0, "at least one importance repeat is required");
     let candidate_set = FeatureSet::new(candidates.clone());
     let full_data = dataset.decision_data(&candidate_set, num_ops);
-    let (_, _, _, full_accuracy) = train_and_score(&full_data, config.seed, config);
+    let (_, _, _, full_accuracy) =
+        train_and_score(&full_data, stage_seed(config.seed, FULL_STAGE), config);
 
     let mut active: Vec<usize> = (0..candidates.len()).collect();
     let mut eliminated = Vec::new();
-    while active.len() > keep_indirect {
+    for round in 0u64.. {
+        if active.len() <= keep_indirect {
+            break;
+        }
+        let _span = obs::span!("rfe", "rfe.round#{round}");
+        obs::counter!("rfe.rounds").inc(1);
         // Retrain on the active subset (+ the preset column, which always
         // rides along as the last input).
         let mut cols: Vec<usize> = active.clone();
         cols.push(candidates.len()); // the preset column in full_data.x
         let x = full_data.x.select_columns(&cols);
         let data = ClassificationData::new(x, full_data.y.clone(), num_ops);
-        let (mlp, norm, val, _) = train_and_score(&data, config.seed ^ active.len() as u64, config);
-        // Permutation importance on the validation split; the preset column
-        // (last) is never a removal candidate.
+        let round_seed = stage_seed(config.seed, round);
+        let (mlp, _norm, val, _) = train_and_score(&data, round_seed, config);
+        // Permutation importance on the validation split, one task per
+        // *active* column — the preset column (last) is never a removal
+        // candidate, so its importance is never computed. Each task derives
+        // its own shuffle seeds from `pi_seed`, making the fan-out
+        // order-independent.
         let score = |m: &Matrix| accuracy(&mlp.forward(m), &val.y);
-        let _ = norm; // val is already normalized by train_and_score
-        let importance = permutation_importance(&val.x, score, 3, config.seed ^ 0xFE);
-        let weakest = importance[..active.len()]
+        let baseline = score(&val.x);
+        let pi_seed = splitmix64(round_seed);
+        obs::counter!("rfe.parallel_tasks").inc(active.len() as u64);
+        let importance =
+            exec::parallel_map_indexed(opts.jobs, (0..active.len()).collect(), |_, col| {
+                column_importance(&val.x, score, baseline, col, opts.importance_repeats, pi_seed)
+            });
+        let weakest = importance
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
@@ -107,7 +191,8 @@ pub fn select_features(
     selected.push(CounterId::PowerTotalW);
     let selected_set = FeatureSet::new(selected);
     let selected_data = dataset.decision_data(&selected_set, num_ops);
-    let (_, _, _, selected_accuracy) = train_and_score(&selected_data, config.seed ^ 7, config);
+    let (_, _, _, selected_accuracy) =
+        train_and_score(&selected_data, stage_seed(config.seed, SELECTED_STAGE), config);
 
     FeatureSelection { selected: selected_set, eliminated, full_accuracy, selected_accuracy }
 }
@@ -171,5 +256,29 @@ mod tests {
         assert_eq!(sel.eliminated.len(), 40 - 4);
         assert!((0.0..=1.0).contains(&sel.full_accuracy));
         assert!((0.0..=1.0).contains(&sel.selected_accuracy));
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_selection() {
+        // Cheap configuration: three elimination rounds, two epochs.
+        let data = signal_dataset(96);
+        let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+        let serial = select_features_with(
+            &data,
+            6,
+            37,
+            &cfg,
+            &RfeOptions { jobs: 1, importance_repeats: 2 },
+        );
+        for jobs in [2, 8] {
+            let parallel = select_features_with(
+                &data,
+                6,
+                37,
+                &cfg,
+                &RfeOptions { jobs, importance_repeats: 2 },
+            );
+            assert_eq!(parallel, serial, "selection diverged at {jobs} workers");
+        }
     }
 }

@@ -3,7 +3,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tinynn::{accuracy, mape, train_classifier, train_regressor, Mlp, Normalizer, TrainConfig};
+use tinynn::{
+    accuracy, mape, train_classifier_with, train_regressor_with, Mlp, Normalizer, TrainConfig,
+    TrainScratch,
+};
 
 use crate::datagen::DvfsDataset;
 use crate::features::FeatureSet;
@@ -60,8 +63,13 @@ pub fn train_combined(
     let mut dec_sizes = vec![features.len() + 1];
     dec_sizes.extend(&arch.decision_hidden);
     dec_sizes.push(num_ops);
+    // Both heads train through one scratch: the buffers are sized by the
+    // first head and re-shaped (without reallocating what already fits)
+    // for the second.
+    let mut scratch = TrainScratch::new();
     let mut decision = Mlp::new(&dec_sizes, &mut rng);
-    let dec_report = train_classifier(&mut decision, &dec_train, &dec_val, config);
+    let dec_report =
+        train_classifier_with(&mut decision, &dec_train, &dec_val, config, None, &mut scratch);
 
     // Calibrator head.
     let cal_data = dataset.calibrator_data(features, num_ops, INSTR_SCALE);
@@ -72,7 +80,8 @@ pub fn train_combined(
     cal_sizes.extend(&arch.calibrator_hidden);
     cal_sizes.push(1);
     let mut calibrator = Mlp::new(&cal_sizes, &mut rng);
-    let cal_report = train_regressor(&mut calibrator, &cal_train, &cal_val, config);
+    let cal_report =
+        train_regressor_with(&mut calibrator, &cal_train, &cal_val, config, None, &mut scratch);
 
     let model = CombinedModel {
         decision,

@@ -6,8 +6,11 @@ use gpu_sim::{CounterId, DvfsGovernor, EpochCounters};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ssmdvfs::{CombinedModel, DvfsDataset, FeatureSet, RawSample, SsmdvfsConfig, SsmdvfsGovernor};
-use tinynn::{argmax, Matrix, Mlp, Normalizer};
+use ssmdvfs::{
+    select_features_with, CombinedModel, DvfsDataset, FeatureSet, RawSample, RfeOptions,
+    SsmdvfsConfig, SsmdvfsGovernor,
+};
+use tinynn::{argmax, Matrix, Mlp, Normalizer, TrainConfig};
 
 /// Builds one context (six samples sharing a breakpoint) with the given
 /// per-op losses and instruction counts.
@@ -209,6 +212,46 @@ proptest! {
             before,
             gov.effective_preset(0)
         );
+    }
+}
+
+proptest! {
+    // RFE retrains a full-depth decision head every elimination round, so
+    // keep the case count low and the configuration tiny; the property is
+    // about seeds, not accuracy.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The RFE feature selection is a pure function of the dataset and
+    /// seed: fanning the per-column importance tasks over 8 workers yields
+    /// exactly the serial result, for any training seed.
+    #[test]
+    fn rfe_selection_is_identical_at_any_worker_count(seed in any::<u64>()) {
+        let mut samples = Vec::new();
+        for b in 0..8 {
+            let wobble = 0.05 * (b as f64);
+            samples.extend(context(
+                &[0.6 + wobble, 0.5, 0.4, 0.3, 0.2, 0.0],
+                &[8_000 + 500 * b as u64; 6],
+                b,
+            ));
+        }
+        let dataset = DvfsDataset { samples, ..DvfsDataset::default() };
+        let cfg = TrainConfig { epochs: 1, seed, ..TrainConfig::default() };
+        let serial = select_features_with(
+            &dataset,
+            6,
+            38,
+            &cfg,
+            &RfeOptions { jobs: 1, importance_repeats: 1 },
+        );
+        let parallel = select_features_with(
+            &dataset,
+            6,
+            38,
+            &cfg,
+            &RfeOptions { jobs: 8, importance_repeats: 1 },
+        );
+        prop_assert_eq!(parallel, serial);
     }
 }
 

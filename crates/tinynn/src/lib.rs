@@ -49,18 +49,25 @@ mod optim;
 mod prune;
 mod quant;
 mod select;
+mod sparse;
 mod train;
 
 pub use data::{ClassificationData, Normalizer, RegressionData};
-pub use loss::{cross_entropy, cross_entropy_weighted, mse, softmax};
+pub use loss::{
+    cross_entropy, cross_entropy_into, cross_entropy_weighted, cross_entropy_weighted_into, mse,
+    mse_into, softmax, softmax_in_place,
+};
 pub use matrix::Matrix;
 pub use metrics::{accuracy, argmax, confusion_matrix, mape, mape_counted, mean_class_distance};
-pub use mlp::{Activation, Dense, ForwardCache, Gradients, Mlp};
+pub use mlp::{Activation, Dense, ForwardCache, Gradients, InferScratch, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use prune::{prune_magnitude, prune_neurons, prune_two_stage, ZeroMask};
 pub use quant::{QuantizedLayer, QuantizedMlp};
-pub use select::{permutation_importance, recursive_feature_elimination, RfeStep};
+pub use select::{
+    column_importance, permutation_importance, recursive_feature_elimination, splitmix64, RfeStep,
+};
+pub use sparse::{CsrMatrix, InferenceNet, SparseLayer, SparseMlp};
 pub use train::{
-    train_classifier, train_classifier_masked, train_regressor, train_regressor_masked,
-    TrainConfig, TrainReport,
+    train_classifier, train_classifier_masked, train_classifier_with, train_regressor,
+    train_regressor_masked, train_regressor_with, TrainConfig, TrainReport, TrainScratch,
 };

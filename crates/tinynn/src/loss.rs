@@ -5,10 +5,23 @@ use crate::matrix::Matrix;
 
 /// Numerically stable softmax of one logit row.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
-    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// [`softmax`] computed in place — the allocation-free kernel behind the
+/// `*_into` losses. Identical arithmetic (subtract max, exponentiate, sum,
+/// normalize), so the values match [`softmax`] exactly.
+pub fn softmax_in_place(v: &mut [f32]) {
+    let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+    }
+    let sum: f32 = v.iter().sum();
+    for x in v.iter_mut() {
+        *x /= sum;
+    }
 }
 
 /// Softmax cross-entropy over a batch of logits.
@@ -24,19 +37,31 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 ///
 /// [`Mlp::backward`]: crate::Mlp::backward
 pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(0, 0);
+    let loss = cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`cross_entropy`] writing the gradient into a caller-owned buffer
+/// (resized as needed) — allocation-free once warm.
+///
+/// # Panics
+///
+/// Panics if a label is out of range or batch sizes mismatch.
+pub fn cross_entropy_into(logits: &Matrix, labels: &[usize], grad: &mut Matrix) -> f32 {
     assert_eq!(logits.rows(), labels.len(), "one label per logit row");
     let classes = logits.cols();
-    let mut grad = Matrix::zeros(logits.rows(), classes);
+    grad.reshape(logits.rows(), classes);
     let mut loss = 0.0f64;
     for (i, &label) in labels.iter().enumerate() {
         assert!(label < classes, "label {label} out of range for {classes} classes");
-        let p = softmax(logits.row(i));
-        loss -= (p[label].max(1e-12) as f64).ln();
         let grow = grad.row_mut(i);
-        grow.copy_from_slice(&p);
+        grow.copy_from_slice(logits.row(i));
+        softmax_in_place(grow);
+        loss -= (grow[label].max(1e-12) as f64).ln();
         grow[label] -= 1.0;
     }
-    ((loss / labels.len() as f64) as f32, grad)
+    (loss / labels.len() as f64) as f32
 }
 
 /// Class-weighted softmax cross-entropy: each sample's loss and gradient is
@@ -54,26 +79,44 @@ pub fn cross_entropy_weighted(
     labels: &[usize],
     class_weights: &[f32],
 ) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(0, 0);
+    let loss = cross_entropy_weighted_into(logits, labels, class_weights, &mut grad);
+    (loss, grad)
+}
+
+/// [`cross_entropy_weighted`] writing the gradient into a caller-owned
+/// buffer (resized as needed) — allocation-free once warm.
+///
+/// # Panics
+///
+/// As [`cross_entropy_weighted`].
+pub fn cross_entropy_weighted_into(
+    logits: &Matrix,
+    labels: &[usize],
+    class_weights: &[f32],
+    grad: &mut Matrix,
+) -> f32 {
     assert_eq!(logits.rows(), labels.len(), "one label per logit row");
     let classes = logits.cols();
     assert!(class_weights.len() >= classes, "need a weight per class");
     let mean_w: f32 =
         labels.iter().map(|&l| class_weights[l]).sum::<f32>() / labels.len().max(1) as f32;
     let mean_w = mean_w.max(1e-6);
-    let mut grad = Matrix::zeros(logits.rows(), classes);
+    grad.reshape(logits.rows(), classes);
     let mut loss = 0.0f64;
     for (i, &label) in labels.iter().enumerate() {
         assert!(label < classes, "label {label} out of range for {classes} classes");
         let w = class_weights[label] / mean_w;
-        let p = softmax(logits.row(i));
-        loss -= f64::from(w) * (p[label].max(1e-12) as f64).ln();
         let grow = grad.row_mut(i);
-        for (g, &pj) in grow.iter_mut().zip(&p) {
-            *g = w * pj;
+        grow.copy_from_slice(logits.row(i));
+        softmax_in_place(grow);
+        loss -= f64::from(w) * (grow[label].max(1e-12) as f64).ln();
+        for g in grow.iter_mut() {
+            *g *= w;
         }
         grow[label] -= w;
     }
-    ((loss / labels.len() as f64) as f32, grad)
+    (loss / labels.len() as f64) as f32
 }
 
 /// Mean squared error over a batch of scalar predictions (the first output
@@ -85,8 +128,21 @@ pub fn cross_entropy_weighted(
 ///
 /// Panics if batch sizes mismatch.
 pub fn mse(outputs: &Matrix, targets: &[f32]) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(0, 0);
+    let loss = mse_into(outputs, targets, &mut grad);
+    (loss, grad)
+}
+
+/// [`mse`] writing the gradient into a caller-owned buffer (resized as
+/// needed) — allocation-free once warm.
+///
+/// # Panics
+///
+/// Panics if batch sizes mismatch.
+pub fn mse_into(outputs: &Matrix, targets: &[f32], grad: &mut Matrix) -> f32 {
     assert_eq!(outputs.rows(), targets.len(), "one target per output row");
-    let mut grad = Matrix::zeros(outputs.rows(), outputs.cols());
+    grad.reshape(outputs.rows(), outputs.cols());
+    grad.as_mut_slice().iter_mut().for_each(|v| *v = 0.0);
     let mut loss = 0.0f64;
     for (i, &t) in targets.iter().enumerate() {
         let y = outputs.row(i)[0];
@@ -94,7 +150,7 @@ pub fn mse(outputs: &Matrix, targets: &[f32]) -> (f32, Matrix) {
         loss += (err as f64) * (err as f64);
         grad.row_mut(i)[0] = 2.0 * err;
     }
-    ((loss / targets.len() as f64) as f32, grad)
+    (loss / targets.len() as f64) as f32
 }
 
 #[cfg(test)]

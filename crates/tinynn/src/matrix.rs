@@ -1,7 +1,16 @@
 //! A minimal row-major `f32` matrix.
 //!
-//! The SSMDVFS networks are tiny (at most 9 layers × 20 neurons), so this
-//! module favors clarity and determinism over BLAS-grade performance.
+//! The SSMDVFS networks are tiny (at most 9 layers × 20 neurons), but the
+//! RFE/ablation pipelines retrain them thousands of times, so the three
+//! product kernels ([`Matrix::matmul`], [`Matrix::matmul_transposed`],
+//! [`Matrix::transposed_matmul`]) are branch-free and blocked for cache and
+//! instruction-level parallelism. Every blocked kernel accumulates each
+//! output element over `k` in ascending order from `0.0`, which makes it
+//! **bit-identical** to the naive reference implementations
+//! ([`Matrix::matmul_naive`], [`Matrix::matmul_transposed_naive`]) — a
+//! property the `tinynn` property tests enforce on random shapes. The
+//! `*_into` variants write into caller-owned buffers so hot loops (training
+//! epochs, controller inference) run without heap allocation.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -99,12 +108,96 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes in place, reusing the existing buffer. Contents after the
+    /// call are unspecified (callers are expected to overwrite them); no
+    /// allocation happens unless the new shape exceeds the buffer capacity.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `self @ other` — standard matrix product.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned buffer (resized as needed).
+    ///
+    /// The kernel is branch-free (no zero-skip test — sparsity belongs to
+    /// the CSR path in `tinynn::sparse`), blocks the output columns so a
+    /// tile of `other` stays cache-resident across all rows of `self`, and
+    /// unrolls `k` by four: the four contributions are added to the output
+    /// element *sequentially*, so each output still accumulates over `k`
+    /// in ascending order and the result is bit-identical to
+    /// [`Matrix::matmul_naive`] — while the inner loop runs vectorizable
+    /// row-wise updates instead of one serial dot-product chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimensions must agree: ({}x{}) @ ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        const JBLOCK: usize = 64;
+        out.reshape(self.rows, other.cols);
+        out.data.iter_mut().for_each(|v| *v = 0.0);
+        let n = other.cols;
+        let kk = self.cols;
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + JBLOCK).min(n);
+            for i in 0..self.rows {
+                let arow = &self.data[i * kk..(i + 1) * kk];
+                let orow = &mut out.data[i * n + j0..i * n + j1];
+                let mut k = 0;
+                while k + 4 <= kk {
+                    let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                    let b0 = &other.data[k * n + j0..k * n + j1];
+                    let b1 = &other.data[(k + 1) * n + j0..(k + 1) * n + j1];
+                    let b2 = &other.data[(k + 2) * n + j0..(k + 2) * n + j1];
+                    let b3 = &other.data[(k + 3) * n + j0..(k + 3) * n + j1];
+                    for ((((o, &v0), &v1), &v2), &v3) in
+                        orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        let mut s = *o;
+                        s += a0 * v0;
+                        s += a1 * v1;
+                        s += a2 * v2;
+                        s += a3 * v3;
+                        *o = s;
+                    }
+                    k += 4;
+                }
+                while k < kk {
+                    let a = arow[k];
+                    let brow = &other.data[k * n + j0..k * n + j1];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                    k += 1;
+                }
+            }
+            j0 = j1;
+        }
+    }
+
+    /// Reference `self @ other`: the textbook triple loop, kept as the
+    /// ground truth the blocked kernel is property-tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "inner dimensions must agree: ({}x{}) @ ({}x{})",
@@ -112,16 +205,12 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
+            for j in 0..other.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * other.data[k * other.cols + j];
                 }
-                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+                out.data[i * other.cols + j] = acc;
             }
         }
         out
@@ -133,6 +222,71 @@ impl Matrix {
     ///
     /// Panics unless `self.cols == other.cols`.
     pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transposed_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_transposed`] into a caller-owned buffer.
+    ///
+    /// This is the dot-product-form kernel (`x @ Wᵀ` with weights stored
+    /// `out × in`): four rows of `other` are processed per pass so the dot
+    /// products run as four independent accumulator chains instead of one
+    /// serial reduction. Each accumulator still sums over `k` in ascending
+    /// order from `0.0`, so the result is bit-identical to
+    /// [`Matrix::matmul_transposed_naive`] — and to
+    /// `self.matmul(&other.transpose())`, which is how the batched forward
+    /// pass computes the same product through the faster
+    /// [`Matrix::matmul_into`] kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols == other.cols`.
+    pub fn matmul_transposed_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_transposed needs matching column counts");
+        let n = other.rows;
+        let k = self.cols;
+        out.reshape(self.rows, n);
+        for i in 0..self.rows {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &other.data[j * k..(j + 1) * k];
+                let b1 = &other.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &other.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &other.data[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for ((((&a, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                    s0 += a * v0;
+                    s1 += a * v1;
+                    s2 += a * v2;
+                    s3 += a * v3;
+                }
+                orow[j] = s0;
+                orow[j + 1] = s1;
+                orow[j + 2] = s2;
+                orow[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                orow[j] = acc;
+                j += 1;
+            }
+        }
+    }
+
+    /// Reference `self @ otherᵀ`: one serial dot product per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols == other.cols`.
+    pub fn matmul_transposed_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_transposed needs matching column counts");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
@@ -155,33 +309,82 @@ impl Matrix {
     ///
     /// Panics unless `self.rows == other.rows`.
     pub fn transposed_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.transposed_matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::transposed_matmul`] into a caller-owned buffer.
+    ///
+    /// This is the backward-pass kernel (`deltaᵀ @ input` for `dW`); like
+    /// [`Matrix::matmul_into`] it is branch-free with a vectorizable inner
+    /// loop and an `r`-unroll of four whose contributions are added
+    /// sequentially, so each output accumulates its `r` terms in ascending
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.rows == other.rows`.
+    pub fn transposed_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "transposed_matmul needs matching row counts");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = &other.data[r * other.cols..(r + 1) * other.cols];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let n = other.cols;
+        let m = self.cols;
+        out.reshape(m, n);
+        out.data.iter_mut().for_each(|v| *v = 0.0);
+        let mut r = 0;
+        while r + 4 <= self.rows {
+            let b0 = &other.data[r * n..(r + 1) * n];
+            let b1 = &other.data[(r + 1) * n..(r + 2) * n];
+            let b2 = &other.data[(r + 2) * n..(r + 3) * n];
+            let b3 = &other.data[(r + 3) * n..(r + 4) * n];
+            for i in 0..m {
+                let a0 = self.data[r * m + i];
+                let a1 = self.data[(r + 1) * m + i];
+                let a2 = self.data[(r + 2) * m + i];
+                let a3 = self.data[(r + 3) * m + i];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    let mut s = *o;
+                    s += a0 * v0;
+                    s += a1 * v1;
+                    s += a2 * v2;
+                    s += a3 * v3;
+                    *o = s;
                 }
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            }
+            r += 4;
+        }
+        while r < self.rows {
+            let arow = &self.data[r * m..(r + 1) * m];
+            let brow = &other.data[r * n..(r + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                let orow = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in orow.iter_mut().zip(brow) {
                     *o += a * b;
                 }
             }
+            r += 1;
         }
-        out
     }
 
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::transpose`] into a caller-owned buffer — lets the batched
+    /// forward pass re-lay the weights once per call and run the product
+    /// through the fast [`Matrix::matmul_into`] kernel without allocating.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reshape(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
                 out.data[j * self.rows + i] = self.data[i * self.cols + j];
             }
         }
-        out
     }
 
     /// Applies `f` to every element in place.
@@ -213,11 +416,23 @@ impl Matrix {
     ///
     /// Panics if any index is out of range.
     pub fn select_rows(&self, rows: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(rows.len(), self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(rows, &mut out);
+        out
+    }
+
+    /// [`Matrix::select_rows`] into a caller-owned buffer (resized as
+    /// needed) — the minibatch gather of the training loop, allocation-free
+    /// after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_rows_into(&self, rows: &[usize], out: &mut Matrix) {
+        out.reshape(rows.len(), self.cols);
         for (i, &r) in rows.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(r));
         }
-        out
     }
 
     /// Appends the rows of `other`.
@@ -378,13 +593,57 @@ mod more_tests {
     }
 
     #[test]
-    fn matmul_with_zero_rows_shortcuts() {
-        // The inner loop skips zero multipliers; the result must still be
-        // exact.
+    fn matmul_with_zero_rows_is_exact() {
+        // The kernel is branch-free (no zero-skip); zero multipliers must
+        // still produce the exact result.
         let a = Matrix::from_rows(&[&[0.0, 2.0]]);
         let b = Matrix::from_rows(&[&[5.0, 7.0], &[1.0, 1.0]]);
         let c = a.matmul(&b);
         assert_eq!(c.row(0), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_references() {
+        // Shapes straddling the 4-wide j-block and the 64-wide cache block.
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32) / (u32::MAX / 2) as f32 - 1.0
+        };
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 7), (8, 20, 66), (65, 3, 4)] {
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|_| next()).collect());
+            let b = Matrix::from_vec(k, n, (0..k * n).map(|_| next()).collect());
+            let bt = b.transpose();
+            assert_eq!(a.matmul(&b), a.matmul_naive(&b), "matmul {m}x{k}x{n}");
+            assert_eq!(
+                a.matmul_transposed(&bt),
+                a.matmul_transposed_naive(&bt),
+                "matmul_transposed {m}x{k}x{n}"
+            );
+            assert_eq!(
+                a.transposed_matmul(&a),
+                a.transpose().matmul_naive(&a),
+                "transposed_matmul {m}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_across_shapes() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul_naive(&b));
+        // Shrinking reuse: stale contents must not leak into the result.
+        let a1 = Matrix::from_rows(&[&[2.0, 0.5]]);
+        a1.matmul_into(&b, &mut out);
+        assert_eq!(out, a1.matmul_naive(&b));
+        a1.matmul_transposed_into(&b, &mut out);
+        assert_eq!(out, a1.matmul_transposed_naive(&b));
+        let mut sel = Matrix::zeros(0, 0);
+        b.select_rows_into(&[1, 0], &mut sel);
+        assert_eq!(sel, b.select_rows(&[1, 0]));
     }
 
     #[test]

@@ -77,15 +77,60 @@ impl Dense {
 
     /// Forward pass over a batch (rows are samples).
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul_transposed(&self.w);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// [`Dense::forward`] into a caller-owned buffer (resized as needed);
+    /// the batched kernel behind [`Mlp::forward_into`] and the quantized /
+    /// controller hot paths.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_transposed_into(&self.w, out);
+        self.finish_affine(out);
+    }
+
+    /// [`Dense::forward_into`] through a caller-owned transposed-weights
+    /// scratch: `w` is re-laid as `in × out` into `wt`, and the product
+    /// runs through the fast row-streaming [`Matrix::matmul_into`] kernel.
+    /// Both kernels accumulate each output over `k` in ascending order, so
+    /// the result is bit-identical to [`Dense::forward_into`]; this is the
+    /// batched hot path ([`Mlp::forward_cached`]) where the transpose cost
+    /// is amortized over the whole minibatch.
+    pub fn forward_transposed_into(&self, x: &Matrix, wt: &mut Matrix, out: &mut Matrix) {
+        self.w.transpose_into(wt);
+        x.matmul_into(wt, out);
+        self.finish_affine(out);
+    }
+
+    fn finish_affine(&self, out: &mut Matrix) {
         for i in 0..out.rows() {
             let row = out.row_mut(i);
             for (v, b) in row.iter_mut().zip(&self.b) {
                 *v += b;
             }
         }
-        self.activation.apply(&mut out);
-        out
+        self.activation.apply(out);
+    }
+
+    /// Single-sample forward pass into a caller-owned buffer. Produces the
+    /// same values as the batched path (each output is one ascending-`k`
+    /// dot product).
+    pub fn forward_vec_into(&self, x: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.input_size(), "input width mismatch");
+        out.clear();
+        for j in 0..self.w.rows() {
+            let wrow = self.w.row(j);
+            let mut acc = 0.0f32;
+            for (&wv, &xv) in wrow.iter().zip(x) {
+                acc += wv * xv;
+            }
+            acc += self.b[j];
+            if self.activation == Activation::Relu {
+                acc = acc.max(0.0);
+            }
+            out.push(acc);
+        }
     }
 
     /// Dense FLOPs for one inference: a multiply and an add per weight.
@@ -107,18 +152,64 @@ pub struct Gradients {
     pub layers: Vec<(Matrix, Vec<f32>)>,
 }
 
-/// Cached intermediate activations from [`Mlp::forward_train`].
+impl Gradients {
+    /// An empty gradient set whose buffers grow on first use (see
+    /// [`Mlp::backward_into`]).
+    pub fn empty() -> Gradients {
+        Gradients { layers: Vec::new() }
+    }
+}
+
+/// Cached intermediate activations from [`Mlp::forward_train`] /
+/// [`Mlp::forward_into`]. Reusable: the per-layer matrices are resized in
+/// place, so a warm cache makes repeated forward passes allocation-free.
 #[derive(Debug, Clone)]
 pub struct ForwardCache {
     /// `activations[0]` is the input; `activations[i+1]` is layer `i`'s
     /// output.
     pub activations: Vec<Matrix>,
+    /// Scratch for the current layer's transposed weights (`in × out`),
+    /// re-laid per layer so the batched product runs through the fast
+    /// [`Matrix::matmul_into`] kernel.
+    pub(crate) wt: Matrix,
 }
 
 impl ForwardCache {
+    /// An empty cache; buffers are created on first use.
+    pub fn empty() -> ForwardCache {
+        ForwardCache { activations: Vec::new(), wt: Matrix::zeros(0, 0) }
+    }
+
+    /// Mutable access to the input slot (`activations[0]`), creating it if
+    /// the cache is fresh. Callers gather a minibatch directly into this
+    /// buffer (e.g. via [`Matrix::select_rows_into`]) and then run
+    /// [`Mlp::forward_cached`].
+    pub fn input_mut(&mut self) -> &mut Matrix {
+        if self.activations.is_empty() {
+            self.activations.push(Matrix::zeros(0, 0));
+        }
+        &mut self.activations[0]
+    }
+
     /// The network output for this pass.
     pub fn output(&self) -> &Matrix {
         self.activations.last().expect("cache always holds the input")
+    }
+}
+
+/// Reusable single-sample inference buffers for [`Mlp::forward_one_into`]
+/// and the sparse/quantized forward paths: two ping-pong activation vectors,
+/// grown once and recycled on every call.
+#[derive(Debug, Clone, Default)]
+pub struct InferScratch {
+    pub(crate) a: Vec<f32>,
+    pub(crate) b: Vec<f32>,
+}
+
+impl InferScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> InferScratch {
+        InferScratch::default()
     }
 }
 
@@ -211,37 +302,100 @@ impl Mlp {
 
     /// Batch forward pass (rows are samples).
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for layer in &self.layers {
-            h = layer.forward(&h);
-        }
-        h
+        let mut cache = ForwardCache::empty();
+        self.forward_into(x, &mut cache);
+        cache.activations.pop().expect("cache holds the output")
     }
 
     /// Single-sample forward pass.
     pub fn forward_one(&self, x: &[f32]) -> Vec<f32> {
-        let m = Matrix::from_vec(1, x.len(), x.to_vec());
-        self.forward(&m).row(0).to_vec()
+        let mut scratch = InferScratch::new();
+        self.forward_one_into(x, &mut scratch).to_vec()
+    }
+
+    /// Single-sample forward pass through reusable scratch buffers —
+    /// the controller hot path. Allocation-free once the scratch is warm;
+    /// produces the same values as [`Mlp::forward_one`].
+    pub fn forward_one_into<'s>(&self, x: &[f32], scratch: &'s mut InferScratch) -> &'s [f32] {
+        scratch.a.clear();
+        scratch.a.extend_from_slice(x);
+        for layer in &self.layers {
+            layer.forward_vec_into(&scratch.a, &mut scratch.b);
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        &scratch.a
     }
 
     /// Forward pass that keeps every intermediate activation for
     /// [`Mlp::backward`].
     pub fn forward_train(&self, x: &Matrix) -> ForwardCache {
-        let mut activations = Vec::with_capacity(self.layers.len() + 1);
-        activations.push(x.clone());
-        for layer in &self.layers {
-            let next = layer.forward(activations.last().expect("non-empty"));
-            activations.push(next);
+        let mut cache = ForwardCache::empty();
+        self.forward_into(x, &mut cache);
+        cache
+    }
+
+    /// [`Mlp::forward_train`] into a reusable cache: `x` is copied into the
+    /// input slot and every layer writes into a recycled activation matrix,
+    /// so a warm cache runs the whole pass without heap allocation.
+    pub fn forward_into(&self, x: &Matrix, cache: &mut ForwardCache) {
+        let input = cache.input_mut();
+        input.reshape(x.rows(), x.cols());
+        input.as_mut_slice().copy_from_slice(x.as_slice());
+        self.forward_cached(cache);
+    }
+
+    /// Runs the layers on whatever the caller placed in
+    /// [`ForwardCache::input_mut`] — the zero-copy variant of
+    /// [`Mlp::forward_into`] used by the training loop, which gathers each
+    /// minibatch directly into the cache's input slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache input is missing or has the wrong width.
+    pub fn forward_cached(&self, cache: &mut ForwardCache) {
+        assert!(!cache.activations.is_empty(), "fill ForwardCache::input_mut first");
+        assert_eq!(cache.activations[0].cols(), self.input_size(), "input width mismatch");
+        cache.activations.resize(self.layers.len() + 1, Matrix::zeros(0, 0));
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (before, after) = cache.activations.split_at_mut(l + 1);
+            layer.forward_transposed_into(&before[l], &mut cache.wt, &mut after[0]);
         }
-        ForwardCache { activations }
     }
 
     /// Backpropagates `d_out` (gradient of the loss w.r.t. the network
     /// output, same shape as the output batch) through the cached pass.
     pub fn backward(&self, cache: &ForwardCache, d_out: &Matrix) -> Gradients {
-        let batch = d_out.rows() as f32;
-        let mut grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(self.layers.len());
+        let mut grads = Gradients::empty();
         let mut delta = d_out.clone();
+        let mut delta_tmp = Matrix::zeros(0, 0);
+        self.backward_into(cache, &mut delta, &mut delta_tmp, &mut grads);
+        grads
+    }
+
+    /// [`Mlp::backward`] through caller-owned buffers — allocation-free
+    /// once warm. On entry `delta` holds `d_out`; it is consumed as the
+    /// ping-pong backprop buffer (with `delta_tmp` as its partner) and
+    /// `grads` receives `(dW, db)` per layer, buffers resized in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` does not match the cached output shape.
+    pub fn backward_into(
+        &self,
+        cache: &ForwardCache,
+        delta: &mut Matrix,
+        delta_tmp: &mut Matrix,
+        grads: &mut Gradients,
+    ) {
+        assert_eq!(
+            (delta.rows(), delta.cols()),
+            (cache.output().rows(), cache.output().cols()),
+            "delta must match the cached output shape"
+        );
+        let batch = delta.rows() as f32;
+        if grads.layers.len() != self.layers.len() {
+            grads.layers.resize(self.layers.len(), (Matrix::zeros(0, 0), Vec::new()));
+        }
         for (l, layer) in self.layers.iter().enumerate().rev() {
             // delta currently holds dL/d(output of layer l), post-activation.
             let out = &cache.activations[l + 1];
@@ -253,10 +407,12 @@ impl Mlp {
                 }
             }
             let input = &cache.activations[l];
+            let (dw, db) = &mut grads.layers[l];
             // dW = deltaᵀ @ input / batch  (out x in)
-            let mut dw = delta.transposed_matmul(input);
+            delta.transposed_matmul_into(input, dw);
             dw.map_inplace(|v| v / batch);
-            let mut db = vec![0.0f32; layer.output_size()];
+            db.clear();
+            db.resize(layer.output_size(), 0.0);
             for i in 0..delta.rows() {
                 for (b, &d) in db.iter_mut().zip(delta.row(i)) {
                     *b += d / batch;
@@ -264,12 +420,30 @@ impl Mlp {
             }
             // dL/d(input of layer l) = delta @ W  (batch x in)
             if l > 0 {
-                delta = delta.matmul(&layer.w);
+                delta.matmul_into(&layer.w, delta_tmp);
+                std::mem::swap(delta, delta_tmp);
             }
-            grads.push((dw, db));
         }
-        grads.reverse();
-        Gradients { layers: grads }
+    }
+
+    /// Copies another model's weights into this one without reallocating —
+    /// the best-weights snapshot of the training loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectures differ.
+    pub fn copy_weights_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len(), "layer count mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            assert_eq!(
+                (dst.w.rows(), dst.w.cols()),
+                (src.w.rows(), src.w.cols()),
+                "layer shape mismatch"
+            );
+            dst.w.as_mut_slice().copy_from_slice(src.w.as_slice());
+            dst.b.copy_from_slice(&src.b);
+            dst.activation = src.activation;
+        }
     }
 
     /// Total dense FLOPs for one inference.
@@ -415,5 +589,57 @@ mod tests {
         let single = mlp.forward_one(&x);
         let batch = mlp.forward(&Matrix::from_rows(&[&x]));
         assert_eq!(single, batch.row(0));
+    }
+
+    #[test]
+    fn warm_cache_and_scratch_reproduce_fresh_results() {
+        let a = Mlp::new(&[4, 10, 3], &mut rng());
+        let b = Mlp::new(&[4, 10, 3], &mut rng());
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 0.4], &[1.0, 0.0, -1.0, 0.5]]);
+        let mut cache = ForwardCache::empty();
+        let mut scratch = InferScratch::new();
+        for mlp in [&a, &b, &a] {
+            mlp.forward_into(&x, &mut cache);
+            assert_eq!(cache.output(), &mlp.forward(&x), "warm cache must match fresh");
+            let got = mlp.forward_one_into(x.row(0), &mut scratch).to_vec();
+            assert_eq!(got, mlp.forward_one(x.row(0)), "warm scratch must match fresh");
+        }
+    }
+
+    #[test]
+    fn backward_into_reuses_buffers_bit_identically() {
+        let mlp = Mlp::new(&[3, 7, 2], &mut rng());
+        let x = Matrix::from_rows(&[&[0.4, -0.2, 0.9], &[0.1, 0.8, -0.5]]);
+        let cache = mlp.forward_train(&x);
+        let d_out = cache.output().clone();
+        let fresh = mlp.backward(&cache, &d_out);
+        let mut delta = Matrix::zeros(0, 0);
+        let mut delta_tmp = Matrix::zeros(0, 0);
+        let mut grads = Gradients::empty();
+        for _ in 0..2 {
+            delta.reshape(d_out.rows(), d_out.cols());
+            delta.as_mut_slice().copy_from_slice(d_out.as_slice());
+            mlp.backward_into(&cache, &mut delta, &mut delta_tmp, &mut grads);
+            assert_eq!(grads, fresh);
+        }
+    }
+
+    #[test]
+    fn copy_weights_from_snapshots_without_structural_change() {
+        let mut rng = rng();
+        let src = Mlp::new(&[3, 5, 2], &mut rng);
+        let mut dst = Mlp::new(&[3, 5, 2], &mut rng);
+        assert_ne!(src, dst);
+        dst.copy_weights_from(&src);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer shape mismatch")]
+    fn copy_weights_shape_mismatch_rejected() {
+        let mut rng = rng();
+        let src = Mlp::new(&[3, 5, 2], &mut rng);
+        let mut dst = Mlp::new(&[3, 6, 2], &mut rng);
+        dst.copy_weights_from(&src);
     }
 }

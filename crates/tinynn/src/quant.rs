@@ -9,7 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::mlp::{Dense, Mlp};
+use crate::matrix::Matrix;
+use crate::mlp::{Activation, Dense, ForwardCache, InferScratch, Mlp};
 
 /// One layer's quantized weights: `w ≈ scale * q`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,6 +115,81 @@ impl QuantizedMlp {
     pub fn layers(&self) -> &[QuantizedLayer] {
         &self.layers
     }
+
+    /// Batch forward pass directly on the quantized weights.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut cache = ForwardCache::empty();
+        self.forward_into(x, &mut cache);
+        cache.activations.pop().expect("cache holds the output")
+    }
+
+    /// [`QuantizedMlp::forward`] into a reusable cache — the INT8 datapath
+    /// the ASIC estimate models: integer weights accumulate per dot product
+    /// and the FP32 `scale` is applied once per output, instead of
+    /// rescaling every weight up front as [`QuantizedMlp::dequantize`]
+    /// does. (The two paths agree to within quantization rounding, not bit
+    /// for bit: dequantize-then-multiply rounds each weight separately.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the first layer's input width.
+    pub fn forward_into(&self, x: &Matrix, cache: &mut ForwardCache) {
+        assert_eq!(x.cols(), self.layers[0].cols, "input width mismatch");
+        let input = cache.input_mut();
+        input.reshape(x.rows(), x.cols());
+        input.as_mut_slice().copy_from_slice(x.as_slice());
+        cache.activations.resize(self.layers.len() + 1, Matrix::zeros(0, 0));
+        for (l, (layer, &activation)) in self.layers.iter().zip(&self.activations).enumerate() {
+            let (before, after) = cache.activations.split_at_mut(l + 1);
+            let (h, out) = (&before[l], &mut after[0]);
+            out.reshape(h.rows(), layer.rows);
+            for i in 0..h.rows() {
+                let hrow = h.row(i);
+                for j in 0..layer.rows {
+                    let qrow = &layer.q[j * layer.cols..(j + 1) * layer.cols];
+                    let mut acc = 0.0f32;
+                    for (&q, &v) in qrow.iter().zip(hrow) {
+                        acc += f32::from(q) * v;
+                    }
+                    let mut y = acc * layer.scale + layer.bias[j];
+                    if activation == Activation::Relu {
+                        y = y.max(0.0);
+                    }
+                    out.row_mut(i)[j] = y;
+                }
+            }
+        }
+    }
+
+    /// Single-sample forward pass on the quantized weights.
+    pub fn forward_one(&self, x: &[f32]) -> Vec<f32> {
+        let mut scratch = InferScratch::new();
+        self.forward_one_into(x, &mut scratch).to_vec()
+    }
+
+    /// [`QuantizedMlp::forward_one`] through reusable scratch buffers —
+    /// allocation-free once warm.
+    pub fn forward_one_into<'s>(&self, x: &[f32], scratch: &'s mut InferScratch) -> &'s [f32] {
+        scratch.a.clear();
+        scratch.a.extend_from_slice(x);
+        for (layer, &activation) in self.layers.iter().zip(&self.activations) {
+            scratch.b.clear();
+            for j in 0..layer.rows {
+                let qrow = &layer.q[j * layer.cols..(j + 1) * layer.cols];
+                let mut acc = 0.0f32;
+                for (&q, &v) in qrow.iter().zip(&scratch.a) {
+                    acc += f32::from(q) * v;
+                }
+                let mut y = acc * layer.scale + layer.bias[j];
+                if activation == Activation::Relu {
+                    y = y.max(0.0);
+                }
+                scratch.b.push(y);
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        &scratch.a
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +229,25 @@ mod tests {
         for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((u - v).abs() < 0.15, "{u} vs {v}");
         }
+    }
+
+    #[test]
+    fn direct_forward_tracks_dequantized_forward() {
+        let mlp = model();
+        let q = QuantizedMlp::quantize(&mlp);
+        let deq = q.dequantize();
+        let x = Matrix::from_rows(&[&[0.2, -0.4, 0.9, 0.0, -1.1], &[1.0, 1.0, -1.0, 0.3, 0.0]]);
+        let direct = q.forward(&x);
+        let via_deq = deq.forward(&x);
+        assert_eq!((direct.rows(), direct.cols()), (2, 6));
+        for (a, b) in direct.as_slice().iter().zip(via_deq.as_slice()) {
+            // Scale-after-sum vs scale-per-weight: tiny rounding drift only.
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        let mut scratch = InferScratch::new();
+        let single = q.forward_one_into(x.row(0), &mut scratch).to_vec();
+        assert_eq!(single, direct.row(0), "single-sample path matches batch");
+        assert_eq!(q.forward_one(x.row(0)), single);
     }
 
     #[test]

@@ -1,4 +1,11 @@
 //! Minibatch training loops for classifiers and regressors.
+//!
+//! The epoch loops are allocation-free after warm-up: every buffer a batch
+//! needs — the shuffled index buffer, the gathered minibatch, the forward
+//! cache, the loss gradient, the backprop deltas and the per-layer
+//! gradients — lives in a reusable [`TrainScratch`]. Callers that retrain
+//! many models (RFE, ablations) pass one scratch to the `*_with` variants
+//! and amortize even the warm-up across runs.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -6,9 +13,10 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::data::{ClassificationData, RegressionData};
-use crate::loss::{cross_entropy, cross_entropy_weighted, mse};
+use crate::loss::{cross_entropy_into, cross_entropy_weighted_into, mse_into};
+use crate::matrix::Matrix;
 use crate::metrics::{accuracy, mape};
-use crate::mlp::Mlp;
+use crate::mlp::{ForwardCache, Gradients, Mlp};
 use crate::optim::{Adam, Optimizer};
 use crate::prune::ZeroMask;
 
@@ -57,10 +65,50 @@ pub struct TrainReport {
     pub best_epoch: usize,
 }
 
-fn minibatches(n: usize, batch: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.shuffle(rng);
-    idx.chunks(batch.max(1)).map(<[usize]>::to_vec).collect()
+/// Reusable buffers for the training loops: once warm, an epoch performs
+/// zero heap allocations. One scratch can serve many trainings (and many
+/// model shapes — buffers are resized in place), which is how the RFE and
+/// ablation pipelines amortize warm-up across dozens of retrains.
+#[derive(Debug, Clone)]
+pub struct TrainScratch {
+    /// Minibatch order: reset to identity and shuffled in place each epoch
+    /// (batches are slices of this buffer, never fresh `Vec`s).
+    indices: Vec<usize>,
+    /// Forward activations for the current minibatch; the minibatch itself
+    /// is gathered into the cache's input slot.
+    cache: ForwardCache,
+    /// Forward activations for the validation pass.
+    val_cache: ForwardCache,
+    /// Per-layer gradients.
+    grads: Gradients,
+    /// Loss gradient / backprop ping-pong buffers.
+    delta: Matrix,
+    delta_tmp: Matrix,
+    /// Gathered minibatch labels / targets.
+    y_cls: Vec<usize>,
+    y_reg: Vec<f32>,
+}
+
+impl TrainScratch {
+    /// An empty scratch; every buffer grows on first use.
+    pub fn new() -> TrainScratch {
+        TrainScratch {
+            indices: Vec::new(),
+            cache: ForwardCache::empty(),
+            val_cache: ForwardCache::empty(),
+            grads: Gradients::empty(),
+            delta: Matrix::zeros(0, 0),
+            delta_tmp: Matrix::zeros(0, 0),
+            y_cls: Vec::new(),
+            y_reg: Vec::new(),
+        }
+    }
+}
+
+impl Default for TrainScratch {
+    fn default() -> TrainScratch {
+        TrainScratch::new()
+    }
 }
 
 /// Trains `mlp` as a softmax classifier, early-stopping on validation
@@ -94,6 +142,25 @@ pub fn train_classifier_masked(
     config: &TrainConfig,
     mask: Option<&ZeroMask>,
 ) -> TrainReport {
+    train_classifier_with(mlp, train, val, config, mask, &mut TrainScratch::new())
+}
+
+/// [`train_classifier_masked`] running through a caller-owned
+/// [`TrainScratch`], so repeated trainings (RFE rounds, ablations) reuse
+/// every epoch buffer. For a given seed the result is identical to the
+/// scratch-free entry points.
+///
+/// # Panics
+///
+/// As [`train_classifier_masked`].
+pub fn train_classifier_with(
+    mlp: &mut Mlp,
+    train: &ClassificationData,
+    val: &ClassificationData,
+    config: &TrainConfig,
+    mask: Option<&ZeroMask>,
+    scratch: &mut TrainScratch,
+) -> TrainReport {
     assert_eq!(mlp.output_size(), train.num_classes, "output width must equal class count");
     assert!(!train.is_empty() && !val.is_empty(), "datasets must be non-empty");
     let _span = obs::span!("train", "train_classifier:{} rows", train.len());
@@ -108,39 +175,49 @@ pub fn train_classifier_masked(
             .map(|&c| (n / (train.num_classes as f32 * c.max(1) as f32)).clamp(0.25, 8.0))
             .collect()
     });
+    let TrainScratch { indices, cache, val_cache, grads, delta, delta_tmp, y_cls, .. } = scratch;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut opt = Adam::new(config.lr);
     // The incoming weights are a candidate too (essential when fine-tuning
     // an already-useful model): training must never return something worse
     // than what it started with.
+    mlp.forward_into(&val.x, val_cache);
     let mut report = TrainReport {
-        train_loss: Vec::new(),
-        val_metric: Vec::new(),
-        best_metric: accuracy(&mlp.forward(&val.x), &val.y),
+        train_loss: Vec::with_capacity(config.epochs),
+        val_metric: Vec::with_capacity(config.epochs),
+        best_metric: accuracy(val_cache.output(), &val.y),
         best_epoch: 0,
     };
     let mut best_weights = mlp.clone();
     for epoch in 0..config.epochs {
         let mut epoch_loss = 0.0f64;
-        let batches = minibatches(train.len(), config.batch_size, &mut rng);
-        let num_batches = batches.len();
-        for batch in batches {
-            let x = train.x.select_rows(&batch);
-            let y: Vec<usize> = batch.iter().map(|&i| train.y[i]).collect();
-            let cache = mlp.forward_train(&x);
-            let (loss, d) = match &class_weights {
-                Some(w) => cross_entropy_weighted(cache.output(), &y, w),
-                None => cross_entropy(cache.output(), &y),
+        // Reset to the identity permutation before shuffling so the batch
+        // sequence for a given seed matches the historical fresh-Vec
+        // implementation exactly.
+        indices.clear();
+        indices.extend(0..train.len());
+        indices.shuffle(&mut rng);
+        let chunk = config.batch_size.max(1);
+        let num_batches = train.len().div_ceil(chunk);
+        for batch in indices.chunks(chunk) {
+            train.x.select_rows_into(batch, cache.input_mut());
+            y_cls.clear();
+            y_cls.extend(batch.iter().map(|&i| train.y[i]));
+            mlp.forward_cached(cache);
+            let loss = match &class_weights {
+                Some(w) => cross_entropy_weighted_into(cache.output(), y_cls, w, delta),
+                None => cross_entropy_into(cache.output(), y_cls, delta),
             };
-            let grads = mlp.backward(&cache, &d);
-            opt.step(mlp, &grads);
+            mlp.backward_into(cache, delta, delta_tmp, grads);
+            opt.step(mlp, grads);
             if let Some(mask) = mask {
                 mask.apply(mlp);
             }
             epoch_loss += loss as f64;
         }
         report.train_loss.push((epoch_loss / num_batches as f64) as f32);
-        let acc = accuracy(&mlp.forward(&val.x), &val.y);
+        mlp.forward_into(&val.x, val_cache);
+        let acc = accuracy(val_cache.output(), &val.y);
         report.val_metric.push(acc);
         obs::counter!("tinynn.train.epochs").inc(1);
         obs::gauge!("tinynn.train.classifier_loss").set(epoch_loss / num_batches as f64);
@@ -148,12 +225,13 @@ pub fn train_classifier_masked(
         if acc > report.best_metric {
             report.best_metric = acc;
             report.best_epoch = epoch;
-            best_weights = mlp.clone();
+            best_weights.copy_weights_from(mlp);
         } else if epoch - report.best_epoch >= config.patience {
+            obs::counter!("tinynn.train.early_stops").inc(1);
             break;
         }
     }
-    *mlp = best_weights;
+    mlp.copy_weights_from(&best_weights);
     report
 }
 
@@ -185,36 +263,60 @@ pub fn train_regressor_masked(
     config: &TrainConfig,
     mask: Option<&ZeroMask>,
 ) -> TrainReport {
+    train_regressor_with(mlp, train, val, config, mask, &mut TrainScratch::new())
+}
+
+/// [`train_regressor_masked`] running through a caller-owned
+/// [`TrainScratch`] (see [`train_classifier_with`]).
+///
+/// # Panics
+///
+/// As [`train_regressor_masked`].
+pub fn train_regressor_with(
+    mlp: &mut Mlp,
+    train: &RegressionData,
+    val: &RegressionData,
+    config: &TrainConfig,
+    mask: Option<&ZeroMask>,
+    scratch: &mut TrainScratch,
+) -> TrainReport {
     assert!(!train.is_empty() && !val.is_empty(), "datasets must be non-empty");
     let _span = obs::span!("train", "train_regressor:{} rows", train.len());
+    let TrainScratch { indices, cache, val_cache, grads, delta, delta_tmp, y_reg, .. } = scratch;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut opt = Adam::new(config.lr);
     // As in the classifier: the incoming weights are the first candidate.
+    mlp.forward_into(&val.x, val_cache);
     let mut report = TrainReport {
-        train_loss: Vec::new(),
-        val_metric: Vec::new(),
-        best_metric: mape(&mlp.forward(&val.x), &val.y),
+        train_loss: Vec::with_capacity(config.epochs),
+        val_metric: Vec::with_capacity(config.epochs),
+        best_metric: mape(val_cache.output(), &val.y),
         best_epoch: 0,
     };
     let mut best_weights = mlp.clone();
     for epoch in 0..config.epochs {
         let mut epoch_loss = 0.0f64;
-        let batches = minibatches(train.len(), config.batch_size, &mut rng);
-        let num_batches = batches.len();
-        for batch in batches {
-            let x = train.x.select_rows(&batch);
-            let y: Vec<f32> = batch.iter().map(|&i| train.y[i]).collect();
-            let cache = mlp.forward_train(&x);
-            let (loss, d) = mse(cache.output(), &y);
-            let grads = mlp.backward(&cache, &d);
-            opt.step(mlp, &grads);
+        indices.clear();
+        indices.extend(0..train.len());
+        indices.shuffle(&mut rng);
+        let chunk = config.batch_size.max(1);
+        let num_batches = train.len().div_ceil(chunk);
+        for batch in indices.chunks(chunk) {
+            train.x.select_rows_into(batch, cache.input_mut());
+            y_reg.clear();
+            y_reg.extend(batch.iter().map(|&i| train.y[i]));
+            mlp.forward_cached(cache);
+            let loss = mse_into(cache.output(), y_reg, delta);
+            mlp.backward_into(cache, delta, delta_tmp, grads);
+            opt.step(mlp, grads);
             if let Some(mask) = mask {
                 mask.apply(mlp);
             }
             epoch_loss += loss as f64;
         }
         report.train_loss.push((epoch_loss / num_batches as f64) as f32);
-        let m = mape(&mlp.forward(&val.x), &val.y);
+        mlp.forward_into(&val.x, val_cache);
+        let m = mape(val_cache.output(), &val.y);
         report.val_metric.push(m);
         obs::counter!("tinynn.train.epochs").inc(1);
         obs::gauge!("tinynn.train.regressor_loss").set(epoch_loss / num_batches as f64);
@@ -222,12 +324,13 @@ pub fn train_regressor_masked(
         if m < report.best_metric {
             report.best_metric = m;
             report.best_epoch = epoch;
-            best_weights = mlp.clone();
+            best_weights.copy_weights_from(mlp);
         } else if epoch - report.best_epoch >= config.patience {
+            obs::counter!("tinynn.train.early_stops").inc(1);
             break;
         }
     }
-    *mlp = best_weights;
+    mlp.copy_weights_from(&best_weights);
     report
 }
 
@@ -309,6 +412,29 @@ mod tests {
         assert!((final_acc - report.best_metric).abs() < 1e-9);
         // Early stopping actually triggered or training ran to the end.
         assert!(report.val_metric.len() <= cfg.epochs);
+    }
+
+    #[test]
+    fn scratch_reuse_never_changes_results() {
+        // A scratch warmed by a previous (different-shape) training must
+        // produce bit-identical models and reports to a fresh one.
+        let data = toy_classification(150, 9);
+        let reg = toy_regression(150, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (train, val) = data.split(0.25, &mut rng);
+        let (rtrain, rval) = reg.split(0.25, &mut rng);
+        let cfg = TrainConfig { epochs: 15, ..TrainConfig::default() };
+
+        let mut warm = TrainScratch::new();
+        let mut warm_reg = Mlp::new(&[2, 6, 1], &mut StdRng::seed_from_u64(12));
+        train_regressor_with(&mut warm_reg, &rtrain, &rval, &cfg, None, &mut warm);
+
+        let mut fresh_mlp = Mlp::new(&[2, 8, 3], &mut StdRng::seed_from_u64(13));
+        let mut warm_mlp = fresh_mlp.clone();
+        let fresh_report = train_classifier(&mut fresh_mlp, &train, &val, &cfg);
+        let warm_report = train_classifier_with(&mut warm_mlp, &train, &val, &cfg, None, &mut warm);
+        assert_eq!(fresh_mlp, warm_mlp);
+        assert_eq!(fresh_report, warm_report);
     }
 
     #[test]

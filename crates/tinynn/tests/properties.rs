@@ -4,12 +4,22 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tinynn::{
-    cross_entropy, prune_magnitude, prune_neurons, softmax, Matrix, Mlp, Normalizer, ZeroMask,
+    cross_entropy, prune_magnitude, prune_neurons, softmax, ForwardCache, InferScratch, Matrix,
+    Mlp, Normalizer, ZeroMask,
 };
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-10.0f32..10.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// A seeded random matrix for tests whose dimensions are themselves
+/// generated (the vendored proptest has no `prop_flat_map` for
+/// dimension-dependent collections).
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    use rand::Rng;
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    Matrix::from_vec(rows, cols, data)
 }
 
 proptest! {
@@ -109,5 +119,53 @@ proptest! {
         let out2 = mlp.forward_one(&x);
         prop_assert_eq!(out1.clone(), out2);
         prop_assert!(out1.iter().all(|v| v.is_finite()));
+    }
+
+    /// The blocked matmul kernels are bit-identical to their naive
+    /// references on arbitrary shapes — including shapes that straddle the
+    /// internal tile boundaries. Blocking only reorders *independent* dot
+    /// products; each output element still accumulates over `k` in
+    /// ascending order, so no float result may change.
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive(
+        m in 1usize..9,
+        k in 1usize..80,
+        n in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        prop_assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+        let bt = b.transpose();
+        prop_assert_eq!(a.matmul_transposed(&bt), a.matmul_transposed_naive(&bt));
+    }
+
+    /// `forward_into` (warm, reused cache) and `forward_one_into` (warm
+    /// scratch) are bit-identical to the allocating batch forward pass on
+    /// random inputs and hidden sizes.
+    #[test]
+    fn forward_into_is_bit_identical_to_forward(
+        seed in any::<u64>(),
+        hidden in 1usize..16,
+        x_data in prop::collection::vec(-50.0f32..50.0, 3 * 5),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[5, hidden, 3], &mut rng);
+        let x = Matrix::from_vec(3, 5, x_data);
+        let batch = mlp.forward(&x);
+
+        // Warm the cache with a different batch shape first: reuse must not
+        // leak stale state into the next shape.
+        let mut cache = ForwardCache::empty();
+        mlp.forward_into(&Matrix::zeros(7, 5), &mut cache);
+        mlp.forward_into(&x, &mut cache);
+        prop_assert_eq!(cache.activations.last().expect("output present"), &batch);
+
+        let mut scratch = InferScratch::new();
+        for r in 0..x.rows() {
+            let one = mlp.forward_one_into(x.row(r), &mut scratch);
+            prop_assert_eq!(one, batch.row(r), "row {}", r);
+        }
     }
 }
