@@ -37,6 +37,25 @@ print(f"train baseline: {b['epochs_per_sec']:.0f} epochs/s, "
       f"at {b['rfe_jobs']} workers")
 EOF
 
+echo "==> sim engine perf baseline (smoke, JSON well-formed, skip >= 1.5x)"
+cargo run --release -p ssmdvfs-bench --bin perf_baseline -- --smoke --sim
+python3 - <<'EOF'
+import json
+b = json.load(open("target/ssmdvfs-artifacts/BENCH_sim.json"))
+for key in ("naive_cycles_per_sec", "skip_cycles_per_sec", "speedup",
+            "total_cycles", "snapshot_cost_us", "cache_cold_secs",
+            "cache_warm_secs"):
+    assert b[key] > 0, (key, b)
+assert b["smoke"] is True, b
+assert b["speedup"] >= 1.5, f"cycle-skip must be >=1.5x over naive tick: {b}"
+assert b["cache_warm_hits"] > 0, b
+print(f"sim baseline: {b['naive_cycles_per_sec']:.3g} -> "
+      f"{b['skip_cycles_per_sec']:.3g} cycles/s ({b['speedup']:.2f}x, "
+      f"{b['skipped_fraction']*100:.1f}% skipped); replay cache "
+      f"{b['cache_cold_secs']:.2f}s cold -> {b['cache_warm_secs']:.2f}s warm "
+      f"({b['cache_warm_hits']} hits)")
+EOF
+
 echo "==> no stray print macros in library crates"
 # Library code logs through obs; println!/eprintln! are reserved for the
 # CLI binary and bench bin/ entry points. Comment lines are ignored.
@@ -90,6 +109,35 @@ echo "journal lines at kill: $(wc -l < "$OBS_TMP/ck.jsonl")"
   --resume "$OBS_TMP/ck.jsonl"
 cmp "$OBS_TMP/ref.json" "$OBS_TMP/resumed.json"
 echo "resumed dataset identical to uninterrupted run"
+
+echo "==> replay-cache determinism smoke (warm rerun hits cache, bytes identical)"
+# Cold run populates the cache; the warm rerun (different worker count on
+# purpose) must satisfy every replay from the cache and still produce
+# byte-identical dataset output. `inspect --metrics` surfaces the counters.
+"$SSMDVFS_BIN" datagen --out "$OBS_TMP/cache-cold.json" \
+  --benchmarks sgemm --scale 0.05 --clusters 2 --jobs 2 --log-level warn \
+  --replay-cache "$OBS_TMP/replay-cache.json" \
+  --metrics-out "$OBS_TMP/cache-cold-metrics.json"
+"$SSMDVFS_BIN" datagen --out "$OBS_TMP/cache-warm.json" \
+  --benchmarks sgemm --scale 0.05 --clusters 2 --jobs 4 --log-level warn \
+  --replay-cache "$OBS_TMP/replay-cache.json" \
+  --metrics-out "$OBS_TMP/cache-warm-metrics.json"
+cmp "$OBS_TMP/cache-cold.json" "$OBS_TMP/cache-warm.json"
+"$SSMDVFS_BIN" inspect --metrics "$OBS_TMP/cache-warm-metrics.json" \
+  | tee "$OBS_TMP/cache-inspect.log"
+grep -q "cache hits" "$OBS_TMP/cache-inspect.log"
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys, os
+tmp = sys.argv[1]
+cold = json.load(open(os.path.join(tmp, "cache-cold-metrics.json")))["counters"]
+warm = json.load(open(os.path.join(tmp, "cache-warm-metrics.json")))["counters"]
+assert cold.get("sim.cache_hits", 0) == 0, cold
+assert cold["sim.cache_misses"] > 0, cold
+assert warm["sim.cache_hits"] > 0, warm
+assert warm.get("sim.cache_misses", 0) == 0, warm
+print(f"replay cache: {cold['sim.cache_misses']} misses cold, "
+      f"{warm['sim.cache_hits']} hits warm; dataset bytes identical")
+EOF
 
 echo "==> fault-injection smoke (quarantine survives an injected panic)"
 # Arm job #0 to panic more times than the retry budget: the sweep must

@@ -14,7 +14,7 @@ use gpu_workloads::{training_set, Benchmark};
 use ssmdvfs::checkpoint::{self, CheckpointJournal};
 use ssmdvfs::{
     generate_suite_with, train_combined, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet,
-    ModelArch, SuiteOptions, TrainSummary,
+    ModelArch, ReplayCache, SuiteOptions, TrainSummary,
 };
 use tinynn::TrainConfig;
 
@@ -108,11 +108,30 @@ pub fn build_or_load_dataset(config: &PipelineConfig, tag: &str) -> DvfsDataset 
     options.journal = CheckpointJournal::append_to(&ckpt_path)
         .map_err(|e| obs::warn!("pipeline: datagen runs unjournaled: {e}"))
         .ok();
+    // Cross-run replay cache: experiment binaries sharing (config, datagen,
+    // workload) replays — ablation/granularity reruns, refreshed sweeps —
+    // skip already-simulated (breakpoint, operating point) jobs.
+    let cache_path = artifacts_dir().join("replay_cache.json");
+    match ReplayCache::open(&cache_path) {
+        Ok(cache) => options.cache = Some(std::sync::Arc::new(cache)),
+        Err(e) => obs::warn!("pipeline: datagen runs uncached: {e}"),
+    }
     // Every (benchmark, breakpoint, operating point) replay is one job on
     // the shared work-stealing pool; per-benchmark sample order is
     // byte-identical to a sequential run.
     let outcome = generate_suite_with(&benches, &config.gpu, &config.datagen, &options)
         .expect("checkpoint journal must stay writable");
+    if let Some(cache) = &options.cache {
+        if let Err(e) = cache.save() {
+            obs::warn!("pipeline: replay cache not persisted: {e}");
+        }
+        obs::info!(
+            "pipeline: replay cache: {} hits, {} misses, {} entries",
+            cache.hits(),
+            cache.misses(),
+            cache.len()
+        );
+    }
     let mut dataset = DvfsDataset::default();
     for (bench, part) in benches.iter().zip(outcome.datasets) {
         obs::info!("pipeline: datagen {}: {} samples", bench.name(), part.len());

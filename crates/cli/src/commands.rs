@@ -58,6 +58,7 @@ COMMANDS:
               [--checkpoint <ck.jsonl>]  journal finished jobs for resume
               [--resume <ck.jsonl>]   skip jobs journaled by a killed run
               [--quarantine] [--max-retries 2]  retry/drop panicking jobs
+              [--replay-cache <cache.json>]  reuse replay results across runs
   train       --dataset <file> --out <model.json>
               [--arch full|compressed] [--epochs <n>]
               [--rfe <keep>]          select <keep> indirect features by RFE
@@ -69,7 +70,9 @@ COMMANDS:
               [--x1 0.6] [--x2 0.9]
   evaluate    --model <file> --dataset <file>
   asic        --model <file> [--freq-mhz 1165]
-  inspect     <audit.jsonl>           summarize a DVFS decision audit trail
+  inspect     [audit.jsonl]           summarize a DVFS decision audit trail
+              [--metrics <file.json>] summarize a --metrics-out snapshot
+                                      (sim epochs, skipped cycles, cache hits)
   help                                show this message
 
 GLOBAL OPTIONS (any command):
@@ -247,6 +250,18 @@ pub fn datagen(args: &Args) -> CmdResult {
     if args.flag("quarantine") || args.get("max-retries").is_some() {
         options.fault_policy = Some(FaultPolicy { max_retries: args.get_usize("max-retries", 2)? });
     }
+    // `--replay-cache <file>` keys each replay's samples by a content hash
+    // of (config, datagen params, workload, breakpoint, operating point):
+    // reruns and overlapping sweeps skip already-simulated replays.
+    let cache = match args.get("replay-cache") {
+        None => None,
+        Some(path) => {
+            let cache =
+                ssmdvfs::ReplayCache::open(path).map_err(|e| err_in("datagen", e.to_string()))?;
+            Some(std::sync::Arc::new(cache))
+        }
+    };
+    options.cache = cache.clone();
 
     // Fan every (benchmark, breakpoint, operating point) replay out over
     // the shared work-stealing pool; the sample order is identical to a
@@ -262,6 +277,16 @@ pub fn datagen(args: &Args) -> CmdResult {
     }
     dataset.save(out_path).map_err(|e| err_in("datagen", e.to_string()))?;
     let _ = writeln!(out, "total: {} samples -> {out_path}", dataset.len());
+    if let Some(cache) = cache {
+        cache.save().map_err(|e| err_in("datagen", e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "replay cache: {} hits, {} misses, {} entries",
+            cache.hits(),
+            cache.misses(),
+            cache.len()
+        );
+    }
     if !outcome.faults.is_empty() {
         let _ = writeln!(out, "fault report: {}", outcome.faults);
     }
@@ -376,20 +401,52 @@ pub fn asic(args: &Args) -> CmdResult {
     ))
 }
 
-/// `inspect <audit.jsonl>`: summarizes a decision audit trail written by
-/// `simulate --audit-out`.
+/// `inspect [audit.jsonl] [--metrics <file.json>]`: summarizes a decision
+/// audit trail written by `simulate --audit-out` and/or a metrics snapshot
+/// written by `--metrics-out` (simulation-engine counters included).
 pub fn inspect(args: &Args) -> CmdResult {
-    let [path] = args.positional() else {
-        return Err(err("inspect expects exactly one audit JSONL file"));
-    };
-    let text =
-        fs::read_to_string(path).map_err(|e| err(format!("cannot read audit '{path}': {e}")))?;
-    let records = obs::audit::parse_jsonl(&text)
-        .map_err(|e| err(format!("cannot parse audit '{path}': {e}")))?;
-    if records.is_empty() {
-        return Err(err(format!("audit '{path}' contains no records")));
+    let metrics_path = args.get("metrics");
+    let mut out = String::new();
+    match (args.positional(), &metrics_path) {
+        ([], None) => {
+            return Err(err("inspect expects an audit JSONL file and/or --metrics <file.json>"));
+        }
+        ([], Some(_)) => {}
+        ([path], _) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read audit '{path}': {e}")))?;
+            let records = obs::audit::parse_jsonl(&text)
+                .map_err(|e| err(format!("cannot parse audit '{path}': {e}")))?;
+            if records.is_empty() {
+                return Err(err(format!("audit '{path}' contains no records")));
+            }
+            let _ = writeln!(out, "{}", obs::summarize(&records));
+        }
+        _ => return Err(err("inspect expects at most one audit JSONL file")),
     }
-    Ok(format!("{}\n", obs::summarize(&records)))
+    if let Some(path) = metrics_path {
+        let text = fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read metrics '{path}': {e}")))?;
+        let snapshot: obs::metrics::MetricsSnapshot = serde_json::from_str(&text)
+            .map_err(|e| err(format!("cannot parse metrics '{path}': {e}")))?;
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "metrics   : {} counters, {} gauges, {} histograms",
+            snapshot.counters.len(),
+            snapshot.gauges.len(),
+            snapshot.histograms.len()
+        );
+        let _ = writeln!(out, "sim epochs: {}", counter("sim.epochs"));
+        let _ = writeln!(out, "sim engine: {} skipped cycles", counter("sim.skipped_cycles"));
+        let _ = writeln!(
+            out,
+            "replay    : {} cache hits, {} cache misses",
+            counter("sim.cache_hits"),
+            counter("sim.cache_misses")
+        );
+    }
+    Ok(out)
 }
 
 /// Dispatches a parsed argument set to its subcommand.
@@ -743,7 +800,9 @@ mod trace_tests {
         let args = Args::parse(["inspect", "/nonexistent/audit.jsonl"]).unwrap();
         assert!(inspect(&args).unwrap_err().to_string().contains("cannot read"));
         let args = Args::parse(["inspect"]).unwrap();
-        assert!(inspect(&args).unwrap_err().to_string().contains("exactly one"));
+        assert!(inspect(&args).unwrap_err().to_string().contains("--metrics"));
+        let args = Args::parse(["inspect", "--metrics", "/nonexistent/metrics.json"]).unwrap();
+        assert!(inspect(&args).unwrap_err().to_string().contains("cannot read metrics"));
     }
 
     #[test]
@@ -772,6 +831,57 @@ mod trace_tests {
         let trace_json = fs::read_to_string(&trace).unwrap();
         assert!(trace_json.contains("traceEvents"), "{trace_json}");
         assert!(trace_json.contains("sim.run"), "{trace_json}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn datagen_replay_cache_warms_and_inspect_summarizes_metrics() {
+        let dir = std::env::temp_dir().join("ssmdvfs_cli_replay_cache_test");
+        fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("cache.json");
+        let cold = dir.join("cold.json");
+        let warm = dir.join("warm.json");
+        let metrics = dir.join("metrics.json");
+        let base = |out: &std::path::Path| {
+            vec![
+                "datagen".to_string(),
+                "--out".into(),
+                out.to_str().unwrap().into(),
+                "--benchmarks".into(),
+                "sgemm".into(),
+                "--scale".into(),
+                "0.05".into(),
+                "--clusters".into(),
+                "2".into(),
+                "--jobs".into(),
+                "2".into(),
+                "--replay-cache".into(),
+                cache.to_str().unwrap().into(),
+            ]
+        };
+        let args = Args::parse(base(&cold)).unwrap();
+        let out = datagen(&args).unwrap();
+        assert!(out.contains("replay cache: 0 hits"), "cold run must miss: {out}");
+        assert!(cache.exists(), "cache file must be persisted");
+
+        // Warm rerun at a different worker count: every replay is served
+        // from the cache and the dataset bytes are unchanged.
+        let mut warm_args = base(&warm);
+        warm_args[10] = "4".into();
+        warm_args.extend(["--metrics-out".to_string(), metrics.to_str().unwrap().into()]);
+        let args = Args::parse(warm_args).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains(", 0 misses"), "warm run must be all hits: {out}");
+        assert_eq!(
+            fs::read(&cold).unwrap(),
+            fs::read(&warm).unwrap(),
+            "cache hits must not change dataset bytes"
+        );
+
+        let args = Args::parse(["inspect", "--metrics", metrics.to_str().unwrap()]).unwrap();
+        let out = inspect(&args).unwrap();
+        assert!(out.contains("cache hits"), "{out}");
+        assert!(out.contains("skipped cycles"), "{out}");
         fs::remove_dir_all(&dir).ok();
     }
 

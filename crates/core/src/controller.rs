@@ -92,7 +92,10 @@ struct ClusterState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SsmdvfsGovernor {
-    model: CombinedModel,
+    /// The trained model, shared immutably: cloning the governor (one per
+    /// evaluated run in the bench sweeps) shares the weights instead of
+    /// deep-copying every layer.
+    model: std::sync::Arc<CombinedModel>,
     config: SsmdvfsConfig,
     clusters: Vec<ClusterState>,
     name: String,
@@ -115,7 +118,11 @@ impl SsmdvfsGovernor {
     /// Creates a governor around a trained model, compiling both heads into
     /// inference engines (sparse CSR when the head is mostly zeros, dense
     /// otherwise).
-    pub fn new(model: CombinedModel, config: SsmdvfsConfig) -> SsmdvfsGovernor {
+    pub fn new(
+        model: impl Into<std::sync::Arc<CombinedModel>>,
+        config: SsmdvfsConfig,
+    ) -> SsmdvfsGovernor {
+        let model: std::sync::Arc<CombinedModel> = model.into();
         let name = if config.calibration {
             format!("ssmdvfs[{:.0}%]", config.preset * 100.0)
         } else {

@@ -26,6 +26,7 @@ use crate::checkpoint::{CheckpointEntry, CheckpointJournal, CompletedJobs};
 use crate::error::{Artifact, SsmdvfsError};
 use crate::exec::{parallel_map_indexed, parallel_map_quarantine, FaultPolicy, FaultReport};
 use crate::features::FeatureSet;
+use crate::replay_cache::{fingerprint, ReplayCache};
 
 /// Parameters of the data-generation process.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -608,6 +609,12 @@ pub struct SuiteOptions {
     /// pool instead of aborting the sweep; jobs that exhaust the retry
     /// budget are dropped and reported in [`SuiteOutcome::faults`].
     pub fault_policy: Option<FaultPolicy>,
+    /// Cross-run replay cache: jobs whose (config, datagen parameters,
+    /// workload, breakpoint, operating point) fingerprint is already cached
+    /// reuse the stored samples instead of simulating; fresh results are
+    /// inserted as they complete. The caller persists the cache with
+    /// [`ReplayCache::save`] after the sweep.
+    pub cache: Option<std::sync::Arc<ReplayCache>>,
 }
 
 impl SuiteOptions {
@@ -667,24 +674,43 @@ pub fn generate_suite_with(
         })
         .collect();
 
-    // Split into already-journaled jobs and work still to do. `todo` keeps
+    // Content-addressed cache keys: stable fingerprints of everything a
+    // replay's result depends on. Computed once per sweep (per benchmark
+    // for the workload), not per job.
+    let cache_keys = options.cache.as_ref().map(|_| {
+        let cfg_hash = fingerprint(cfg);
+        let dg_hash = fingerprint(dg);
+        let wl_hashes: Vec<u64> =
+            benchmarks.iter().map(|bench| fingerprint(bench.workload())).collect();
+        move |b: usize, s: usize, op: usize| {
+            ReplayCache::key(cfg_hash, dg_hash, wl_hashes[b], s, op)
+        }
+    });
+
+    // Split into already-available jobs (journaled by an interrupted run,
+    // or cached by a previous sweep) and work still to do. `todo` keeps
     // each job's global index so fail points and journal entries stay
     // deterministic across runs with different resume points.
-    let mut cached: Vec<Option<&Vec<RawSample>>> = Vec::with_capacity(job_list.len());
+    let mut cached: Vec<Option<Vec<RawSample>>> = Vec::with_capacity(job_list.len());
     let mut todo: Vec<(usize, (usize, usize, usize))> = Vec::new();
     for (j, &(b, s, op)) in job_list.iter().enumerate() {
         let key = (benchmarks[b].name().to_string(), s, op);
-        match options.completed.get(&key) {
-            Some(samples) => cached.push(Some(samples)),
-            None => {
-                cached.push(None);
-                todo.push((j, (b, s, op)));
+        if let Some(samples) = options.completed.get(&key) {
+            cached.push(Some(samples.clone()));
+            continue;
+        }
+        if let (Some(cache), Some(keys)) = (&options.cache, &cache_keys) {
+            if let Some(samples) = cache.get(&keys(b, s, op)) {
+                cached.push(Some(samples));
+                continue;
             }
         }
+        cached.push(None);
+        todo.push((j, (b, s, op)));
     }
-    if !options.completed.is_empty() {
+    if !options.completed.is_empty() || options.cache.is_some() {
         obs::info!(
-            "datagen: resume skips {}/{} replay jobs",
+            "datagen: resume/cache skips {}/{} replay jobs",
             job_list.len() - todo.len(),
             job_list.len()
         );
@@ -697,6 +723,9 @@ pub fn generate_suite_with(
     let run_one = |job_index: usize, b: usize, s: usize, op: usize| -> Vec<RawSample> {
         crate::failpoint::hit("datagen.replay", job_index);
         let samples = run_replay(benchmarks[b].name(), cfg, dg, &specs_per_bench[b][s], op);
+        if let (Some(cache), Some(keys)) = (&options.cache, &cache_keys) {
+            cache.insert(keys(b, s, op), samples.clone());
+        }
         if let Some(journal) = &options.journal {
             let entry = CheckpointEntry {
                 benchmark: benchmarks[b].name().to_string(),
@@ -740,8 +769,8 @@ pub fn generate_suite_with(
     let mut datasets: Vec<DvfsDataset> =
         benchmarks.iter().map(|_| DvfsDataset::default()).collect();
     for (j, &(b, _, _)) in job_list.iter().enumerate() {
-        if let Some(samples) = cached[j] {
-            datasets[b].samples.extend(samples.iter().cloned());
+        if let Some(samples) = cached[j].take() {
+            datasets[b].samples.extend(samples);
         } else if let Some(samples) = fresh_by_job[j].take() {
             datasets[b].samples.extend(samples);
         }

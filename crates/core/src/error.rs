@@ -27,6 +27,8 @@ pub enum Artifact {
     Dataset,
     /// A datagen checkpoint journal (JSONL).
     Checkpoint,
+    /// A cross-run replay cache (JSON).
+    ReplayCache,
     /// A benchmark report or other serialized output.
     Report,
 }
@@ -38,6 +40,7 @@ impl Artifact {
             Artifact::Model => "model",
             Artifact::Dataset => "dataset",
             Artifact::Checkpoint => "checkpoint",
+            Artifact::ReplayCache => "replay cache",
             Artifact::Report => "report",
         }
     }

@@ -64,6 +64,7 @@ pub mod exec;
 pub mod failpoint;
 mod features;
 mod model;
+mod replay_cache;
 mod rfe;
 mod train;
 
@@ -81,6 +82,7 @@ pub use datagen::{
 pub use error::{Artifact, IoOp, SsmdvfsError};
 pub use features::FeatureSet;
 pub use model::{CombinedModel, ModelArch};
+pub use replay_cache::{fingerprint, ReplayCache};
 pub use rfe::{
     candidate_counters, select_features, select_features_with, FeatureSelection, RfeOptions,
 };

@@ -6,6 +6,8 @@
 //! granularity — the `granularity_sweep` experiment uses this to show why
 //! per-cluster control beats chip-wide control.
 
+use std::sync::Arc;
+
 use gpu_power::{Activity, OperatingPoint, PowerModel};
 use serde::{Deserialize, Serialize};
 
@@ -13,7 +15,7 @@ use crate::counters::{CounterId, EpochCounters};
 use crate::isa::LatencyTable;
 use crate::kernel::KernelSpec;
 use crate::memory::{ClusterMemory, MemoryConfig};
-use crate::sm::SmCore;
+use crate::sm::{EngineMode, SmCore};
 use crate::time::Time;
 
 /// One cluster of the GPU: the unit at which DVFS decisions are applied.
@@ -98,8 +100,15 @@ impl Cluster {
     }
 
     /// Assigns a kernel and this cluster's share of its CTAs, distributed
-    /// round-robin over the cluster's SMs.
-    pub fn assign_kernel(&mut self, kernel: KernelSpec, cta_ids: Vec<u64>, seed: u64) {
+    /// round-robin over the cluster's SMs. The kernel spec is shared (one
+    /// `Arc` clone per SM), never deep-copied.
+    pub fn assign_kernel(
+        &mut self,
+        kernel: impl Into<Arc<KernelSpec>>,
+        cta_ids: Vec<u64>,
+        seed: u64,
+    ) {
+        let kernel: Arc<KernelSpec> = kernel.into();
         let num_sms = self.sms.len();
         for (i, (sm, _)) in self.sms.iter_mut().enumerate() {
             let share: Vec<u64> = cta_ids
@@ -108,7 +117,7 @@ impl Cluster {
                 .filter(|(pos, _)| pos % num_sms == i)
                 .map(|(_, id)| *id)
                 .collect();
-            sm.assign_kernel(kernel.clone(), share, seed);
+            sm.assign_kernel(Arc::clone(&kernel), share, seed);
         }
     }
 
@@ -128,6 +137,32 @@ impl Cluster {
         transition: Time,
         power: &PowerModel,
     ) -> EpochCounters {
+        self.step_epoch_mode(
+            EngineMode::CycleSkip,
+            epoch_start,
+            epoch_len,
+            op_index,
+            op,
+            transition,
+            power,
+        )
+        .0
+    }
+
+    /// Like [`Cluster::step_epoch`] but with an explicit engine mode.
+    /// Returns the epoch's counters plus the number of stall cycles the
+    /// engine accounted for in bulk (always zero under `NaiveTick`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_epoch_mode(
+        &mut self,
+        mode: EngineMode,
+        epoch_start: Time,
+        epoch_len: Time,
+        op_index: usize,
+        op: OperatingPoint,
+        transition: Time,
+        power: &PowerModel,
+    ) -> (EpochCounters, u64) {
         let switching = op_index != self.op_index;
         self.op_index = op_index;
         let period_ps = op.cycle_time_ps().round() as u64;
@@ -141,10 +176,13 @@ impl Cluster {
         let mut occupancy_sum = 0.0;
         let mut lat_weighted = 0.0;
         let mut lat_weight = 0.0;
+        let mut skipped = 0u64;
         for (sm, mem) in &mut self.sms {
             let mut sm_counters = EpochCounters::zeroed();
-            let outcome = sm.run_epoch(start, cycles, period_ps, mem, &self.lat, &mut sm_counters);
+            let outcome =
+                sm.run_epoch_mode(mode, start, cycles, period_ps, mem, &self.lat, &mut sm_counters);
             self.cum_instructions += outcome.instructions;
+            skipped += outcome.skipped_cycles;
             occupancy_sum += sm_counters[CounterId::Occupancy];
             let accesses = sm_counters[CounterId::L1ReadAccess];
             lat_weighted += sm_counters[CounterId::AvgMemLatencyNs] * accesses;
@@ -157,7 +195,7 @@ impl Cluster {
         }
 
         self.fill_power(&mut counters, op, epoch_len, power);
-        counters
+        (counters, skipped)
     }
 
     fn fill_power(

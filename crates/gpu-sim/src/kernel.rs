@@ -9,6 +9,8 @@
 //! identical stream — the property the paper's data-generation methodology
 //! ("the total workload remains constant") relies on.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::isa::InstrClass;
@@ -245,19 +247,28 @@ impl KernelSpec {
 /// assert_eq!(w.kernels().len(), 2);
 /// assert_eq!(w.total_instructions(), 2 * 10 * 2 * 4);
 /// ```
+/// Kernels are stored behind [`Arc`] so cloning a workload (or snapshotting a
+/// simulation that owns one) shares the decoded kernel specs instead of
+/// deep-copying their basic blocks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workload {
     name: String,
-    kernels: Vec<KernelSpec>,
+    kernels: Vec<Arc<KernelSpec>>,
 }
 
 impl Workload {
-    /// Creates a workload from a kernel sequence.
+    /// Creates a workload from a kernel sequence. Accepts both bare
+    /// [`KernelSpec`]s and already-interned `Arc<KernelSpec>`s.
     ///
     /// # Panics
     ///
     /// Panics if the sequence is empty.
-    pub fn new(name: impl Into<String>, kernels: Vec<KernelSpec>) -> Workload {
+    pub fn new<I, K>(name: impl Into<String>, kernels: I) -> Workload
+    where
+        I: IntoIterator<Item = K>,
+        K: Into<Arc<KernelSpec>>,
+    {
+        let kernels: Vec<Arc<KernelSpec>> = kernels.into_iter().map(Into::into).collect();
         assert!(!kernels.is_empty(), "a workload needs at least one kernel");
         Workload { name: name.into(), kernels }
     }
@@ -268,20 +279,20 @@ impl Workload {
     }
 
     /// The kernel launch sequence.
-    pub fn kernels(&self) -> &[KernelSpec] {
+    pub fn kernels(&self) -> &[Arc<KernelSpec>] {
         &self.kernels
     }
 
     /// Total warp-instructions across every kernel.
     pub fn total_instructions(&self) -> u64 {
-        self.kernels.iter().map(KernelSpec::total_instructions).sum()
+        self.kernels.iter().map(|k| k.total_instructions()).sum()
     }
 
     /// Returns a copy with every kernel's CTA count scaled by `factor`.
     pub fn with_cta_scale(&self, factor: f64) -> Workload {
         Workload {
             name: self.name.clone(),
-            kernels: self.kernels.iter().map(|k| k.with_cta_scale(factor)).collect(),
+            kernels: self.kernels.iter().map(|k| Arc::new(k.with_cta_scale(factor))).collect(),
         }
     }
 }

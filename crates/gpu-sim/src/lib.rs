@@ -72,7 +72,7 @@ pub use kernel::{BasicBlock, InstrTemplate, KernelSpec, MemoryBehavior, Workload
 pub use memory::{ClusterMemory, MemAccessResult, MemLevel, MemoryConfig};
 pub use rng::{mix_seed, SplitMix64};
 pub use sim::{ClusterEpochRecord, EnergySummary, EpochRecord, SimResult, SimSnapshot, Simulation};
-pub use sm::{EpochOutcome, SmCore};
+pub use sm::{EngineMode, EpochOutcome, SmCore};
 pub use time::Time;
 pub use trace::epoch_trace_csv;
 pub use warp::{Cursor, WaitCause, Warp, WarpState};

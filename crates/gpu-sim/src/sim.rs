@@ -6,6 +6,8 @@
 //! breakpoints: snapshot the simulation, replay a segment under a forced
 //! frequency schedule, compare against the original timeline.
 
+use std::sync::Arc;
+
 use gpu_power::{EdpReport, Energy, PowerModel, VfTable};
 use serde::{Deserialize, Serialize};
 
@@ -14,6 +16,7 @@ use crate::counters::{CounterId, EpochCounters};
 use crate::governor::DvfsGovernor;
 use crate::gpu::GpuConfig;
 use crate::kernel::Workload;
+use crate::sm::EngineMode;
 use crate::time::Time;
 
 /// One cluster's slice of an epoch record.
@@ -128,10 +131,12 @@ impl SimResult {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulation {
-    config: GpuConfig,
-    power: PowerModel,
+    // Immutable once constructed: shared (never deep-cloned) between the
+    // simulation, its clones, and every snapshot taken from it.
+    config: Arc<GpuConfig>,
+    power: Arc<PowerModel>,
+    workload: Arc<Workload>,
     clusters: Vec<Cluster>,
-    workload: Workload,
     kernel_idx: usize,
     now: Time,
     records: Vec<EpochRecord>,
@@ -154,6 +159,12 @@ pub struct Simulation {
     /// Number of epochs covered by the aggregates (equals `epoch_index()`
     /// unless the simulation was restored from a snapshot).
     agg_epochs: usize,
+    /// The cycle-loop engine used for subsequent epochs.
+    engine: EngineMode,
+    /// Stall cycles the engine accounted for in bulk (never ticked
+    /// individually) since construction or restore. Always zero under
+    /// [`EngineMode::NaiveTick`].
+    skipped_cycles: u64,
 }
 
 /// A cheap checkpoint of a [`Simulation`]'s live machine state.
@@ -166,14 +177,15 @@ pub struct Simulation {
 /// per breakpoint, one [`SimSnapshot::restore`] per operating-point replay.
 #[derive(Debug, Clone)]
 pub struct SimSnapshot {
-    config: GpuConfig,
-    power: PowerModel,
+    config: Arc<GpuConfig>,
+    power: Arc<PowerModel>,
+    workload: Arc<Workload>,
     clusters: Vec<Cluster>,
-    workload: Workload,
     kernel_idx: usize,
     now: Time,
     epoch_index: usize,
     completed_at: Option<Time>,
+    engine: EngineMode,
 }
 
 impl SimSnapshot {
@@ -207,10 +219,10 @@ impl SimSnapshot {
 
     fn restore_impl(&self, history_limit: Option<usize>) -> Simulation {
         Simulation {
-            config: self.config.clone(),
-            power: self.power.clone(),
+            config: Arc::clone(&self.config),
+            power: Arc::clone(&self.power),
+            workload: Arc::clone(&self.workload),
             clusters: self.clusters.clone(),
-            workload: self.workload.clone(),
             kernel_idx: self.kernel_idx,
             now: self.now,
             records: Vec::new(),
@@ -222,6 +234,8 @@ impl SimSnapshot {
             agg_breakdown: EnergySummary::default(),
             agg_op_histogram: vec![0; self.config.vf_table.len()],
             agg_epochs: 0,
+            engine: self.engine,
+            skipped_cycles: 0,
         }
     }
 }
@@ -234,7 +248,16 @@ impl Simulation {
     ///
     /// Panics if the configuration is invalid or a kernel's CTA shape does
     /// not fit the SM (see [`GpuConfig::validate`]).
-    pub fn new(config: GpuConfig, workload: Workload) -> Simulation {
+    ///
+    /// Both arguments accept either owned values or `Arc`s; passing an
+    /// `Arc` lets many simulations (e.g. a datagen sweep's replays) share
+    /// one decoded config/workload instead of deep-copying it per run.
+    pub fn new(
+        config: impl Into<Arc<GpuConfig>>,
+        workload: impl Into<Arc<Workload>>,
+    ) -> Simulation {
+        let config: Arc<GpuConfig> = config.into();
+        let workload: Arc<Workload> = workload.into();
         config.validate();
         let clusters = (0..config.num_clusters)
             .map(|id| {
@@ -249,14 +272,14 @@ impl Simulation {
                 )
             })
             .collect();
-        let power = PowerModel::new(config.power.clone());
+        let power = Arc::new(PowerModel::new(config.power.clone()));
         let num_clusters = config.num_clusters;
         let num_ops = config.vf_table.len();
         let mut sim = Simulation {
             config,
             power,
-            clusters,
             workload,
+            clusters,
             kernel_idx: 0,
             now: Time::ZERO,
             records: Vec::new(),
@@ -268,9 +291,29 @@ impl Simulation {
             agg_breakdown: EnergySummary::default(),
             agg_op_histogram: vec![0; num_ops],
             agg_epochs: 0,
+            engine: EngineMode::default(),
+            skipped_cycles: 0,
         };
         sim.assign_current_kernel();
         sim
+    }
+
+    /// Selects the cycle-loop engine for subsequent epochs. Both engines
+    /// produce bit-identical records and results; `NaiveTick` exists as the
+    /// reference implementation for equivalence tests and benchmarks.
+    pub fn set_engine(&mut self, engine: EngineMode) {
+        self.engine = engine;
+    }
+
+    /// The cycle-loop engine in use.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// Stall cycles accounted for in bulk (instead of being ticked one by
+    /// one) since construction or snapshot restore.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Captures a checkpoint of the live machine state (clusters, caches,
@@ -278,14 +321,15 @@ impl Simulation {
     /// [`SimSnapshot`].
     pub fn snapshot(&self) -> SimSnapshot {
         SimSnapshot {
-            config: self.config.clone(),
-            power: self.power.clone(),
+            config: Arc::clone(&self.config),
+            power: Arc::clone(&self.power),
+            workload: Arc::clone(&self.workload),
             clusters: self.clusters.clone(),
-            workload: self.workload.clone(),
             kernel_idx: self.kernel_idx,
             now: self.now,
             epoch_index: self.epoch_index(),
             completed_at: self.completed_at,
+            engine: self.engine,
         }
     }
 
@@ -315,14 +359,16 @@ impl Simulation {
     }
 
     fn assign_current_kernel(&mut self) {
-        let kernel = self.workload.kernels()[self.kernel_idx].clone();
+        // One shared `Arc` across every cluster (and SM): assignment no
+        // longer deep-copies the kernel spec per cluster.
+        let kernel = Arc::clone(&self.workload.kernels()[self.kernel_idx]);
         let num_clusters = self.clusters.len();
         let seed = self.config.seed ^ (self.kernel_idx as u64).wrapping_mul(0x9E37_79B9);
         for cluster in &mut self.clusters {
             let ids: Vec<u64> = (0..kernel.num_ctas() as u64)
                 .filter(|id| (*id as usize) % num_clusters == cluster.id())
                 .collect();
-            cluster.assign_kernel(kernel.clone(), ids, seed);
+            cluster.assign_kernel(Arc::clone(&kernel), ids, seed);
         }
     }
 
@@ -399,18 +445,25 @@ impl Simulation {
     /// out of table range.
     pub fn step_epoch(&mut self, ops: &[usize]) -> &EpochRecord {
         assert_eq!(ops.len(), self.clusters.len(), "need one operating point per cluster");
-        let table = self.config.vf_table.clone();
-        let epoch_len = self.config.epoch;
-        let transition = self.config.dvfs_transition;
+        // Cheap `Arc` clones release the borrow on `self` for the cluster
+        // loop below; the table itself is shared, not copied.
+        let config = Arc::clone(&self.config);
+        let power = Arc::clone(&self.power);
+        let table = &config.vf_table;
+        let epoch_len = config.epoch;
+        let transition = config.dvfs_transition;
         let start = self.now;
+        let engine = self.engine;
 
         let mut cluster_records = Vec::with_capacity(self.clusters.len());
+        let mut epoch_skipped = 0u64;
         for (cluster, &op_index) in self.clusters.iter_mut().zip(ops) {
             let op = table
                 .get(op_index)
                 .unwrap_or_else(|| panic!("operating point index {op_index} out of range"));
-            let counters =
-                cluster.step_epoch(start, epoch_len, op_index, op, transition, &self.power);
+            let (counters, skipped) =
+                cluster.step_epoch_mode(engine, start, epoch_len, op_index, op, transition, &power);
+            epoch_skipped += skipped;
             cluster_records.push(ClusterEpochRecord {
                 counters,
                 op_index,
@@ -419,7 +472,11 @@ impl Simulation {
         }
         self.now += epoch_len;
         self.agg_epochs += 1;
+        self.skipped_cycles += epoch_skipped;
         obs::counter!("sim.epochs").inc(1);
+        if epoch_skipped > 0 {
+            obs::counter!("sim.skipped_cycles").inc(epoch_skipped);
+        }
         let dt = epoch_len.as_secs();
         for c in &cluster_records {
             obs::histogram!("sim.epoch_instructions").record(c.counters.total_instructions());
@@ -459,7 +516,8 @@ impl Simulation {
     pub fn run(&mut self, governor: &mut dyn DvfsGovernor, max_time: Time) -> SimResult {
         let _span = obs::span!("sim", "sim.run:{}@{}", self.workload.name(), governor.name());
         governor.reset();
-        let table = self.config.vf_table.clone();
+        let config = Arc::clone(&self.config);
+        let table = &config.vf_table;
         let default_ops = vec![table.default_index(); self.clusters.len()];
         while !self.is_complete() && self.now < max_time {
             let ops: Vec<usize> = match self.records.last() {
@@ -468,7 +526,7 @@ impl Simulation {
                     .clusters
                     .iter()
                     .enumerate()
-                    .map(|(i, c)| governor.decide(i, &c.counters, &table))
+                    .map(|(i, c)| governor.decide(i, &c.counters, table))
                     .collect(),
             };
             self.step_epoch(&ops);
@@ -791,6 +849,103 @@ mod tests {
         assert!(!r.completed);
         assert_eq!(r.epochs, 1);
         assert_eq!(r.time, sim.now());
+    }
+
+    #[test]
+    fn history_limit_boundaries() {
+        let cfg = GpuConfig::small_test();
+        let ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+        let mut full = Simulation::new(cfg.clone(), memory_workload());
+        for _ in 0..6 {
+            full.step_epoch(&ops);
+        }
+
+        // Limit 0 is clamped to a single retained record.
+        let mut zero = full.clone();
+        zero.set_history_limit(Some(0));
+        assert_eq!(zero.records().len(), 1);
+        assert_eq!(zero.records()[0].index, 5);
+        assert_eq!(zero.epoch_index(), 6);
+        assert_eq!(zero.result("g"), full.result("g"));
+
+        // Limit == len prunes nothing.
+        let mut exact = full.clone();
+        exact.set_history_limit(Some(6));
+        assert_eq!(exact.records().len(), 6);
+        assert_eq!(exact.records()[0].index, 0);
+
+        // Limit > len prunes nothing now; stepping fills up to the cap.
+        let mut over = full.clone();
+        over.set_history_limit(Some(7));
+        assert_eq!(over.records().len(), 6);
+        over.step_epoch(&ops);
+        over.step_epoch(&ops);
+        assert_eq!(over.records().len(), 7);
+        assert_eq!(over.records()[0].index, 1);
+    }
+
+    #[test]
+    fn restore_with_history_boundaries() {
+        let cfg = GpuConfig::small_test();
+        let ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
+        let mut sim = Simulation::new(cfg.clone(), memory_workload());
+        for _ in 0..3 {
+            sim.step_epoch(&ops);
+        }
+        let snap = sim.snapshot();
+        let step4 = |mut s: Simulation| {
+            for _ in 0..4 {
+                s.step_epoch(&ops);
+            }
+            s
+        };
+
+        // Limit 0 behaves as 1: each epoch evicts the previous record.
+        let r0 = step4(snap.restore_with_history(0));
+        assert_eq!(r0.records().len(), 1);
+        assert_eq!(r0.records()[0].index, 6, "records keep global indices");
+
+        // Limit == post-restore epoch count retains everything...
+        let r4 = step4(snap.restore_with_history(4));
+        assert_eq!(r4.records().len(), 4);
+        assert_eq!(r4.records()[0].index, 3, "window starts at the snapshot epoch");
+
+        // ...as does a limit larger than what ever accumulates.
+        let r9 = step4(snap.restore_with_history(9));
+        assert_eq!(r9.records().len(), 4);
+
+        // All three agree with an unbounded restore on the aggregates.
+        let unlimited = step4(snap.restore());
+        for r in [&r0, &r4, &r9] {
+            assert_eq!(r.result("g"), unlimited.result("g"));
+        }
+    }
+
+    #[test]
+    fn engine_modes_are_equivalent_and_skip_reports_cycles() {
+        let cfg = GpuConfig::small_test();
+        let run = |mode| {
+            let mut sim = Simulation::new(cfg.clone(), memory_workload());
+            sim.set_engine(mode);
+            let mut gov = StaticGovernor::default_point(&cfg.vf_table);
+            let r = sim.run(&mut gov, HORIZON);
+            assert!(r.completed);
+            (r, sim.skipped_cycles())
+        };
+        let (naive, naive_skipped) = run(EngineMode::NaiveTick);
+        let (skip, skipped) = run(EngineMode::CycleSkip);
+        assert_eq!(naive, skip, "engines must agree on the full result");
+        assert_eq!(naive_skipped, 0, "the reference engine never skips");
+        assert!(skipped > 0, "a memory-bound run must skip stall cycles");
+    }
+
+    #[test]
+    fn snapshot_preserves_engine_mode() {
+        let cfg = GpuConfig::small_test();
+        let mut sim = Simulation::new(cfg, memory_workload());
+        sim.set_engine(EngineMode::NaiveTick);
+        assert_eq!(sim.snapshot().restore().engine(), EngineMode::NaiveTick);
+        assert_eq!(sim.engine(), EngineMode::NaiveTick);
     }
 }
 

@@ -8,6 +8,7 @@
 //! stall cause — the raw material of the paper's execution-stall counters.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +19,23 @@ use crate::memory::{ClusterMemory, MemLevel};
 use crate::time::Time;
 use crate::warp::{WaitCause, Warp, WarpState};
 
+/// How the cycle loop advances through stretches where no warp can issue.
+///
+/// Both engines produce bit-identical counters, epoch records and results —
+/// `CycleSkip` merely batches the accounting for cycles whose outcome is
+/// already known (every live warp waiting on an event with a known wake
+/// time). `NaiveTick` is kept as the reference implementation the
+/// equivalence proptests compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Reference engine: tick every core cycle individually.
+    NaiveTick,
+    /// Fast engine: when nothing can issue, jump straight to the earliest
+    /// wake-up (or the end of the epoch when the SM is empty).
+    #[default]
+    CycleSkip,
+}
+
 /// Result of running one epoch on an SM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EpochOutcome {
@@ -25,12 +43,15 @@ pub struct EpochOutcome {
     pub instructions: u64,
     /// Absolute time at which the SM ran out of work, if it did.
     pub finished_at: Option<Time>,
+    /// Stall cycles accounted for in bulk instead of being ticked
+    /// individually (always zero under [`EngineMode::NaiveTick`]).
+    pub skipped_cycles: u64,
 }
 
 /// One SM's execution state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SmCore {
-    kernel: Option<KernelSpec>,
+    kernel: Option<Arc<KernelSpec>>,
     kernel_seed: u64,
     warps: Vec<Warp>,
     pending_ctas: VecDeque<u64>,
@@ -70,7 +91,13 @@ impl SmCore {
     ///
     /// Panics if the SM still has resident warps, or if a single CTA needs
     /// more warp slots than the SM has.
-    pub fn assign_kernel(&mut self, kernel: KernelSpec, cta_ids: Vec<u64>, seed: u64) {
+    pub fn assign_kernel(
+        &mut self,
+        kernel: impl Into<Arc<KernelSpec>>,
+        cta_ids: Vec<u64>,
+        seed: u64,
+    ) {
+        let kernel: Arc<KernelSpec> = kernel.into();
         assert!(self.warps.is_empty(), "cannot assign a kernel to a busy SM");
         assert!(
             kernel.warps_per_cta() <= self.max_warps,
@@ -139,9 +166,32 @@ impl SmCore {
 
     /// Runs the SM for `cycles` core cycles of period `period_ps`,
     /// starting at absolute time `epoch_start`, updating `counters`.
-    #[allow(clippy::too_many_lines)]
+    /// Uses the default [`EngineMode::CycleSkip`] engine.
     pub fn run_epoch(
         &mut self,
+        epoch_start: Time,
+        cycles: u64,
+        period_ps: u64,
+        mem: &mut ClusterMemory,
+        lat: &LatencyTable,
+        counters: &mut EpochCounters,
+    ) -> EpochOutcome {
+        self.run_epoch_mode(
+            EngineMode::CycleSkip,
+            epoch_start,
+            cycles,
+            period_ps,
+            mem,
+            lat,
+            counters,
+        )
+    }
+
+    /// Runs the SM for `cycles` core cycles under an explicit engine mode.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    pub fn run_epoch_mode(
+        &mut self,
+        mode: EngineMode,
         epoch_start: Time,
         cycles: u64,
         period_ps: u64,
@@ -154,6 +204,7 @@ impl SmCore {
         let mut mem_lat_sum_ns = 0.0;
         let mut mem_lat_count = 0u64;
         let mut occupancy_sum = 0u128;
+        let mut skipped = 0u64;
         let mut c = 0u64;
 
         while c < cycles {
@@ -205,14 +256,22 @@ impl SmCore {
             }
 
             if picks.is_empty() {
-                // Stall cycle(s): attribute and fast-forward to the next
-                // wake-up (or the end of the epoch when nothing is pending).
-                let delta = match next_wake {
-                    Some(t) => {
-                        let gap_ps = t.saturating_sub(now).as_ps();
-                        (gap_ps / period_ps + 1).min(cycles - c)
-                    }
-                    None => cycles - c,
+                // Stall cycle(s): attribute and — under `CycleSkip` —
+                // fast-forward to the next wake-up (or the end of the epoch
+                // when nothing is pending). No warp, memory or scheduler
+                // state can change before the earliest wake time, so the
+                // per-cycle accounting below is exact for the whole jump.
+                let delta = match mode {
+                    EngineMode::NaiveTick => 1,
+                    EngineMode::CycleSkip => match next_wake {
+                        Some(t) => {
+                            // The warp wakes on the first cycle whose start
+                            // time reaches `t`: ceil(gap / period) ticks.
+                            let gap_ps = t.saturating_sub(now).as_ps();
+                            gap_ps.div_ceil(period_ps).max(1).min(cycles - c)
+                        }
+                        None => cycles - c,
+                    },
                 };
                 let cause = if n_live == 0 {
                     StallEmpty
@@ -235,6 +294,7 @@ impl SmCore {
                     counters[ActiveCycles] += (delta - 1) as f64;
                 }
                 occupancy_sum += n_live as u128 * (delta - 1) as u128;
+                skipped += delta - 1;
                 c += delta;
                 if n_live == 0
                     && self.pending_ctas.is_empty()
@@ -290,6 +350,7 @@ impl SmCore {
         EpochOutcome {
             instructions: (counters[TotalInstrs] - start_instrs) as u64,
             finished_at: self.finish_time,
+            skipped_cycles: skipped,
         }
     }
 

@@ -1,0 +1,116 @@
+//! Property tests pinning the cycle-skip engine to the naive-tick
+//! reference: on random workloads and random per-epoch operating points,
+//! both engines must produce byte-identical serialized `EpochRecord`
+//! streams and `SimResult`s, and a snapshot restored mid-run must replay
+//! byte-identically under either engine.
+
+use gpu_sim::{
+    BasicBlock, EngineMode, GpuConfig, InstrClass, KernelSpec, MemoryBehavior, Simulation, Workload,
+};
+use proptest::prelude::*;
+
+/// A small random kernel: a handful of blocks mixing ALU, memory and
+/// barrier work so runs exercise stalls (the skip path) and compute
+/// stretches (the tick path).
+fn arb_kernel() -> impl Strategy<Value = KernelSpec> {
+    (
+        prop::collection::vec((prop::collection::vec(0u8..6, 1..5), 1u32..4, 0.0f32..0.3), 1..3),
+        1usize..3,
+        1usize..5,
+        (2u64..33, 0.0f32..0.5, 0.0f32..0.5),
+    )
+        .prop_map(|(blocks, warps_per_cta, num_ctas, (ws_kb, random_frac, hot_frac))| {
+            let classes = [
+                InstrClass::IntAlu,
+                InstrClass::FpAlu,
+                InstrClass::LoadGlobal,
+                InstrClass::StoreGlobal,
+                InstrClass::Sfu,
+                InstrClass::Branch,
+            ];
+            let blocks: Vec<BasicBlock> = blocks
+                .into_iter()
+                .map(|(instrs, iters, div)| {
+                    BasicBlock::new(instrs.into_iter().map(|i| classes[i as usize]), iters, div)
+                })
+                .collect();
+            KernelSpec::new(
+                "prop",
+                blocks,
+                warps_per_cta,
+                num_ctas,
+                MemoryBehavior::new(ws_kb * 1024, 128, random_frac, hot_frac),
+            )
+        })
+}
+
+/// Steps `sim` through `ops_schedule` (one operating point per epoch, for
+/// every cluster) and serializes each epoch's record plus the final
+/// result, so comparisons are byte-level.
+fn drive(mut sim: Simulation, ops_schedule: &[u8]) -> (Vec<String>, String, u64) {
+    let table_len = 6;
+    let mut records = Vec::new();
+    for &op in ops_schedule {
+        if sim.is_complete() {
+            break;
+        }
+        let ops = vec![op as usize % table_len; sim.config().num_clusters];
+        let record = sim.step_epoch(&ops);
+        records.push(serde_json::to_string(record).expect("record serializes"));
+    }
+    let result = serde_json::to_string(&sim.result("prop")).expect("result serializes");
+    (records, result, sim.skipped_cycles())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cycle skipping is an exact optimization: the entire observable
+    /// output (per-epoch records, final result) is byte-identical to
+    /// ticking every cycle, for any workload and DVFS schedule.
+    #[test]
+    fn cycle_skip_matches_naive_tick(
+        kernel in arb_kernel(),
+        ops_schedule in prop::collection::vec(any::<u8>(), 4..40),
+    ) {
+        let cfg = GpuConfig::small_test();
+        let workload = Workload::new("prop", vec![kernel]);
+        let run = |mode: EngineMode| {
+            let mut sim = Simulation::new(cfg.clone(), workload.clone());
+            sim.set_engine(mode);
+            drive(sim, &ops_schedule)
+        };
+        let (naive_records, naive_result, naive_skipped) = run(EngineMode::NaiveTick);
+        let (skip_records, skip_result, _) = run(EngineMode::CycleSkip);
+        prop_assert_eq!(naive_skipped, 0, "the reference engine never skips");
+        prop_assert_eq!(naive_records, skip_records, "per-epoch records must match");
+        prop_assert_eq!(naive_result, skip_result, "final results must match");
+    }
+
+    /// snapshot() -> restore() -> step: the restored simulation replays
+    /// byte-identically to the original continuing, under both engines.
+    #[test]
+    fn snapshot_restore_replays_byte_identically(
+        kernel in arb_kernel(),
+        warmup_schedule in prop::collection::vec(any::<u8>(), 1..6),
+        ops_schedule in prop::collection::vec(any::<u8>(), 4..20),
+        naive in any::<bool>(),
+    ) {
+        let cfg = GpuConfig::small_test();
+        let workload = Workload::new("prop", vec![kernel]);
+        let mut sim = Simulation::new(cfg.clone(), workload);
+        sim.set_engine(if naive { EngineMode::NaiveTick } else { EngineMode::CycleSkip });
+        for &op in &warmup_schedule {
+            if sim.is_complete() {
+                break;
+            }
+            let ops = vec![op as usize % 6; cfg.num_clusters];
+            sim.step_epoch(&ops);
+        }
+        let restored = sim.snapshot().restore();
+        prop_assert_eq!(restored.engine(), sim.engine(), "restore keeps the engine mode");
+        let (orig_records, _, _) = drive(sim, &ops_schedule);
+        let (replay_records, _, _) = drive(restored, &ops_schedule);
+        prop_assert_eq!(orig_records, replay_records, "replay must be byte-identical");
+    }
+}
