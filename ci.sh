@@ -151,4 +151,92 @@ test -s "$OBS_TMP/faulted.json"
 grep -q "fault report: .* 1 dropped units" "$OBS_TMP/fault.log"
 grep -q "failpoint datagen.replay#0" "$OBS_TMP/fault.log"
 
+echo "==> live telemetry smoke (exporter scraped mid-run, watch renders rates)"
+# A datagen run serves /metrics on an ephemeral port and lingers briefly
+# after finishing so the scrape can never race completion. The exporter
+# logs its bound address to stderr; the scrape checks Prometheus text
+# exposition validity and the presence of the counters the SLO gates key
+# on (pre-registered, so they appear even at zero).
+"$SSMDVFS_BIN" datagen --out "$OBS_TMP/live.json" \
+  --benchmarks sgemm --scale 0.05 --clusters 2 --jobs 2 \
+  --replay-cache "$OBS_TMP/replay-cache.json" \
+  --serve-metrics 127.0.0.1:0 --serve-linger 20 \
+  2> "$OBS_TMP/live.stderr" &
+LIVE_PID=$!
+METRICS_ADDR=""
+for _ in $(seq 1 100); do
+  METRICS_ADDR="$(sed -n 's/.*serving metrics on \([0-9.:]*\).*/\1/p' \
+    "$OBS_TMP/live.stderr" | head -n1)"
+  [ -n "$METRICS_ADDR" ] && break
+  sleep 0.1
+done
+test -n "$METRICS_ADDR" || { cat "$OBS_TMP/live.stderr"; exit 1; }
+echo "exporter at $METRICS_ADDR"
+python3 - "$METRICS_ADDR" "$OBS_TMP" <<'EOF'
+import sys, urllib.request
+addr, tmp = sys.argv[1], sys.argv[2]
+health = urllib.request.urlopen(f"http://{addr}/healthz", timeout=10).read().decode()
+assert "ok" in health, health
+text = urllib.request.urlopen(f"http://{addr}/metrics", timeout=10).read().decode()
+open(f"{tmp}/metrics.prom", "w").write(text)
+families = set()
+for line in text.splitlines():
+    if line.startswith("# TYPE "):
+        name, kind = line.split()[2:4]
+        assert kind in ("counter", "gauge", "histogram"), line
+        families.add(name)
+    elif line and not line.startswith("#"):
+        sample = line.split()
+        assert len(sample) == 2, line
+        float(sample[1])  # every sample value must parse
+for required in ("sim_cache_hits", "train_epochs", "exec_quarantine_dropped"):
+    assert required in families, (required, sorted(families))
+print(f"scraped {len(families)} metric families, required counters present")
+EOF
+"$SSMDVFS_BIN" watch "$METRICS_ADDR" | tee "$OBS_TMP/watch.log"
+grep -q "cache hit ratio" "$OBS_TMP/watch.log"
+wait "$LIVE_PID"
+cmp "$OBS_TMP/live.json" "$OBS_TMP/cache-cold.json"
+echo "live-scraped dataset identical to unobserved run"
+
+echo "==> phase profiler smoke (collapsed stacks + inspect --profile)"
+"$SSMDVFS_BIN" datagen --out "$OBS_TMP/prof.json" \
+  --benchmarks sgemm --scale 0.05 --clusters 2 --jobs 2 --log-level warn \
+  --profile-out "$OBS_TMP/profile.json" \
+  --profile-collapsed "$OBS_TMP/profile.folded"
+"$SSMDVFS_BIN" inspect --profile "$OBS_TMP/profile.json" \
+  | tee "$OBS_TMP/profile.log"
+grep -q "datagen" "$OBS_TMP/profile.log"
+grep -q "datagen.replay" "$OBS_TMP/profile.folded"
+# At least one nested path (worker -> replay) proves stacks collapse.
+grep -q ";" "$OBS_TMP/profile.folded"
+
+echo "==> SLO gate (passes on the current trajectory)"
+"$SSMDVFS_BIN" slo-check --baseline docs/perf \
+  --current target/ssmdvfs-artifacts \
+  --metrics "$OBS_TMP/cache-warm-metrics.json" \
+  --slo docs/perf/slo.toml
+"$SSMDVFS_BIN" slo-check --baseline docs/perf --slo docs/perf/slo.toml
+
+echo "==> SLO gate (tightened rules must fail with the named rule)"
+# A cache hit ratio above 1.0 is unsatisfiable by construction, so the
+# tightened policy must exit nonzero and name the violated rule.
+cat > "$OBS_TMP/slo-tight.toml" <<'EOF'
+[[rule]]
+name = "impossible-cache-ratio"
+kind = "min_ratio"
+numerator = "sim.cache_hits"
+denominator = "sim.cache_hits, sim.cache_misses"
+min = 1.01
+EOF
+if "$SSMDVFS_BIN" slo-check --baseline docs/perf \
+    --metrics "$OBS_TMP/cache-warm-metrics.json" \
+    --slo "$OBS_TMP/slo-tight.toml" > "$OBS_TMP/slo-tight.log" 2>&1; then
+  echo "error: tightened SLO policy unexpectedly passed" >&2
+  cat "$OBS_TMP/slo-tight.log" >&2
+  exit 1
+fi
+grep -q "impossible-cache-ratio" "$OBS_TMP/slo-tight.log"
+echo "tightened SLO failed as intended, naming the violated rule"
+
 echo "==> CI passed"

@@ -8,30 +8,63 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// What class of failure a [`ParseArgsError`] describes. Usage mistakes
+/// and bad option values are distinguishable so callers (and tests) don't
+/// have to pattern-match message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorKind {
+    /// Malformed invocation: unknown subcommand, missing required option.
+    #[default]
+    Usage,
+    /// An option was present but its value failed to parse or validate
+    /// (e.g. `--log-level shouty`).
+    InvalidValue,
+    /// A pipeline stage failed while running (I/O, simulation, training).
+    Stage,
+}
+
 /// Error produced while parsing arguments or running a subcommand.
 ///
 /// Command implementations tag errors with the pipeline stage that failed
 /// (`datagen`, `train`, ...), so `error: [datagen] failed to write dataset
-/// '...'` names the culprit before the binary exits nonzero.
+/// '...'` names the culprit before the binary exits nonzero. [`ErrorKind`]
+/// distinguishes usage mistakes from invalid option values and runtime
+/// stage failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseArgsError {
     message: String,
     stage: Option<&'static str>,
+    kind: ErrorKind,
 }
 
 impl ParseArgsError {
     pub(crate) fn new(message: impl Into<String>) -> ParseArgsError {
-        ParseArgsError { message: message.into(), stage: None }
+        ParseArgsError { message: message.into(), stage: None, kind: ErrorKind::Usage }
     }
 
     /// An error attributed to a named pipeline stage.
     pub(crate) fn in_stage(stage: &'static str, message: impl Into<String>) -> ParseArgsError {
-        ParseArgsError { message: message.into(), stage: Some(stage) }
+        ParseArgsError { message: message.into(), stage: Some(stage), kind: ErrorKind::Stage }
+    }
+
+    /// A typed rejection of one option's value: names the option, the
+    /// offending input, and what would have been accepted.
+    pub(crate) fn invalid_value(option: &str, got: &str, expected: &str) -> ParseArgsError {
+        ParseArgsError {
+            message: format!("invalid value '{got}' for --{option} (expected {expected})"),
+            stage: None,
+            kind: ErrorKind::InvalidValue,
+        }
     }
 
     /// The pipeline stage this error is attributed to, if any.
     pub fn stage(&self) -> Option<&'static str> {
         self.stage
+    }
+
+    /// The class of failure.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
     }
 }
 

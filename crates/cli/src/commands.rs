@@ -4,8 +4,10 @@
 //! holding the text to print — pure enough to test without spawning a
 //! process.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
+use std::path::Path;
 
 use dvfs_baselines::{
     run_oracle, FlemmaConfig, FlemmaGovernor, OndemandConfig, OndemandGovernor, PcstallConfig,
@@ -73,11 +75,31 @@ COMMANDS:
   inspect     [audit.jsonl]           summarize a DVFS decision audit trail
               [--metrics <file.json>] summarize a --metrics-out snapshot
                                       (sim epochs, skipped cycles, cache hits)
+              [--trace <file.json>]   summarize a Chrome/Perfetto trace
+                                      (span count, total/mean time per name)
+              [--profile <file.json>] show a --profile-out per-phase table
+  watch       <addr>                  poll a --serve-metrics exporter and
+              [--window 20]           show windowed rates instead of totals
+              [--count 1] [--interval-ms 1000]
+  slo-check   --baseline <dir>        evaluate SLO rules against the newest
+                                      BENCH_*.json point per series in <dir>
+              [--current <dir>]       freshly measured BENCH_*.json points
+              [--metrics <file.json>] counters for ratio/ceiling rules
+              [--audit <file.jsonl>]  decisions for calibration rules
+              [--slo <rules.toml>]    rule file (defaults to built-in rules)
+              [--strict]              treat skipped rules as failures
   help                                show this message
 
 GLOBAL OPTIONS (any command):
   --metrics-out <file.json>           write a metrics-registry snapshot
   --trace-out <file.json>             write a Chrome/Perfetto trace
+  --serve-metrics <addr>              serve /metrics (Prometheus),
+                                      /metrics.json[?window=N] and /healthz
+                                      for the duration of the run
+  --serve-linger <secs>               keep the exporter up after the command
+                                      finishes (scrape-friendly short runs)
+  --profile-out <file.json>           write the phase profiler's table
+  --profile-collapsed <file.txt>      write flamegraph collapsed stacks
   --log-level off|error|warn|info|debug
 "
     .to_string()
@@ -401,15 +423,83 @@ pub fn asic(args: &Args) -> CmdResult {
     ))
 }
 
-/// `inspect [audit.jsonl] [--metrics <file.json>]`: summarizes a decision
-/// audit trail written by `simulate --audit-out` and/or a metrics snapshot
-/// written by `--metrics-out` (simulation-engine counters included).
+/// Per-span-name aggregation of a Chrome/Perfetto trace: event count and
+/// total/mean wall time, so `--trace-out` files are inspectable without
+/// leaving the CLI.
+fn summarize_chrome_trace(text: &str, path: &str) -> CmdResult {
+    let root: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| err(format!("cannot parse trace '{path}': {e}")))?;
+    let events = root
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| err(format!("trace '{path}' has no traceEvents array")))?;
+    let mut by_name: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    let mut spans = 0u64;
+    for event in events {
+        // Only complete ("X") events carry a duration; metadata ("M") and
+        // instants are counted separately below.
+        if event.get("ph").and_then(serde_json::Value::as_str) != Some("X") {
+            continue;
+        }
+        let name = event.get("name").and_then(serde_json::Value::as_str).unwrap_or("?");
+        let dur = event.get("dur").and_then(serde_json::Value::as_f64).unwrap_or(0.0);
+        let entry = by_name.entry(name.to_string()).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += dur;
+        spans += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace     : {} events, {} spans, {} distinct span names",
+        events.len(),
+        spans,
+        by_name.len()
+    );
+    let mut rows: Vec<(&String, &(u64, f64))> = by_name.iter().collect();
+    rows.sort_by(|a, b| b.1 .1.total_cmp(&a.1 .1).then_with(|| a.0.cmp(b.0)));
+    let _ = writeln!(out, "{:<44} {:>8} {:>12} {:>12}", "span", "count", "total ms", "mean µs");
+    for (name, (count, total_us)) in rows.into_iter().take(20) {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>12.3} {:>12.1}",
+            name,
+            count,
+            total_us / 1e3,
+            total_us / *count as f64
+        );
+    }
+    Ok(out)
+}
+
+/// `inspect [audit.jsonl] [--metrics <file.json>] [--trace <file.json>]
+/// [--profile <file.json>]`: summarizes a decision audit trail written by
+/// `simulate --audit-out`, a `--metrics-out` snapshot (simulation-engine
+/// counters included), a `--trace-out` Chrome trace, and/or a
+/// `--profile-out` phase profile.
 pub fn inspect(args: &Args) -> CmdResult {
     let metrics_path = args.get("metrics");
     let mut out = String::new();
+    if let Some(path) = args.get("trace") {
+        let text = fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read trace '{path}': {e}")))?;
+        let _ = write!(out, "{}", summarize_chrome_trace(&text, path)?);
+    }
+    if let Some(path) = args.get("profile") {
+        let text = fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read profile '{path}': {e}")))?;
+        let profile: obs::prof::ProfileSnapshot = serde_json::from_str(&text)
+            .map_err(|e| err(format!("cannot parse profile '{path}': {e}")))?;
+        let _ = write!(out, "{}", obs::prof::table(&profile));
+    }
     match (args.positional(), &metrics_path) {
         ([], None) => {
-            return Err(err("inspect expects an audit JSONL file and/or --metrics <file.json>"));
+            if out.is_empty() {
+                return Err(err(
+                    "inspect expects an audit JSONL file and/or --metrics/--trace/--profile \
+                     <file.json>",
+                ));
+            }
         }
         ([], Some(_)) => {}
         ([path], _) => {
@@ -449,6 +539,188 @@ pub fn inspect(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// Renders one `/metrics.json?window=N` report as a rates table.
+fn render_window(addr: &str, report: &obs::series::WindowReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{addr} — uptime {:.1} s, window {} samples over {:.2} s",
+        report.uptime_s, report.samples, report.seconds
+    );
+    let derived: [(&str, f64); 5] = [
+        ("sim epochs/s", report.rate("sim.epochs")),
+        ("sim cycles skipped/s", report.rate("sim.skipped_cycles")),
+        ("datagen replays/s", report.rate("datagen.replays")),
+        ("datagen samples/s", report.rate("datagen.samples")),
+        ("train epochs/s", report.rate("tinynn.train.epochs")),
+    ];
+    for (label, rate) in derived {
+        let _ = writeln!(out, "  {label:<22}: {rate:>12.1}");
+    }
+    match report.delta_ratio("sim.cache_hits", "sim.cache_misses") {
+        Some(ratio) => {
+            let _ = writeln!(out, "  {:<22}: {:>12.3}", "cache hit ratio", ratio);
+        }
+        None => {
+            let _ = writeln!(out, "  {:<22}: {:>12}", "cache hit ratio", "-");
+        }
+    }
+    let drops = report.counters.get("exec.quarantine_dropped").map_or(0, |c| c.delta);
+    let _ = writeln!(out, "  {:<22}: {:>12}", "quarantine drops", drops);
+    // Any other counter that moved in the window, fastest first.
+    let mut moved: Vec<(&String, &obs::series::CounterWindow)> = report
+        .counters
+        .iter()
+        .filter(|(name, c)| {
+            c.delta > 0
+                && !matches!(
+                    name.as_str(),
+                    "sim.epochs"
+                        | "sim.skipped_cycles"
+                        | "datagen.replays"
+                        | "datagen.samples"
+                        | "tinynn.train.epochs"
+                        | "sim.cache_hits"
+                        | "sim.cache_misses"
+                        | "exec.quarantine_dropped"
+                )
+        })
+        .collect();
+    moved.sort_by(|a, b| b.1.rate_per_s.total_cmp(&a.1.rate_per_s).then_with(|| a.0.cmp(b.0)));
+    for (name, c) in moved.into_iter().take(8) {
+        let _ = writeln!(out, "  {:<22}: {:>12.1}/s (+{})", name, c.rate_per_s, c.delta);
+    }
+    out
+}
+
+/// `watch <addr>`: polls a `--serve-metrics` exporter's windowed endpoint
+/// and renders rates (epochs/s, cache hit ratio, quarantine drops) rather
+/// than lifetime totals. `--count N` polls N times, `--interval-ms`
+/// spacing them.
+pub fn watch(args: &Args) -> CmdResult {
+    let [addr] = args.positional() else {
+        return Err(err("watch expects exactly one <addr>, e.g. 'watch 127.0.0.1:9184'"));
+    };
+    let window = args.get_usize("window", 20)?.max(1);
+    let count = args.get_usize("count", 1)?.max(1);
+    let interval_ms = args.get_usize("interval-ms", 1000)?;
+    let mut out = String::new();
+    for i in 0..count {
+        if i > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms as u64));
+        }
+        let (status, body) = obs::export::http_get(addr, &format!("/metrics.json?window={window}"))
+            .map_err(|e| err(format!("cannot reach exporter at {addr}: {e}")))?;
+        if status != 200 {
+            return Err(err(format!("exporter at {addr} returned HTTP {status}")));
+        }
+        let report: obs::series::WindowReport = serde_json::from_str(&body)
+            .map_err(|e| err(format!("malformed window report from {addr}: {e}")))?;
+        let _ = write!(out, "{}", render_window(addr, &report));
+    }
+    Ok(out)
+}
+
+/// Loads every `BENCH_<series>*.json` in `dir`, keeping the newest file
+/// per series (ISO dates in the filename sort lexicographically). Numeric
+/// fields become the [`obs::slo::BenchPoint`]; booleans read 0/1.
+fn load_bench_dir(dir: &str) -> Result<BTreeMap<String, obs::slo::BenchPoint>, ParseArgsError> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| err_in("slo", format!("cannot read BENCH directory '{dir}': {e}")))?;
+    let mut newest: BTreeMap<String, String> = BTreeMap::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| err_in("slo", format!("cannot list '{dir}': {e}")))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let series = name.trim_end_matches(".json").split('.').next().unwrap_or(&name).to_string();
+        let slot = newest.entry(series).or_default();
+        if name > *slot {
+            *slot = name;
+        }
+    }
+    let mut points = BTreeMap::new();
+    for (series, file) in newest {
+        let path = Path::new(dir).join(&file);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| err_in("slo", format!("cannot read '{}': {e}", path.display())))?;
+        let value: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| err_in("slo", format!("cannot parse '{}': {e}", path.display())))?;
+        let object = value
+            .as_object()
+            .ok_or_else(|| err_in("slo", format!("'{}' is not a JSON object", path.display())))?;
+        let mut point = obs::slo::BenchPoint::new();
+        for (key, field) in object {
+            match field {
+                serde_json::Value::Number(n) => {
+                    point.insert(key.clone(), n.as_f64());
+                }
+                serde_json::Value::Bool(b) => {
+                    point.insert(key.clone(), f64::from(u8::from(*b)));
+                }
+                _ => {}
+            }
+        }
+        points.insert(series, point);
+    }
+    if points.is_empty() {
+        return Err(err_in("slo", format!("no BENCH_*.json files in '{dir}'")));
+    }
+    Ok(points)
+}
+
+/// `slo-check`: evaluates declarative threshold rules against the perf
+/// trajectory, a metrics snapshot, and an audit trail; prints the report
+/// and fails (nonzero exit) when any rule is violated.
+pub fn slo_check(args: &Args) -> CmdResult {
+    let baseline = load_bench_dir(args.require("baseline")?)?;
+    let current = match args.get("current") {
+        // Without a fresh measurement the newest checked-in point doubles
+        // as the current one: the gate then validates the trajectory's own
+        // consistency plus the snapshot/audit rules.
+        None => baseline.clone(),
+        Some(dir) => load_bench_dir(dir)?,
+    };
+    let metrics = match args.get("metrics") {
+        None => None,
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| err_in("slo", format!("cannot read metrics '{path}': {e}")))?;
+            Some(
+                serde_json::from_str(&text)
+                    .map_err(|e| err_in("slo", format!("cannot parse metrics '{path}': {e}")))?,
+            )
+        }
+    };
+    let audit = match args.get("audit") {
+        None => None,
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| err_in("slo", format!("cannot read audit '{path}': {e}")))?;
+            Some(
+                obs::audit::parse_jsonl(&text)
+                    .map_err(|e| err_in("slo", format!("cannot parse audit '{path}': {e}")))?,
+            )
+        }
+    };
+    let rules = match args.get("slo") {
+        None => obs::slo::default_rules(),
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| err_in("slo", format!("cannot read SLO rules '{path}': {e}")))?;
+            obs::slo::parse_slo_toml(&text).map_err(|e| err_in("slo", format!("{path}: {e}")))?
+        }
+    };
+    let inputs = obs::slo::SloInputs { baseline, current, metrics, audit };
+    let report = obs::slo::evaluate(&rules, &inputs, args.flag("strict"));
+    if report.passed() {
+        Ok(format!("{report}\n"))
+    } else {
+        Err(err_in("slo", report.to_string()))
+    }
+}
+
 /// Dispatches a parsed argument set to its subcommand.
 ///
 /// # Errors
@@ -464,29 +736,53 @@ pub fn dispatch(args: &Args) -> CmdResult {
         "evaluate" => eval_cmd(args),
         "asic" => asic(args),
         "inspect" => inspect(args),
+        "watch" => watch(args),
+        "slo-check" => slo_check(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command '{other}'\n\n{}", usage()))),
     }
 }
 
 /// [`dispatch`] wrapped with the global observability options: sets the log
-/// level, enables metrics/tracing when an output file is requested, and
-/// writes the snapshot and Chrome-trace files after the command finishes
+/// level, enables metrics/tracing when an output file or live exporter is
+/// requested, starts/stops the embedded metrics server, and writes the
+/// snapshot, Chrome-trace and profile files after the command finishes
 /// (even a failing command leaves its partial telemetry behind).
 ///
 /// # Errors
 ///
-/// As [`dispatch`], plus I/O failures writing the requested output files.
+/// As [`dispatch`], plus I/O failures writing the requested output files or
+/// binding the metrics listener.
 pub fn run(args: &Args) -> CmdResult {
+    const LEVELS: &str = "off|error|warn|info|debug";
+    if args.flag("log-level") {
+        return Err(ParseArgsError::invalid_value("log-level", "", LEVELS));
+    }
     if let Some(level) = args.get("log-level") {
-        let level = obs::log::parse_level(level).map_err(err)?;
+        let level = obs::log::parse_level(level)
+            .map_err(|_| ParseArgsError::invalid_value("log-level", level, LEVELS))?;
         obs::log::set_level(level);
     }
     let metrics_out = args.get("metrics-out");
     let trace_out = args.get("trace-out");
-    if metrics_out.is_some() || trace_out.is_some() {
+    let profile_out = args.get("profile-out");
+    let profile_collapsed = args.get("profile-collapsed");
+    let serve_metrics = args.get("serve-metrics");
+    if metrics_out.is_some() || trace_out.is_some() || serve_metrics.is_some() {
         obs::set_enabled(true);
     }
+    if profile_out.is_some() || profile_collapsed.is_some() {
+        obs::prof::set_profiling(true);
+    }
+    let server = match serve_metrics {
+        None => None,
+        Some(addr) => {
+            let server = obs::export::MetricsServer::start(addr)
+                .map_err(|e| err(format!("cannot serve metrics on '{addr}': {e}")))?;
+            obs::info!("serving metrics on {}", server.local_addr());
+            Some(server)
+        }
+    };
     let result = dispatch(args);
     if let Some(path) = metrics_out {
         fs::write(path, obs::metrics::global().snapshot_json())
@@ -495,6 +791,26 @@ pub fn run(args: &Args) -> CmdResult {
     if let Some(path) = trace_out {
         fs::write(path, obs::trace::chrome_trace_json())
             .map_err(|e| err(format!("cannot write trace '{path}': {e}")))?;
+    }
+    if profile_out.is_some() || profile_collapsed.is_some() {
+        let profile = obs::prof::snapshot();
+        if let Some(path) = profile_out {
+            let json = serde_json::to_string_pretty(&profile)
+                .map_err(|e| err(format!("cannot serialize profile: {e}")))?;
+            fs::write(path, json)
+                .map_err(|e| err(format!("cannot write profile '{path}': {e}")))?;
+        }
+        if let Some(path) = profile_collapsed {
+            fs::write(path, obs::prof::collapsed(&profile))
+                .map_err(|e| err(format!("cannot write collapsed profile '{path}': {e}")))?;
+        }
+    }
+    if let Some(server) = server {
+        let linger = args.get_f64("serve-linger", 0.0)?;
+        if linger > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(linger.min(600.0)));
+        }
+        server.shutdown();
     }
     result
 }
@@ -888,7 +1204,36 @@ mod trace_tests {
     #[test]
     fn run_rejects_bad_log_level() {
         let args = Args::parse(["help", "--log-level", "shouty"]).unwrap();
-        assert!(run(&args).unwrap_err().to_string().contains("unknown log level"));
+        let e = run(&args).unwrap_err();
+        assert_eq!(e.kind(), crate::args::ErrorKind::InvalidValue);
+        assert!(e.to_string().contains("invalid value 'shouty' for --log-level"), "{e}");
+        assert!(e.to_string().contains("off|error|warn|info|debug"), "{e}");
+    }
+
+    #[test]
+    fn run_rejects_mixed_garbage_log_level() {
+        for junk in ["Info rmation", "debug!!", "war\tn", "\u{1F600}"] {
+            let args = Args::parse(["help", "--log-level", junk]).unwrap();
+            let e = run(&args).unwrap_err();
+            assert_eq!(e.kind(), crate::args::ErrorKind::InvalidValue, "{junk}: {e}");
+            assert!(e.to_string().contains("--log-level"), "{junk}: {e}");
+        }
+    }
+
+    #[test]
+    fn run_rejects_valueless_log_level_flag() {
+        let args = Args::parse(["help", "--log-level"]).unwrap();
+        let e = run(&args).unwrap_err();
+        assert_eq!(e.kind(), crate::args::ErrorKind::InvalidValue);
+    }
+
+    #[test]
+    fn run_accepts_case_insensitive_and_padded_log_levels() {
+        for ok in ["INFO", "Warn", " debug ", "OFF"] {
+            let args = Args::parse(["help", "--log-level", ok]).unwrap();
+            assert!(run(&args).is_ok(), "level '{ok}' should parse");
+        }
+        obs::log::set_level(obs::log::Level::Off);
     }
 
     #[test]
@@ -909,5 +1254,179 @@ mod trace_tests {
             let out = simulate(&args).unwrap();
             assert!(out.contains("completed : true"), "{gov}: {out}");
         }
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ssmdvfs_cli_{tag}"));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn watch_renders_rates_from_live_exporter() {
+        let server = obs::export::MetricsServer::start("127.0.0.1:0").unwrap();
+        obs::metrics::global().counter("sim.epochs").inc(5);
+        let addr = server.local_addr().to_string();
+        let args = Args::parse(["watch", &addr, "--window", "10"]).unwrap();
+        let out = watch(&args).unwrap();
+        assert!(out.contains(&addr), "{out}");
+        assert!(out.contains("sim epochs/s"), "{out}");
+        assert!(out.contains("cache hit ratio"), "{out}");
+        assert!(out.contains("quarantine drops"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn watch_rejects_unreachable_exporter() {
+        // Reserved port on localhost that nothing listens on.
+        let args = Args::parse(["watch", "127.0.0.1:1"]).unwrap();
+        assert!(watch(&args).unwrap_err().to_string().contains("cannot reach"));
+    }
+
+    #[test]
+    fn slo_check_passes_on_flat_trajectory_and_fails_on_regression() {
+        let base = tmp_dir("slo_base");
+        let cur = tmp_dir("slo_cur");
+        fs::write(base.join("BENCH_train.2026-01-01.json"), r#"{"epochs_per_sec": 100.0}"#)
+            .unwrap();
+        fs::write(cur.join("BENCH_train.2026-01-02.json"), r#"{"epochs_per_sec": 8.0}"#).unwrap();
+        let slo = base.join("slo.toml");
+        fs::write(
+            &slo,
+            "[[rule]]\nname = \"train-throughput\"\nkind = \"max_regression\"\n\
+             source = \"BENCH_train\"\nkey = \"epochs_per_sec\"\nmax_regression_pct = 50.0\n",
+        )
+        .unwrap();
+        let slo_path = slo.to_str().unwrap().to_string();
+
+        // Baseline doubling as current: no regression by construction.
+        let args =
+            Args::parse(["slo-check", "--baseline", base.to_str().unwrap(), "--slo", &slo_path])
+                .unwrap();
+        let out = slo_check(&args).unwrap();
+        assert!(out.contains("PASS train-throughput"), "{out}");
+        assert!(out.contains("SLO check passed"), "{out}");
+
+        // A 92% drop blows the 50% budget; the failure names the rule.
+        let args = Args::parse([
+            "slo-check",
+            "--baseline",
+            base.to_str().unwrap(),
+            "--current",
+            cur.to_str().unwrap(),
+            "--slo",
+            &slo_path,
+        ])
+        .unwrap();
+        let e = slo_check(&args).unwrap_err().to_string();
+        assert!(e.contains("FAIL train-throughput"), "{e}");
+        assert!(e.contains("SLO check FAILED"), "{e}");
+
+        fs::remove_dir_all(&base).ok();
+        fs::remove_dir_all(&cur).ok();
+    }
+
+    #[test]
+    fn slo_check_strict_fails_on_skipped_rules() {
+        let base = tmp_dir("slo_strict");
+        fs::write(base.join("BENCH_train.2026-01-01.json"), r#"{"epochs_per_sec": 100.0}"#)
+            .unwrap();
+        // Default rules include metrics/audit-backed checks we don't feed.
+        let args =
+            Args::parse(["slo-check", "--baseline", base.to_str().unwrap(), "--strict"]).unwrap();
+        assert!(slo_check(&args).is_err());
+        let args = Args::parse(["slo-check", "--baseline", base.to_str().unwrap()]).unwrap();
+        assert!(slo_check(&args).is_ok());
+        fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn slo_check_reports_parse_errors_with_line_numbers() {
+        let base = tmp_dir("slo_bad");
+        fs::write(base.join("BENCH_train.2026-01-01.json"), r#"{"epochs_per_sec": 1.0}"#).unwrap();
+        let slo = base.join("bad.toml");
+        fs::write(&slo, "[[rule]]\nname = \"x\"\nkind = \"nope\"\n").unwrap();
+        let args = Args::parse([
+            "slo-check",
+            "--baseline",
+            base.to_str().unwrap(),
+            "--slo",
+            slo.to_str().unwrap(),
+        ])
+        .unwrap();
+        let e = slo_check(&args).unwrap_err().to_string();
+        assert!(e.contains("bad.toml"), "{e}");
+        assert!(e.contains("line"), "{e}");
+        fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn inspect_summarizes_chrome_trace() {
+        let dir = tmp_dir("trace");
+        let path = dir.join("trace.json");
+        fs::write(
+            &path,
+            r#"{"traceEvents":[
+                {"ph":"X","name":"datagen.replay","dur":1500,"ts":0,"pid":1,"tid":1},
+                {"ph":"X","name":"datagen.replay","dur":500,"ts":2000,"pid":1,"tid":1},
+                {"ph":"X","name":"sim.run","dur":3000,"ts":0,"pid":1,"tid":2},
+                {"ph":"M","name":"process_name","ts":0,"pid":1,"tid":1}
+            ]}"#,
+        )
+        .unwrap();
+        let args = Args::parse(["inspect", "--trace", path.to_str().unwrap()]).unwrap();
+        let out = inspect(&args).unwrap();
+        assert!(out.contains("datagen.replay"), "{out}");
+        assert!(out.contains("sim.run"), "{out}");
+        assert!(out.contains('3'), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspect_renders_profile_table() {
+        let dir = tmp_dir("profile");
+        let path = dir.join("profile.json");
+        obs::prof::set_profiling(true);
+        obs::prof::reset();
+        {
+            let _outer = obs::prof::scope("cli.test.outer");
+            let _inner = obs::prof::scope("cli.test.inner");
+        }
+        let snapshot = obs::prof::snapshot();
+        obs::prof::set_profiling(false);
+        fs::write(&path, serde_json::to_string_pretty(&snapshot).unwrap()).unwrap();
+        let args = Args::parse(["inspect", "--profile", path.to_str().unwrap()]).unwrap();
+        let out = inspect(&args).unwrap();
+        assert!(out.contains("cli.test.outer"), "{out}");
+        assert!(out.contains("cli.test.outer;cli.test.inner"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_writes_profile_outputs() {
+        let dir = tmp_dir("run_profile");
+        let json = dir.join("profile.json");
+        let folded = dir.join("profile.folded");
+        let args = Args::parse([
+            "list-benchmarks",
+            "--profile-out",
+            json.to_str().unwrap(),
+            "--profile-collapsed",
+            folded.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&args).unwrap();
+        obs::prof::set_profiling(false);
+        let profile: obs::prof::ProfileSnapshot =
+            serde_json::from_str(&fs::read_to_string(&json).unwrap()).unwrap();
+        let _ = profile; // shape round-trips; content depends on test order
+        assert!(fs::read_to_string(&folded).is_ok());
+        fs::remove_dir_all(&dir).ok();
     }
 }

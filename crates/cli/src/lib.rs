@@ -17,8 +17,8 @@
 mod args;
 mod commands;
 
-pub use args::{Args, ParseArgsError};
+pub use args::{Args, ErrorKind, ParseArgsError};
 pub use commands::{
-    asic, compress, datagen, dispatch, eval_cmd, inspect, list_benchmarks, run, simulate, train,
-    usage,
+    asic, compress, datagen, dispatch, eval_cmd, inspect, list_benchmarks, run, simulate,
+    slo_check, train, usage, watch,
 };

@@ -396,6 +396,7 @@ fn collect_replay_specs(
     dg: &DataGenConfig,
 ) -> Vec<ReplaySpec> {
     let _span = obs::span!("datagen", "reference:{}", workload.name());
+    let _prof = obs::prof::scope("datagen.reference");
     let default_ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
     let interval = dg.breakpoint_interval_epochs;
     let max_epochs = (dg.max_time.as_ps() / cfg.epoch.as_ps()) as usize;
@@ -461,6 +462,7 @@ fn run_replay(
     op_index: usize,
 ) -> Vec<RawSample> {
     let _span = obs::span!("datagen", "replay:{}#{}@op{}", name, spec.breakpoint, op_index);
+    let _prof = obs::prof::scope("datagen.replay");
     let default_ops = vec![cfg.vf_table.default_index(); cfg.num_clusters];
     let interval = dg.breakpoint_interval_epochs;
     let budget = interval + (interval as f64 * dg.replay_slack).ceil() as usize;
@@ -559,6 +561,7 @@ pub fn generate_workload_jobs(
     jobs: usize,
 ) -> DvfsDataset {
     let _span = obs::span!("datagen", "datagen:{name}");
+    let _prof = obs::prof::scope("datagen");
     let specs = collect_replay_specs(workload, cfg, dg);
     let num_ops = cfg.vf_table.len();
     let job_list: Vec<(usize, usize)> =
@@ -658,6 +661,7 @@ pub fn generate_suite_with(
     options: &SuiteOptions,
 ) -> Result<SuiteOutcome, SsmdvfsError> {
     let _span = obs::span!("datagen", "datagen-suite:{} benchmarks", benchmarks.len());
+    let _prof = obs::prof::scope("datagen.suite");
     let jobs = options.jobs;
     // Phase 1: per-benchmark reference timelines (independent of each other).
     let specs_per_bench: Vec<Vec<ReplaySpec>> =

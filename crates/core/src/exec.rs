@@ -122,6 +122,7 @@ where
             let panicked = &panicked;
             scope.spawn(move |_| {
                 let _span = obs::span!("exec", "exec.worker#{w}");
+                let _prof = obs::prof::scope("exec.worker");
                 let (mut executed, mut stolen) = (0u64, 0u64);
                 while !panicked.load(Ordering::Relaxed) {
                     let Some(((i, item), was_stolen)) = find_task(&local, injector, stealers)

@@ -48,6 +48,7 @@ pub fn train_combined(
     assert!(num_ops >= 2, "need at least two operating points");
     assert!(!dataset.is_empty(), "cannot train on an empty dataset");
     let _span = obs::span!("train", "train_combined:{} samples", dataset.len());
+    let _prof = obs::prof::scope("train.combined");
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5A5A);
 
     // Decision head.
@@ -100,6 +101,11 @@ pub fn train_combined(
     };
     obs::gauge!("train.decision_accuracy").set(summary.decision_accuracy);
     obs::gauge!("train.calibrator_mape").set(summary.calibrator_mape);
+    // Pipeline-level epoch counter (both heads), distinct from the
+    // per-loop tinynn.train.epochs: this is the number a live scrape of a
+    // training run rates as "train epochs/s".
+    obs::counter!("train.epochs")
+        .inc((dec_report.train_loss.len() + cal_report.train_loss.len()) as u64);
     (model, summary)
 }
 

@@ -44,12 +44,32 @@ proptest! {
         obs::set_enabled(false);
         let silent = generate_workload_jobs("obs-prop", w.clone(), &cfg, &dg, jobs);
         obs::set_enabled(true);
-        let traced = generate_workload_jobs("obs-prop", w, &cfg, &dg, jobs);
+        let traced = generate_workload_jobs("obs-prop", w.clone(), &cfg, &dg, jobs);
         obs::set_enabled(false);
+
+        // The full telemetry plane — metrics + tracing, the phase
+        // profiler, and a live exporter being scraped mid-run — must be
+        // just as invisible to the dataset as tracing alone.
+        let server = obs::export::MetricsServer::start("127.0.0.1:0").expect("exporter binds");
+        obs::set_enabled(true);
+        obs::prof::set_profiling(true);
+        let observed = generate_workload_jobs("obs-prop", w, &cfg, &dg, jobs);
+        let (status, _) = obs::export::http_get(&server.local_addr().to_string(), "/metrics")
+            .expect("exporter reachable");
+        obs::prof::set_profiling(false);
+        obs::set_enabled(false);
+        server.shutdown();
+        prop_assert_eq!(status, 200, "live scrape must succeed during datagen");
 
         prop_assert!(!silent.is_empty(), "the workload must produce samples");
         let silent_bytes = serde_json::to_string(&silent).expect("dataset serializes");
         let traced_bytes = serde_json::to_string(&traced).expect("dataset serializes");
-        prop_assert_eq!(silent_bytes, traced_bytes, "tracing changed the dataset bytes");
+        let observed_bytes = serde_json::to_string(&observed).expect("dataset serializes");
+        prop_assert_eq!(&silent_bytes, &traced_bytes, "tracing changed the dataset bytes");
+        prop_assert_eq!(
+            &silent_bytes,
+            &observed_bytes,
+            "exporter/profiler changed the dataset bytes"
+        );
     }
 }

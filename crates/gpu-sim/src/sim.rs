@@ -515,6 +515,7 @@ impl Simulation {
     /// from yet), matching the paper's inference loop.
     pub fn run(&mut self, governor: &mut dyn DvfsGovernor, max_time: Time) -> SimResult {
         let _span = obs::span!("sim", "sim.run:{}@{}", self.workload.name(), governor.name());
+        let _prof = obs::prof::scope("sim.run");
         governor.reset();
         let config = Arc::clone(&self.config);
         let table = &config.vf_table;

@@ -16,7 +16,21 @@
 //!    records (features, logits, presets, calibrator predicted-vs-actual)
 //!    emitted by the governors and dumpable as JSONL.
 //!
-//! A leveled stderr [`log`] rounds it out.
+//! A leveled stderr [`log`] rounds it out, and four modules turn the
+//! registry into a *live* telemetry plane:
+//!
+//! * [`export`] — an embedded zero-dependency HTTP exporter
+//!   (`--serve-metrics`) serving `/metrics` in Prometheus text exposition
+//!   format, `/metrics.json` (the deterministic snapshot, windowed rates
+//!   with `?window=N`), and `/healthz`.
+//! * [`series`] — a bounded time series sampling registry deltas on a
+//!   fixed interval, so scrapes and `ssmdvfs watch` can show rates
+//!   (epochs/s, cache hit ratio) rather than lifetime totals.
+//! * [`prof`] — a scoped phase profiler aggregating wall time by call
+//!   path, exported as a per-phase table and collapsed-stack
+//!   (flamegraph-compatible) text.
+//! * [`slo`] — declarative SLO rules (`ssmdvfs slo-check`) evaluated
+//!   against perf trajectories, metrics snapshots and audit trails.
 //!
 //! # Overhead discipline
 //!
@@ -45,9 +59,13 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod export;
 pub mod log;
 pub mod metrics;
+pub mod prof;
 pub mod ring;
+pub mod series;
+pub mod slo;
 pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -73,7 +73,7 @@ pub fn level_enabled(level: Level) -> bool {
 ///
 /// Returns the unrecognized input.
 pub fn parse_level(s: &str) -> Result<Level, String> {
-    match s.to_ascii_lowercase().as_str() {
+    match s.trim().to_ascii_lowercase().as_str() {
         "off" | "none" => Ok(Level::Off),
         "error" => Ok(Level::Error),
         "warn" | "warning" => Ok(Level::Warn),

@@ -1,0 +1,313 @@
+//! A scoped phase profiler: wall-time aggregated by call path.
+//!
+//! Tracing ([`crate::trace`]) answers "when did each span run"; the
+//! profiler answers "where did the time go" without retaining one event
+//! per occurrence. [`scope`] opens an RAII frame named after a phase
+//! (`"datagen.replay"`, `"train.epoch"`, …); frames nest per thread into a
+//! call path, and dropping a frame folds its wall time into a global
+//! path-keyed table — total time, self time (total minus enclosed
+//! children), call count, min/max. The table exports as:
+//!
+//! * [`ProfileSnapshot`] — deterministic-ordered JSON (`--profile-out`),
+//!   summarized by `ssmdvfs inspect --profile`;
+//! * [`collapsed`] — collapsed-stack text (`path;leaf self_µs` lines),
+//!   directly consumable by `flamegraph.pl` or speedscope;
+//! * [`table`] — a human-readable per-phase table.
+//!
+//! Profiling is gated on its own flag ([`set_profiling`]), independent of
+//! [`crate::enabled`]: a metrics-only run pays one relaxed atomic load per
+//! scope, and enabling the profiler must not change any computed output
+//! (enforced by the datagen byte-identity proptest).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Turns phase profiling on or off globally.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether phase profiling is enabled (one relaxed atomic load).
+#[inline]
+pub fn profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Aggregated wall time for one call path.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Times a frame with this path completed.
+    pub calls: u64,
+    /// Total wall nanoseconds across all calls.
+    pub total_ns: u64,
+    /// Wall nanoseconds not attributed to enclosed child frames.
+    pub self_ns: u64,
+    /// Shortest single call, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single call, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseStat {
+    fn fold(&mut self, total_ns: u64, self_ns: u64) {
+        self.min_ns = if self.calls == 0 { total_ns } else { self.min_ns.min(total_ns) };
+        self.max_ns = self.max_ns.max(total_ns);
+        self.calls += 1;
+        self.total_ns += total_ns;
+        self.self_ns += self_ns;
+    }
+
+    /// Mean wall time per call, nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// The exported profile: stats keyed by `;`-joined call path.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProfileSnapshot {
+    /// Aggregated stats per call path (e.g. `datagen;datagen.replay`).
+    pub phases: BTreeMap<String, PhaseStat>,
+}
+
+static TABLE: Mutex<BTreeMap<String, PhaseStat>> = Mutex::new(BTreeMap::new());
+
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An in-flight profiler frame; folds its timing into the global table on
+/// drop. A no-op (no clock read, no allocation) while profiling is off.
+#[must_use = "a profiler scope measures the block it lives in"]
+pub struct Scope {
+    live: bool,
+}
+
+/// Opens a profiler frame named `name` nested under the thread's current
+/// frame. Phase names should be static, low-cardinality identifiers
+/// (`"datagen.replay"`, not one name per replay) — the table is keyed by
+/// path, and a `;` in a name would corrupt the collapsed-stack output, so
+/// it is replaced with `_`.
+pub fn scope(name: &'static str) -> Scope {
+    if !profiling() {
+        return Scope { live: false };
+    }
+    STACK.with(|stack| {
+        stack.borrow_mut().push(Frame { name, start: Instant::now(), child_ns: 0 });
+    });
+    Scope { live: true }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let Some(frame) = stack.pop() else { return };
+            let total_ns = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let self_ns = total_ns.saturating_sub(frame.child_ns);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns = parent.child_ns.saturating_add(total_ns);
+            }
+            let mut path = String::new();
+            for f in stack.iter() {
+                path.push_str(&f.name.replace(';', "_"));
+                path.push(';');
+            }
+            path.push_str(&frame.name.replace(';', "_"));
+            TABLE
+                .lock()
+                .expect("profiler table poisoned")
+                .entry(path)
+                .or_default()
+                .fold(total_ns, self_ns);
+        });
+    }
+}
+
+/// A copy of the aggregated table.
+///
+/// # Panics
+///
+/// Panics if the profiler table lock is poisoned.
+pub fn snapshot() -> ProfileSnapshot {
+    ProfileSnapshot { phases: TABLE.lock().expect("profiler table poisoned").clone() }
+}
+
+/// Clears the aggregated table (for per-run profiling in tests/benches).
+///
+/// # Panics
+///
+/// Panics if the profiler table lock is poisoned.
+pub fn reset() {
+    TABLE.lock().expect("profiler table poisoned").clear();
+}
+
+/// The profile as collapsed-stack text: one `path;leaf value` line per
+/// call path, value = self time in microseconds (the convention
+/// `flamegraph.pl` and speedscope expect). Paths are already `;`-joined,
+/// so each line is `frames... self_us`.
+pub fn collapsed(profile: &ProfileSnapshot) -> String {
+    let mut out = String::new();
+    for (path, stat) in &profile.phases {
+        out.push_str(&format!("{path} {}\n", stat.self_ns / 1_000));
+    }
+    out
+}
+
+/// The profile as a fixed-width per-phase table, widest total first.
+pub fn table(profile: &ProfileSnapshot) -> String {
+    let mut rows: Vec<(&String, &PhaseStat)> = profile.phases.iter().collect();
+    rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+    let mut out = format!(
+        "{:<44} {:>9} {:>12} {:>12} {:>12}\n",
+        "phase", "calls", "total ms", "self ms", "mean µs"
+    );
+    for (path, s) in rows {
+        out.push_str(&format!(
+            "{:<44} {:>9} {:>12.3} {:>12.3} {:>12.1}\n",
+            path,
+            s.calls,
+            s.total_ns as f64 / 1e6,
+            s.self_ns as f64 / 1e6,
+            s.mean_ns() / 1e3,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes profiler tests: they share the global table and flag.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_profiling<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_profiling(true);
+        let r = f();
+        set_profiling(false);
+        r
+    }
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_profiling(false);
+        {
+            let _s = scope("never");
+        }
+        assert!(snapshot().phases.is_empty());
+    }
+
+    #[test]
+    fn nesting_builds_paths_and_attributes_self_time() {
+        let snap = with_profiling(|| {
+            {
+                let _outer = scope("outer");
+                std::thread::sleep(std::time::Duration::from_millis(4));
+                {
+                    let _inner = scope("inner");
+                    std::thread::sleep(std::time::Duration::from_millis(4));
+                }
+            }
+            snapshot()
+        });
+        let outer = &snap.phases["outer"];
+        let inner = &snap.phases["outer;inner"];
+        assert_eq!((outer.calls, inner.calls), (1, 1));
+        assert!(outer.total_ns >= inner.total_ns, "parent total covers child");
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns + 1_000_000,
+            "outer self excludes inner: {outer:?} vs {inner:?}"
+        );
+        assert!(inner.min_ns <= inner.max_ns);
+        assert!(inner.total_ns >= 3_000_000, "sleep(4ms) must register");
+    }
+
+    #[test]
+    fn repeated_calls_aggregate() {
+        let snap = with_profiling(|| {
+            for _ in 0..5 {
+                let _s = scope("leaf");
+            }
+            snapshot()
+        });
+        assert_eq!(snap.phases["leaf"].calls, 5);
+        assert!(snap.phases["leaf"].min_ns <= snap.phases["leaf"].mean_ns() as u64);
+    }
+
+    #[test]
+    fn collapsed_and_table_render() {
+        let snap = with_profiling(|| {
+            {
+                let _a = scope("a");
+                let _b = scope("b");
+            }
+            snapshot()
+        });
+        let collapsed = collapsed(&snap);
+        assert!(collapsed.contains("a;b "), "{collapsed}");
+        for line in collapsed.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(!stack.is_empty());
+            value.parse::<u64>().expect("collapsed value is integral µs");
+        }
+        let table = table(&snap);
+        assert!(table.contains("phase"), "{table}");
+        assert!(table.contains("a;b"), "{table}");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let snap = with_profiling(|| {
+            {
+                let _s = scope("json");
+            }
+            snapshot()
+        });
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ProfileSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_stacks() {
+        let snap = with_profiling(|| {
+            let t = std::thread::spawn(|| {
+                let _s = scope("worker-phase");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+            {
+                let _s = scope("main-phase");
+                t.join().unwrap();
+            }
+            snapshot()
+        });
+        assert!(snap.phases.contains_key("worker-phase"), "{snap:?}");
+        assert!(snap.phases.contains_key("main-phase"), "{snap:?}");
+        assert!(!snap.phases.keys().any(|k| k.contains("main-phase;worker-phase")));
+    }
+}

@@ -1,0 +1,89 @@
+//! The metrics registry must be exact under contention: counters and
+//! histograms are the inputs to SLO gates and rate windows, so a lost
+//! increment is a wrong answer, not just noise.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use obs::metrics::Registry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// N writer threads hammering one counter and one histogram: the final
+    /// snapshot must account for every single increment and observation.
+    #[test]
+    fn concurrent_writers_never_lose_increments(
+        threads in 2usize..6,
+        per_thread in 100u64..2_000,
+        step in 1u64..5,
+    ) {
+        obs::set_enabled(true);
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        let counter = registry.counter("prop.hits");
+        let histogram = registry.histogram("prop.latency");
+        let start = Arc::new(AtomicBool::new(false));
+
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let counter = Arc::clone(&counter);
+                let histogram = Arc::clone(&histogram);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    while !start.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    for i in 0..per_thread {
+                        counter.inc(step);
+                        // Spread observations across buckets so merging
+                        // is exercised, not just one hot bucket.
+                        histogram.record(((t as u64 * 131 + i) % 4096) as f64);
+                    }
+                })
+            })
+            .collect();
+        start.store(true, Ordering::Release);
+        for handle in handles {
+            handle.join().expect("writer thread panicked");
+        }
+
+        let snapshot = registry.snapshot();
+        let expected = threads as u64 * per_thread;
+        prop_assert_eq!(
+            snapshot.counters.get("prop.hits").copied(),
+            Some(expected * step),
+            "counter lost increments"
+        );
+        let hist = snapshot.histograms.get("prop.latency").expect("histogram present");
+        prop_assert_eq!(hist.count, expected, "histogram lost observations");
+        let bucket_total: u64 = hist.buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(bucket_total, expected, "bucket counts disagree with total");
+    }
+
+    /// Concurrent gauge writers: the last write wins, but the final value
+    /// must be one of the values actually written (no torn f64 reads).
+    #[test]
+    fn concurrent_gauge_writes_are_never_torn(threads in 2usize..6, writes in 50u64..500) {
+        obs::set_enabled(true);
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        let gauge = registry.gauge("prop.level");
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let gauge = Arc::clone(&gauge);
+                std::thread::spawn(move || {
+                    for i in 0..writes {
+                        gauge.set(t as f64 + i as f64 / 1000.0);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("writer thread panicked");
+        }
+        let value = registry.snapshot().gauges.get("prop.level").copied().expect("gauge present");
+        let plausible = (0..threads)
+            .any(|t| (0..writes).any(|i| value == t as f64 + i as f64 / 1000.0));
+        prop_assert!(plausible, "gauge read a value nobody wrote: {value}");
+    }
+}

@@ -164,6 +164,7 @@ pub fn train_classifier_with(
     assert_eq!(mlp.output_size(), train.num_classes, "output width must equal class count");
     assert!(!train.is_empty() && !val.is_empty(), "datasets must be non-empty");
     let _span = obs::span!("train", "train_classifier:{} rows", train.len());
+    let _prof = obs::prof::scope("train.classifier");
     let class_weights: Option<Vec<f32>> = config.class_balance.then(|| {
         let mut counts = vec![0usize; train.num_classes];
         for &l in &train.y {
@@ -282,6 +283,7 @@ pub fn train_regressor_with(
 ) -> TrainReport {
     assert!(!train.is_empty() && !val.is_empty(), "datasets must be non-empty");
     let _span = obs::span!("train", "train_regressor:{} rows", train.len());
+    let _prof = obs::prof::scope("train.regressor");
     let TrainScratch { indices, cache, val_cache, grads, delta, delta_tmp, y_reg, .. } = scratch;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut opt = Adam::new(config.lr);
