@@ -56,6 +56,23 @@ print(f"sim baseline: {b['naive_cycles_per_sec']:.3g} -> "
       f"({b['cache_warm_hits']} hits)")
 EOF
 
+echo "==> serve perf baseline (smoke, JSON well-formed, decisions identical)"
+cargo run --release -p ssmdvfs-bench --bin perf_baseline -- --smoke --serve
+python3 - <<'EOF'
+import json
+b = json.load(open("target/ssmdvfs-artifacts/BENCH_serve.json"))
+for key in ("single_throughput_rps", "batched_throughput_rps", "speedup",
+            "batched_p50_us", "batched_p99_us", "mean_batch_occupancy"):
+    assert b[key] > 0, (key, b)
+assert b["smoke"] is True, b
+assert b["decisions_identical"] is True, "batching changed a decision"
+assert b["deadline_misses"] == 0, b
+print(f"serve baseline: {b['single_throughput_rps']:.0f} -> "
+      f"{b['batched_throughput_rps']:.0f} req/s ({b['speedup']:.2f}x), "
+      f"mean batch {b['mean_batch_occupancy']:.1f}, "
+      f"p99 {b['batched_p99_us']:.0f} us")
+EOF
+
 echo "==> no stray print macros in library crates"
 # Library code logs through obs; println!/eprintln! are reserved for the
 # CLI binary and bench bin/ entry points. Comment lines are ignored.
@@ -126,6 +143,24 @@ cmp "$OBS_TMP/cache-cold.json" "$OBS_TMP/cache-warm.json"
 "$SSMDVFS_BIN" inspect --metrics "$OBS_TMP/cache-warm-metrics.json" \
   | tee "$OBS_TMP/cache-inspect.log"
 grep -q "cache hits" "$OBS_TMP/cache-inspect.log"
+
+echo "==> fleet smoke (batched serving drives a small fleet, 0 panics)"
+# A tiny fleet through the micro-batching decision service; the metrics
+# snapshot must surface the serve plane, including the deadline-miss
+# counter pre-registered at zero.
+"$SSMDVFS_BIN" fleet --gpus 3 --max-batch 4 --shards 1 --jobs 2 \
+  --clusters 2 --scale 0.02 --horizon-us 300 --log-level warn \
+  --metrics-out "$OBS_TMP/fleet-metrics.json" | tee "$OBS_TMP/fleet.log"
+grep -q "misses    : 0 past deadline" "$OBS_TMP/fleet.log"
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys, os
+m = json.load(open(os.path.join(sys.argv[1], "fleet-metrics.json")))
+assert "serve.deadline_misses" in m["counters"], sorted(m["counters"])
+assert m["counters"]["serve.deadline_misses"] == 0, m["counters"]
+assert any(h.startswith("serve.batch_size") for h in m["histograms"]), m
+assert any(h.startswith("serve.decision_latency_us") for h in m["histograms"]), m
+print("fleet metrics: serve.deadline_misses=0, batch/latency histograms present")
+EOF
 python3 - "$OBS_TMP" <<'EOF'
 import json, sys, os
 tmp = sys.argv[1]

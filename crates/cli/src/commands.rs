@@ -19,6 +19,7 @@ use gpu_sim::{
 use gpu_workloads::{by_name, suite, Benchmark};
 use ssmdvfs::checkpoint::CheckpointJournal;
 use ssmdvfs::exec::FaultPolicy;
+use ssmdvfs::serve::{DecisionService, ServeConfig};
 use ssmdvfs::{
     compress_and_finetune, estimate_asic, evaluate, generate_suite_with, select_features_with,
     train_combined, AsicConfig, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch,
@@ -54,6 +55,15 @@ COMMANDS:
               [--model <file>] [--preset 0.10] [--op <idx>]
               [--clusters <n>] [--sms <n>] [--scale <f>] [--trace <out.csv>]
               [--audit-out <out.jsonl>] [--audit-cap 4096]
+  fleet       --gpus <K>              run K GPUs against one batched
+              [--max-batch 32]        decision service (shared inference)
+              [--deadline-us <D>]     expired requests get the safe fallback
+              [--shards 1] [--queue-depth 256]
+              [--jobs <n>]            GPU worker threads (0 = one per core);
+                                      decisions are identical at any count
+              [--benchmark sgemm] [--scale <f>] [--preset 0.10]
+              [--horizon-us 2000] [--model <file>]
+              [--clusters <n>] [--sms <n>]
   datagen     --out <file>            run the Fig. 2 data-generation pipeline
               [--benchmarks a,b,c] [--scale <f>] [--clusters <n>]
               [--jobs <n>]            replay worker threads (0 = one per core)
@@ -226,6 +236,89 @@ pub fn simulate(args: &Args) -> CmdResult {
     let _ = writeln!(out, "energy    : {:.4} mJ", report.energy().millijoules());
     let _ = writeln!(out, "EDP       : {:.4e} J·s", report.edp());
     let _ = writeln!(out, "op usage  : {:?}", result.op_histogram);
+    Ok(out)
+}
+
+/// `fleet`.
+pub fn fleet(args: &Args) -> CmdResult {
+    let cfg = gpu_config(args)?;
+    let gpus = args.get_usize("gpus", 4)?;
+    if gpus == 0 {
+        return Err(err("--gpus must be at least 1"));
+    }
+    let jobs = match args.get_usize("jobs", 0)? {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    };
+    let preset = args.get_f64("preset", 0.10)?;
+    let horizon = Time::from_micros(args.get_f64("horizon-us", 2_000.0)?);
+    let name = args.get("benchmark").unwrap_or("sgemm");
+    let bench = by_name(name)
+        .ok_or_else(|| err(format!("unknown benchmark '{name}'; see 'ssmdvfs list-benchmarks'")))?;
+    let scale = args.get_f64("scale", 1.0)?;
+    if scale <= 0.0 {
+        return Err(err("--scale must be positive"));
+    }
+    let bench = bench.scaled(scale);
+
+    let deadline_us = args.get_f64("deadline-us", 0.0)?;
+    let serve = ServeConfig {
+        shards: args.get_usize("shards", 1)?.max(1),
+        max_batch: args.get_usize("max-batch", 32)?.max(1),
+        queue_depth: args.get_usize("queue-depth", 256)?.max(1),
+        deadline: (deadline_us > 0.0)
+            .then(|| std::time::Duration::from_secs_f64(deadline_us * 1e-6)),
+    };
+    // With no --model, serve a deterministic synthetic head: enough to
+    // exercise and benchmark the batching plane without a training run.
+    let model = match args.get("model") {
+        Some(path) => std::sync::Arc::new(load_model(path)?),
+        None => std::sync::Arc::new(CombinedModel::synthetic(cfg.vf_table.len(), 42)),
+    };
+
+    let config = std::sync::Arc::new(cfg);
+    let workload = std::sync::Arc::new(bench.workload().clone());
+    let workloads = vec![workload; gpus];
+    let service = DecisionService::start(
+        model,
+        SsmdvfsConfig::new(preset),
+        config.vf_table.clone(),
+        serve.clone(),
+    );
+    let client = service.client();
+    let wall = std::time::Instant::now();
+    let results = gpu_sim::run_fleet(&config, &workloads, horizon, jobs, &client);
+    let elapsed = wall.elapsed();
+    let stats = service.shutdown();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet     : {gpus} x {bench} ({jobs} jobs, {} shard(s), max batch {})",
+        serve.shards, serve.max_batch
+    );
+    let _ = writeln!(
+        out,
+        "{:<5} {:<10} {:>12} {:>12} {:>10}",
+        "gpu", "completed", "time µs", "energy mJ", "decisions"
+    );
+    for r in &results {
+        let report = r.result.edp_report();
+        let _ = writeln!(
+            out,
+            "{:<5} {:<10} {:>12.2} {:>12.4} {:>10}",
+            r.gpu,
+            r.result.completed,
+            report.time_s() * 1e6,
+            report.energy().millijoules(),
+            r.decisions.len()
+        );
+    }
+    let rate = stats.decisions as f64 / elapsed.as_secs_f64().max(1e-9);
+    let _ = writeln!(out, "decisions : {} ({rate:.0}/s wall)", stats.decisions);
+    let _ =
+        writeln!(out, "batches   : {} (mean occupancy {:.2})", stats.batches, stats.mean_batch());
+    let _ = writeln!(out, "misses    : {} past deadline", stats.deadline_misses);
     Ok(out)
 }
 
@@ -730,6 +823,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
     match args.command() {
         "list-benchmarks" => list_benchmarks(),
         "simulate" => simulate(args),
+        "fleet" => fleet(args),
         "datagen" => datagen(args),
         "train" => train(args),
         "compress" => compress(args),
@@ -835,6 +929,38 @@ mod tests {
         let out = simulate(&args).unwrap();
         assert!(out.contains("completed : true"), "{out}");
         assert!(out.contains("EDP"));
+    }
+
+    #[test]
+    fn fleet_runs_small_fleet_with_batched_service() {
+        let args = Args::parse([
+            "fleet",
+            "--gpus",
+            "3",
+            "--max-batch",
+            "4",
+            "--shards",
+            "1",
+            "--clusters",
+            "2",
+            "--scale",
+            "0.02",
+            "--horizon-us",
+            "300",
+        ])
+        .unwrap();
+        let out = fleet(&args).unwrap();
+        assert!(out.contains("fleet     : 3 x"), "{out}");
+        assert!(out.contains("decisions :"), "{out}");
+        assert!(out.contains("misses    : 0 past deadline"), "{out}");
+    }
+
+    #[test]
+    fn fleet_rejects_bad_inputs() {
+        let args = Args::parse(["fleet", "--gpus", "0"]).unwrap();
+        assert!(fleet(&args).unwrap_err().to_string().contains("--gpus"));
+        let args = Args::parse(["fleet", "--gpus", "1", "--benchmark", "nope"]).unwrap();
+        assert!(fleet(&args).unwrap_err().to_string().contains("unknown benchmark"));
     }
 
     #[test]

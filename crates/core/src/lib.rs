@@ -66,6 +66,7 @@ mod features;
 mod model;
 mod replay_cache;
 mod rfe;
+pub mod serve;
 mod train;
 
 pub use asic::{estimate_asic, AsicConfig, AsicReport};
@@ -85,5 +86,9 @@ pub use model::{CombinedModel, ModelArch};
 pub use replay_cache::{fingerprint, ReplayCache};
 pub use rfe::{
     candidate_counters, select_features, select_features_with, FeatureSelection, RfeOptions,
+};
+pub use serve::{
+    Decision, DecisionClient, DecisionRequest, DecisionService, PendingDecision, ServeConfig,
+    ServeStats,
 };
 pub use train::{evaluate, train_combined, TrainSummary, INSTR_SCALE};

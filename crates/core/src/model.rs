@@ -73,6 +73,47 @@ pub struct CombinedModel {
 }
 
 impl CombinedModel {
+    /// A deterministic, untrained model over the refined feature set:
+    /// seeded random weights in the paper's compressed shape and
+    /// normalizers fitted to plausible counter ranges. Serving benchmarks,
+    /// fleet smokes and determinism tests need a governor without paying
+    /// for a training run; the decisions are arbitrary but reproducible.
+    /// Never a substitute for a trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ops < 2`.
+    pub fn synthetic(num_ops: usize, seed: u64) -> CombinedModel {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        assert!(num_ops >= 2, "a decision head needs at least two operating points");
+        let feature_set = FeatureSet::refined();
+        let f = feature_set.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let decision = Mlp::new(&[f + 1, 12, 12, num_ops], &mut rng);
+        let calibrator = Mlp::new(&[f + 2, 12, 1], &mut rng);
+        // Rough per-feature spans (cycled when the feature set grows) so
+        // the normalizers neither explode nor flatten typical counters.
+        let spans = [1.0f32, 10.0, 100.0, 10.0, 50.0];
+        let mut hi: Vec<f32> = (0..f).map(|i| spans[i % spans.len()]).collect();
+        hi.push(0.2); // preset column
+        let lo = vec![0.0f32; f + 1];
+        let decision_norm = Normalizer::fit(&Matrix::from_rows(&[&lo, &hi]));
+        let mut hi_cal = hi.clone();
+        hi_cal.push(1.0); // normalized operating-point column
+        let lo_cal = vec![0.0f32; f + 2];
+        let calibrator_norm = Normalizer::fit(&Matrix::from_rows(&[&lo_cal, &hi_cal]));
+        CombinedModel {
+            decision,
+            calibrator,
+            feature_set,
+            decision_norm,
+            calibrator_norm,
+            instr_scale: 1_000.0,
+            num_ops,
+        }
+    }
+
     /// Picks the operating-point index for the given raw features and
     /// performance-loss preset.
     ///

@@ -1,0 +1,116 @@
+//! Determinism guarantees of the batched decision-serving path.
+//!
+//! Two invariants keep the serving engine honest:
+//!
+//! 1. **Jobs invariance** — a fleet's decision streams are byte-identical
+//!    no matter how many worker threads drive the GPUs, because batching
+//!    only regroups bit-identical forwards and calibration state is keyed
+//!    per `(gpu, cluster)`.
+//! 2. **Serve ≡ govern** — routing a GPU's decisions through the service
+//!    produces exactly the stream a private, sequential
+//!    [`SsmdvfsGovernor`] would, including the self-calibration feedback.
+
+use std::sync::Arc;
+
+use gpu_power::VfTable;
+use gpu_sim::{run_fleet, DvfsGovernor, EpochCounters, GpuConfig, Simulation, Time, Workload};
+use ssmdvfs::serve::{DecisionService, ServeConfig};
+use ssmdvfs::{CombinedModel, SsmdvfsConfig, SsmdvfsGovernor};
+
+fn fleet_workloads(n: usize) -> Vec<Arc<Workload>> {
+    let names = ["sgemm", "stencil", "atax"];
+    (0..n)
+        .map(|i| {
+            let bench = gpu_workloads::by_name(names[i % names.len()]).expect("known benchmark");
+            Arc::new(bench.scaled(0.02 + 0.005 * i as f64).into_workload())
+        })
+        .collect()
+}
+
+fn model_for(table_len: usize) -> Arc<CombinedModel> {
+    Arc::new(CombinedModel::synthetic(table_len, 42))
+}
+
+/// Satellite 4: fixed seeds, one shard — the fleet's decision streams must
+/// not depend on the `--jobs` worker count.
+#[test]
+fn fleet_decisions_are_identical_across_jobs() {
+    let config = Arc::new(GpuConfig::small_test());
+    let workloads = fleet_workloads(4);
+    let horizon = Time::from_micros(400.0);
+    let model = model_for(config.vf_table.len());
+
+    let run = |jobs: usize| -> Vec<Vec<usize>> {
+        let service = DecisionService::start(
+            Arc::clone(&model),
+            SsmdvfsConfig::new(0.1),
+            config.vf_table.clone(),
+            ServeConfig { shards: 1, max_batch: 8, ..ServeConfig::default() },
+        );
+        let client = service.client();
+        let results = run_fleet(&config, &workloads, horizon, jobs, &client);
+        let stats = service.shutdown();
+        assert_eq!(stats.deadline_misses, 0, "no deadline configured");
+        results.into_iter().map(|r| r.decisions).collect()
+    };
+
+    let sequential = run(1);
+    let parallel = run(4);
+    assert!(sequential.iter().any(|d| !d.is_empty()), "fleet must produce decisions");
+    assert_eq!(sequential, parallel, "decision streams must not depend on --jobs");
+}
+
+/// A wrapper that records every operating point a real governor picks.
+struct Recording<'a> {
+    inner: &'a mut SsmdvfsGovernor,
+    decisions: Vec<usize>,
+}
+
+impl DvfsGovernor for Recording<'_> {
+    fn name(&self) -> &str {
+        "recording"
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize {
+        let op = self.inner.decide(cluster, counters, table);
+        self.decisions.push(op);
+        op
+    }
+}
+
+/// The tentpole's correctness bar: a GPU served through the batching
+/// service is byte-identical to the same GPU driven by its own sequential
+/// `SsmdvfsGovernor`.
+#[test]
+fn served_decisions_match_direct_governor() {
+    let config = Arc::new(GpuConfig::small_test());
+    let workloads = fleet_workloads(1);
+    let horizon = Time::from_micros(400.0);
+    let model = model_for(config.vf_table.len());
+    let ctrl = SsmdvfsConfig::new(0.1);
+
+    let mut governor = SsmdvfsGovernor::new(Arc::clone(&model), ctrl.clone());
+    let mut recorder = Recording { inner: &mut governor, decisions: Vec::new() };
+    let mut sim = Simulation::new(Arc::clone(&config), Arc::clone(&workloads[0]));
+    let direct = sim.run(&mut recorder, horizon);
+    let direct_decisions = recorder.decisions;
+
+    let service = DecisionService::start(
+        Arc::clone(&model),
+        ctrl,
+        config.vf_table.clone(),
+        ServeConfig { shards: 1, max_batch: 32, ..ServeConfig::default() },
+    );
+    let client = service.client();
+    let served = run_fleet(&config, &workloads, horizon, 1, &client);
+    service.shutdown();
+
+    assert!(!direct_decisions.is_empty(), "the governor must have decided something");
+    assert_eq!(served[0].decisions, direct_decisions, "serving must equal direct governing");
+    assert_eq!(served[0].result.instructions, direct.instructions);
+    assert_eq!(served[0].result.epochs, direct.epochs);
+}

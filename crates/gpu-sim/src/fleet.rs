@@ -1,0 +1,194 @@
+//! Multi-GPU fleet driver.
+//!
+//! Runs many simulated GPUs concurrently, each forwarding its per-cluster
+//! DVFS decisions to a shared [`DecisionSource`] — typically a batching
+//! decision service that answers requests from the whole fleet with shared
+//! inference. The driver reuses [`Simulation::run`] wholesale (first-epoch
+//! default operating points, per-cluster decide order, energy accounting),
+//! so one fleet GPU behaves exactly like a standalone simulation whose
+//! governor delegates to the source.
+
+use std::sync::Arc;
+
+use gpu_power::VfTable;
+
+use crate::counters::EpochCounters;
+use crate::governor::DvfsGovernor;
+use crate::gpu::GpuConfig;
+use crate::kernel::Workload;
+use crate::sim::{SimResult, Simulation};
+use crate::time::Time;
+
+/// A shared, thread-safe decision provider for a fleet of GPUs.
+///
+/// `decide` receives the fleet-wide GPU index alongside the usual cluster
+/// counters so the source can keep per-`(gpu, cluster)` state. It is
+/// called concurrently from one thread per in-flight GPU.
+pub trait DecisionSource: Sync {
+    /// Chooses the operating-point index for `cluster` of `gpu` after an
+    /// epoch that produced `counters`. Must return an index `< table.len()`.
+    fn decide(
+        &self,
+        gpu: usize,
+        cluster: usize,
+        counters: &EpochCounters,
+        table: &VfTable,
+    ) -> usize;
+}
+
+/// The outcome of one fleet GPU: its simulation result plus the full
+/// decision stream in the order [`Simulation::run`] requested decisions
+/// (epoch-major, cluster-minor).
+#[derive(Debug, Clone)]
+pub struct FleetGpuResult {
+    /// Fleet-wide GPU index.
+    pub gpu: usize,
+    /// The per-GPU simulation result.
+    pub result: SimResult,
+    /// Every operating-point index the source returned, in request order.
+    pub decisions: Vec<usize>,
+}
+
+/// Adapts a `&DecisionSource` into the `DvfsGovernor` a [`Simulation`]
+/// drives, recording the decision stream as it goes.
+struct SourceGovernor<'a, D: DecisionSource + ?Sized> {
+    gpu: usize,
+    source: &'a D,
+    decisions: Vec<usize>,
+}
+
+impl<D: DecisionSource + ?Sized> DvfsGovernor for SourceGovernor<'_, D> {
+    fn name(&self) -> &str {
+        "fleet-source"
+    }
+
+    fn decide(&mut self, cluster: usize, counters: &EpochCounters, table: &VfTable) -> usize {
+        let op = self.source.decide(self.gpu, cluster, counters, table);
+        self.decisions.push(op);
+        op
+    }
+}
+
+/// Runs `workloads.len()` GPUs (GPU `i` runs `workloads[i]` on a clone of
+/// `config`) for up to `max_time` each, spread over `jobs` worker threads,
+/// all deciding through `source`.
+///
+/// Worker `w` runs GPUs `w, w + jobs, w + 2*jobs, …` sequentially, so a
+/// given GPU's requests always reach the source in its own epoch order;
+/// results come back sorted by GPU index regardless of thread timing.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0` or a worker thread panics.
+pub fn run_fleet<D: DecisionSource + ?Sized>(
+    config: &Arc<GpuConfig>,
+    workloads: &[Arc<Workload>],
+    max_time: Time,
+    jobs: usize,
+    source: &D,
+) -> Vec<FleetGpuResult> {
+    assert!(jobs > 0, "run_fleet needs at least one worker");
+    let jobs = jobs.min(workloads.len()).max(1);
+    let mut results: Vec<FleetGpuResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut gpu = w;
+                    while gpu < workloads.len() {
+                        let mut governor = SourceGovernor { gpu, source, decisions: Vec::new() };
+                        let mut sim =
+                            Simulation::new(Arc::clone(config), Arc::clone(&workloads[gpu]));
+                        let result = sim.run(&mut governor, max_time);
+                        out.push(FleetGpuResult { gpu, result, decisions: governor.decisions });
+                        gpu += jobs;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("fleet worker panicked")).collect()
+    });
+    results.sort_by_key(|r| r.gpu);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::StaticGovernor;
+
+    /// A source that picks deterministically from the counters, so any
+    /// scheduling nondeterminism would show up as a changed stream.
+    struct CycleSource;
+
+    impl DecisionSource for CycleSource {
+        fn decide(
+            &self,
+            gpu: usize,
+            cluster: usize,
+            counters: &EpochCounters,
+            table: &VfTable,
+        ) -> usize {
+            let c = counters[crate::counters::CounterId::TotalCycles] as usize;
+            (gpu + cluster + c) % table.len()
+        }
+    }
+
+    fn tiny_workloads(n: usize) -> Vec<Arc<Workload>> {
+        use crate::isa::InstrClass;
+        use crate::kernel::{BasicBlock, KernelSpec, MemoryBehavior};
+        (0..n)
+            .map(|i| {
+                let kernel = KernelSpec::new(
+                    "axpy",
+                    vec![BasicBlock::new(
+                        vec![InstrClass::LoadGlobal, InstrClass::FpAlu, InstrClass::StoreGlobal],
+                        100 + 20 * i as u32,
+                        0.0,
+                    )],
+                    2,
+                    8,
+                    MemoryBehavior::streaming(1 << 20),
+                );
+                Arc::new(Workload::new(format!("fleet-{i}"), vec![kernel]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_results_are_invariant_across_job_counts() {
+        let config = Arc::new(GpuConfig::small_test());
+        let workloads = tiny_workloads(5);
+        let horizon = Time::from_micros(300.0);
+        let a = run_fleet(&config, &workloads, horizon, 1, &CycleSource);
+        let b = run_fleet(&config, &workloads, horizon, 4, &CycleSource);
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.gpu, y.gpu);
+            assert_eq!(x.decisions, y.decisions, "gpu {}", x.gpu);
+            assert_eq!(x.result.instructions, y.result.instructions, "gpu {}", x.gpu);
+            assert_eq!(x.result.epochs, y.result.epochs, "gpu {}", x.gpu);
+        }
+    }
+
+    #[test]
+    fn fleet_gpu_matches_standalone_simulation() {
+        struct DefaultSource;
+        impl DecisionSource for DefaultSource {
+            fn decide(&self, _: usize, _: usize, _: &EpochCounters, table: &VfTable) -> usize {
+                table.default_index()
+            }
+        }
+        let config = Arc::new(GpuConfig::small_test());
+        let workloads = tiny_workloads(1);
+        let horizon = Time::from_micros(300.0);
+        let fleet = run_fleet(&config, &workloads, horizon, 1, &DefaultSource);
+
+        let mut governor = StaticGovernor::default_point(&config.vf_table);
+        let mut sim = Simulation::new(Arc::clone(&config), Arc::clone(&workloads[0]));
+        let solo = sim.run(&mut governor, horizon);
+        assert_eq!(fleet[0].result.instructions, solo.instructions);
+        assert_eq!(fleet[0].result.epochs, solo.epochs);
+    }
+}

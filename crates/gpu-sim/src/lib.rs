@@ -50,6 +50,7 @@
 mod cache;
 mod cluster;
 mod counters;
+mod fleet;
 mod governor;
 mod gpu;
 mod isa;
@@ -65,6 +66,7 @@ mod warp;
 pub use cache::{Cache, CacheConfig, CacheOutcome};
 pub use cluster::Cluster;
 pub use counters::{CounterCategory, CounterId, EpochCounters};
+pub use fleet::{run_fleet, DecisionSource, FleetGpuResult};
 pub use governor::{AuditRecord, AuditTrail, DvfsGovernor, ScheduleGovernor, StaticGovernor};
 pub use gpu::GpuConfig;
 pub use isa::{InstrClass, LatencyTable};

@@ -253,10 +253,15 @@ pub struct AuditSummary {
     pub calibration: Option<CalibrationErrorStats>,
 }
 
+/// Nearest-rank quantile of an ascending slice, total over all `f64`
+/// quantiles: `q` is clamped into `[0, 1]` (a NaN quantile reads as 0, the
+/// minimum) before the float→index cast, so no `q` can index out of range
+/// or ride the cast's saturation behavior.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx]
 }
@@ -483,5 +488,27 @@ mod tests {
     fn parse_jsonl_reports_bad_line() {
         let err = parse_jsonl("{\"not\": \"an audit record\"}").unwrap_err();
         assert!(format!("{err:?}").contains("line 1"));
+    }
+
+    #[test]
+    fn percentile_is_total_over_all_quantiles() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        // In-range quantiles index nearest-rank.
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 1.0), 5.0);
+        // Out-of-range quantiles clamp to the extremes instead of indexing
+        // out of bounds (q > 1 used to panic; negative q saturated to 0 by
+        // accident of the cast rather than by definition).
+        assert_eq!(percentile(&sorted, 1.5), 5.0);
+        assert_eq!(percentile(&sorted, f64::INFINITY), 5.0);
+        assert_eq!(percentile(&sorted, -0.1), 1.0);
+        assert_eq!(percentile(&sorted, f64::NEG_INFINITY), 1.0);
+        // A NaN quantile reads as the minimum, not an arbitrary index.
+        assert_eq!(percentile(&sorted, f64::NAN), 1.0);
+        // The empty sample set answers 0 for every quantile.
+        for q in [f64::NAN, -0.1, 0.0, 1.0, 1.5] {
+            assert_eq!(percentile(&[], q), 0.0);
+        }
     }
 }

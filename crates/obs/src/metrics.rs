@@ -391,3 +391,49 @@ mod tests {
         assert!(global().snapshot().counters["obs.test.global"] >= 7);
     }
 }
+
+#[cfg(test)]
+mod bucket_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4096))]
+        /// `bucket_index` is total over every `f64` bit pattern — NaNs,
+        /// infinities, negatives, subnormals and negative zero all land in
+        /// a defined bucket, never out of range. Everything below 1.0
+        /// (including all non-finite and sub-unit values) is the underflow
+        /// bucket; finite values at or above 1.0 land in their power-of-two
+        /// bucket; `+inf` saturates to the last bucket.
+        #[test]
+        fn bucket_index_is_total_over_all_bit_patterns(bits in any::<u64>()) {
+            let v = f64::from_bits(bits);
+            let b = bucket_index(v);
+            prop_assert!(b < HISTOGRAM_BUCKETS, "{v:e} -> bucket {b}");
+            if v.is_nan() || v < 1.0 {
+                prop_assert_eq!(b, 0, "{:e} must underflow", v);
+            } else {
+                prop_assert!(b >= 1, "{:e} must not underflow", v);
+                prop_assert!(v >= bucket_lower_bound(b), "{:e} below bucket {}", v, b);
+                if b < HISTOGRAM_BUCKETS - 1 {
+                    prop_assert!(v < bucket_lower_bound(b + 1), "{:e} above bucket {}", v, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_absorbs_nasty_observations_into_underflow() {
+        let h = Histogram::default();
+        let nasty =
+            [f64::NAN, f64::NEG_INFINITY, -1.0, -0.0, f64::MIN_POSITIVE / 2.0, f64::EPSILON];
+        crate::set_enabled(true);
+        for v in nasty {
+            h.record(v);
+        }
+        crate::set_enabled(false);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, nasty.len() as u64);
+        assert_eq!(snap.buckets.first().map(|b| b.count), Some(nasty.len() as u64));
+    }
+}
