@@ -23,18 +23,29 @@ cargo bench --workspace --no-run
 echo "==> perf baseline (smoke)"
 cargo run --release -p ssmdvfs-bench --bin perf_baseline -- --smoke
 
-echo "==> train/RFE perf baseline (smoke, JSON well-formed)"
+echo "==> train/RFE perf baseline (smoke, JSON well-formed, parallel SGD identical)"
 cargo run --release -p ssmdvfs-bench --bin perf_baseline -- --smoke --train
 python3 - <<'EOF'
 import json
 b = json.load(open("target/ssmdvfs-artifacts/BENCH_train.json"))
-for key in ("epochs_per_sec", "rfe_serial_secs", "rfe_parallel_secs",
+for key in ("epochs_per_sec", "parallel_epochs_per_sec", "train_speedup",
+            "rfe_serial_secs", "rfe_parallel_secs",
             "infer_dense_ns", "infer_engine_ns", "infer_quantized_ns"):
     assert b[key] > 0, (key, b)
 assert b["smoke"] is True and b["engine_sparse"] is True, b
-print(f"train baseline: {b['epochs_per_sec']:.0f} epochs/s, "
-      f"RFE {b['rfe_serial_secs']:.2f}s -> {b['rfe_parallel_secs']:.2f}s "
-      f"at {b['rfe_jobs']} workers")
+assert b["parallel_identical"] is True, "parallel SGD diverged from serial"
+assert b["grad_shards_per_batch"] > 1, b
+# The >=1.3x speedup gate only means something when the container actually
+# has cores to parallelize over (see the 1-core caveat in
+# docs/performance.md).
+if b["workers"] >= 4:
+    assert b["train_speedup"] >= 1.3, \
+        f"parallel SGD must be >=1.3x at {b['train_jobs']} jobs: {b}"
+print(f"train baseline: {b['epochs_per_sec']:.0f} epochs/s serial, "
+      f"{b['parallel_epochs_per_sec']:.0f} at {b['train_jobs']} jobs "
+      f"({b['train_speedup']:.2f}x, {b['grad_shards_per_batch']} shards/batch, "
+      f"identical), RFE {b['rfe_serial_secs']:.2f}s -> "
+      f"{b['rfe_parallel_secs']:.2f}s at {b['rfe_jobs']} workers")
 EOF
 
 echo "==> sim engine perf baseline (smoke, JSON well-formed, skip >= 1.5x)"
@@ -172,6 +183,37 @@ assert warm["sim.cache_hits"] > 0, warm
 assert warm.get("sim.cache_misses", 0) == 0, warm
 print(f"replay cache: {cold['sim.cache_misses']} misses cold, "
       f"{warm['sim.cache_hits']} hits warm; dataset bytes identical")
+EOF
+
+echo "==> train-determinism smoke (--jobs 1 and --jobs 4 models byte-identical)"
+# The sharded-gradient SGD engine must produce the same serialized model at
+# any worker count; the metrics snapshot must surface the new training
+# counters (grad shards, parallel batches, batch-latency histogram).
+"$SSMDVFS_BIN" train --dataset "$OBS_TMP/data.json" \
+  --out "$OBS_TMP/model-j1.json" --epochs 6 --jobs 1 --log-level warn \
+  --metrics-out "$OBS_TMP/train-j1-metrics.json"
+"$SSMDVFS_BIN" train --dataset "$OBS_TMP/data.json" \
+  --out "$OBS_TMP/model-j4.json" --epochs 6 --jobs 4 --log-level warn \
+  --metrics-out "$OBS_TMP/train-j4-metrics.json"
+cmp "$OBS_TMP/model-j1.json" "$OBS_TMP/model-j4.json"
+echo "trained models identical at --jobs 1 and --jobs 4"
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys, os
+tmp = sys.argv[1]
+j1 = json.load(open(os.path.join(tmp, "train-j1-metrics.json")))
+j4 = json.load(open(os.path.join(tmp, "train-j4-metrics.json")))
+for m, jobs in ((j1, 1), (j4, 4)):
+    assert m["counters"]["train.grad_shards"] > 0, (jobs, m["counters"])
+    assert "train.parallel_batches" in m["counters"], (jobs, sorted(m["counters"]))
+    assert any(h.startswith("train.batch_latency_us") for h in m["histograms"]), \
+        (jobs, sorted(m["histograms"]))
+assert j1["counters"]["train.parallel_batches"] == 0, j1["counters"]
+assert j4["counters"]["train.parallel_batches"] > 0, j4["counters"]
+assert j1["counters"]["train.grad_shards"] == j4["counters"]["train.grad_shards"], \
+    (j1["counters"], j4["counters"])
+print(f"train metrics: {j4['counters']['train.grad_shards']} grad shards "
+      f"(same at 1 and 4 jobs), {j4['counters']['train.parallel_batches']} "
+      f"parallel batches at 4 jobs, latency histogram present")
 EOF
 
 echo "==> fault-injection smoke (quarantine survives an injected panic)"

@@ -5,7 +5,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::{CounterId, EpochCounters, GpuConfig};
 use gpu_workloads::by_name;
 use ssmdvfs::{generate, DataGenConfig, DvfsDataset, FeatureSet, RawSample};
-use tinynn::{train_classifier, ClassificationData, Mlp, Normalizer, TrainConfig};
+use tinynn::{
+    train_classifier, train_classifier_parallel_with, ClassificationData, Mlp, Normalizer,
+    TrainConfig, TrainPool, TrainScratch,
+};
 
 fn synthetic_dataset(n: usize) -> DvfsDataset {
     let mut samples = Vec::with_capacity(n);
@@ -60,6 +63,19 @@ fn bench_training_epoch(c: &mut Criterion) {
             let mut mlp = Mlp::new(&[6, 20, 20, 20, 20, 20, 6], &mut rng);
             let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
             train_classifier(&mut mlp, &train, &val, &cfg).best_metric
+        });
+    });
+    // Same epoch through the persistent shard pool at 4 jobs. The result
+    // is byte-identical to the serial case by construction; the delta is
+    // pure engine overhead/speedup (sub-serial on a 1-core CI container).
+    let pool = TrainPool::new(4);
+    let mut scratch = TrainScratch::new();
+    group.bench_function("one_epoch_paper_full_4jobs", |b| {
+        b.iter(|| {
+            let mut mlp = Mlp::new(&[6, 20, 20, 20, 20, 20, 6], &mut rng);
+            let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+            train_classifier_parallel_with(&mut mlp, &train, &val, &cfg, None, &mut scratch, &pool)
+                .best_metric
         });
     });
     group.finish();

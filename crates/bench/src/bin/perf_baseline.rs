@@ -7,7 +7,8 @@
 //!   cost (cheap `SimSnapshot` vs full `Simulation` clone), written to
 //!   `BENCH_datagen.json`.
 //! * `--train`: training-loop throughput (epochs/sec on the paper-full
-//!   decision head), RFE wall-clock at 1 vs 8 workers, and single-inference
+//!   decision head, serial vs the 4-job sharded-gradient engine with a
+//!   byte-identity check), RFE wall-clock at 1 vs 8 workers, and single-inference
 //!   latency of the compressed 5×12 net (dense vs compiled engine vs
 //!   quantized), written to `BENCH_train.json`.
 //! * `--sim`: simulation-engine throughput — naive-tick vs cycle-skip
@@ -39,8 +40,9 @@ use ssmdvfs::{
 };
 use ssmdvfs_bench::artifacts_dir;
 use tinynn::{
-    prune_magnitude, train_classifier_with, ClassificationData, InferScratch, InferenceNet, Matrix,
-    Mlp, QuantizedMlp, TrainConfig, TrainScratch,
+    grad_shards, prune_magnitude, train_classifier_parallel_with, train_classifier_with,
+    ClassificationData, InferScratch, InferenceNet, Matrix, Mlp, QuantizedMlp, TrainConfig,
+    TrainPool, TrainScratch,
 };
 
 #[derive(Serialize)]
@@ -67,6 +69,20 @@ struct TrainBaseline {
     /// Epochs actually executed during the timed run.
     train_epochs: usize,
     epochs_per_sec: f64,
+    /// Worker count of the parallel SGD measurement.
+    train_jobs: usize,
+    /// Epochs/sec with the minibatch gradient sharded over `train_jobs`
+    /// workers.
+    parallel_epochs_per_sec: f64,
+    /// Parallel vs serial epochs/sec (≥ 1.3 expected at 4 jobs on a
+    /// multi-core host; sub-1 on a 1-core container, where the gate is
+    /// skipped).
+    train_speedup: f64,
+    /// Gradient shards per default-sized (64-row) minibatch.
+    grad_shards_per_batch: usize,
+    /// Whether the parallel run reproduced the serial models byte-for-byte
+    /// (the determinism contract of the training engine).
+    parallel_identical: bool,
     /// Samples in the RFE dataset.
     rfe_samples: usize,
     rfe_importance_repeats: usize,
@@ -343,7 +359,7 @@ fn synthetic_dataset(n: usize) -> DvfsDataset {
 /// docs/performance.md tracks. The raw-matrix setup (not `decision_data`,
 /// which fans each context into variant × preset rows) matches the pre-PR
 /// baseline measurement this number is compared against.
-fn time_training(smoke: bool) -> (usize, usize, f64) {
+fn time_training(smoke: bool, jobs: usize) -> (usize, usize, f64, f64, bool) {
     let n = if smoke { 240 } else { 1_200 };
     let epochs = if smoke { 5 } else { 60 };
     let reps = if smoke { 1 } else { 5 };
@@ -358,18 +374,38 @@ fn time_training(smoke: bool) -> (usize, usize, f64) {
     // patience = epochs disables early stopping so every timed epoch runs.
     let cfg = TrainConfig { epochs, patience: epochs, ..TrainConfig::default() };
     let mut scratch = TrainScratch::new();
+    // Both runs train the same initial models, so the parallel pass can be
+    // checked byte-for-byte against the serial one.
+    let inits: Vec<Mlp> =
+        (0..reps).map(|_| Mlp::new(&[6, 20, 20, 20, 20, 20, 6], &mut rng)).collect();
     // Warm-up sizes the scratch buffers; the timed runs are allocation-free.
-    let mut mlp = Mlp::new(&[6, 20, 20, 20, 20, 20, 6], &mut rng);
+    let mut mlp = inits[0].clone();
     train_classifier_with(&mut mlp, &train, &val, &cfg, None, &mut scratch);
+
     let mut ran = 0;
+    let mut serial_models = Vec::with_capacity(reps);
     let t0 = Instant::now();
-    for _ in 0..reps {
-        let mut mlp = Mlp::new(&[6, 20, 20, 20, 20, 20, 6], &mut rng);
+    for init in &inits {
+        let mut mlp = init.clone();
         let report = train_classifier_with(&mut mlp, &train, &val, &cfg, None, &mut scratch);
         ran += report.train_loss.len();
+        serial_models.push(mlp);
     }
-    let secs = t0.elapsed().as_secs_f64();
-    (n, ran, ran as f64 / secs)
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let pool = TrainPool::new(jobs);
+    // Parallel warm-up (first fan-out wakes the worker team).
+    let mut mlp = inits[0].clone();
+    train_classifier_parallel_with(&mut mlp, &train, &val, &cfg, None, &mut scratch, &pool);
+    let mut identical = true;
+    let t0 = Instant::now();
+    for (init, serial) in inits.iter().zip(&serial_models) {
+        let mut mlp = init.clone();
+        train_classifier_parallel_with(&mut mlp, &train, &val, &cfg, None, &mut scratch, &pool);
+        identical &= mlp == *serial;
+    }
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    (n, ran, ran as f64 / serial_secs, ran as f64 / parallel_secs, identical)
 }
 
 /// RFE wall-clock, serial vs `jobs` workers. Identical selection is a
@@ -426,8 +462,12 @@ fn time_inference(smoke: bool) -> (f64, f64, f64, bool) {
 fn run_train(smoke: bool) {
     let workers = effective_jobs(0);
     let rfe_jobs = 8;
-    eprintln!("[perf_baseline] training loop (smoke={smoke}, workers={workers})");
-    let (train_samples, train_epochs, epochs_per_sec) = time_training(smoke);
+    let train_jobs = 4;
+    eprintln!(
+        "[perf_baseline] training loop at 1 vs {train_jobs} workers (smoke={smoke}, workers={workers})"
+    );
+    let (train_samples, train_epochs, epochs_per_sec, parallel_epochs_per_sec, parallel_identical) =
+        time_training(smoke, train_jobs);
     eprintln!("[perf_baseline] rfe wall-clock at 1 vs {rfe_jobs} workers");
     let (rfe_samples, rfe_importance_repeats, rfe_serial_secs, rfe_parallel_secs) =
         time_rfe(smoke, rfe_jobs);
@@ -441,6 +481,11 @@ fn run_train(smoke: bool) {
         train_samples,
         train_epochs,
         epochs_per_sec,
+        train_jobs,
+        parallel_epochs_per_sec,
+        train_speedup: parallel_epochs_per_sec / epochs_per_sec,
+        grad_shards_per_batch: grad_shards(TrainConfig::default().batch_size),
+        parallel_identical,
         rfe_samples,
         rfe_importance_repeats,
         rfe_jobs,
@@ -452,13 +497,22 @@ fn run_train(smoke: bool) {
         infer_quantized_ns,
         engine_sparse,
     };
+    assert!(
+        baseline.parallel_identical,
+        "parallel SGD diverged from the serial models (determinism contract broken)"
+    );
     let path = artifacts_dir().join("BENCH_train.json");
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(&path, &json).expect("baseline must be writable");
     println!("{json}");
     println!(
-        "[perf_baseline] {:.1} epochs/s; RFE {:.2}s serial vs {:.2}s at {} workers ({:.2}x); inference {:.0} ns dense / {:.0} ns engine / {:.0} ns quantized -> {}",
+        "[perf_baseline] {:.1} epochs/s serial vs {:.1} at {} jobs ({:.2}x, {} shards/batch, identical={}); RFE {:.2}s serial vs {:.2}s at {} workers ({:.2}x); inference {:.0} ns dense / {:.0} ns engine / {:.0} ns quantized -> {}",
         baseline.epochs_per_sec,
+        baseline.parallel_epochs_per_sec,
+        train_jobs,
+        baseline.train_speedup,
+        baseline.grad_shards_per_batch,
+        baseline.parallel_identical,
         baseline.rfe_serial_secs,
         baseline.rfe_parallel_secs,
         rfe_jobs,

@@ -21,9 +21,9 @@ use ssmdvfs::checkpoint::CheckpointJournal;
 use ssmdvfs::exec::FaultPolicy;
 use ssmdvfs::serve::{DecisionService, ServeConfig};
 use ssmdvfs::{
-    compress_and_finetune, estimate_asic, evaluate, generate_suite_with, select_features_with,
-    train_combined, AsicConfig, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet, ModelArch,
-    RfeOptions, SsmdvfsConfig, SsmdvfsGovernor, SuiteOptions,
+    compress_and_finetune_jobs, estimate_asic, evaluate, generate_suite_with, select_features_with,
+    train_combined_jobs, AsicConfig, CombinedModel, DataGenConfig, DvfsDataset, FeatureSet,
+    ModelArch, RfeOptions, SsmdvfsConfig, SsmdvfsGovernor, SuiteOptions,
 };
 use tinynn::TrainConfig;
 
@@ -76,10 +76,13 @@ COMMANDS:
               [--rfe <keep>]          select <keep> indirect features by RFE
                                       first, instead of the paper's refined set
               [--rfe-epochs 8]        retrain epochs per elimination round
-              [--jobs <n>]            importance workers (0 = one per core);
-                                      the selection is identical at any count
+              [--jobs <n>]            SGD + importance workers (0 = one per
+                                      core); the trained model is
+                                      byte-identical at any count
   compress    --model <in> --dataset <file> --out <model.json>
               [--x1 0.6] [--x2 0.9]
+              [--jobs <n>]            recovery-SGD workers (0 = one per core);
+                                      byte-identical at any count
   evaluate    --model <file> --dataset <file>
   asic        --model <file> [--freq-mhz 1165]
   inspect     [audit.jsonl]           summarize a DVFS decision audit trail
@@ -422,10 +425,12 @@ pub fn train(args: &Args) -> CmdResult {
     let out_path = args.require("out")?;
     let train_cfg =
         TrainConfig { epochs: args.get_usize("epochs", 300)?, ..TrainConfig::default() };
+    let jobs = args.get_usize("jobs", 1)?;
     let mut out = String::new();
     // `--rfe <keep>` re-derives the feature set from this dataset instead of
-    // trusting the paper's refined five; the per-column importance work fans
-    // out over `--jobs` workers without changing the selection.
+    // trusting the paper's refined five; the per-round retrains and the
+    // per-column importance work both fan out over `--jobs` workers without
+    // changing the selection.
     let features = match args.get("rfe") {
         None => FeatureSet::refined(),
         Some(_) => {
@@ -436,7 +441,7 @@ pub fn train(args: &Args) -> CmdResult {
             }
             let rfe_cfg =
                 TrainConfig { epochs: args.get_usize("rfe-epochs", 8)?, ..TrainConfig::default() };
-            let opts = RfeOptions { jobs: args.get_usize("jobs", 1)?, ..RfeOptions::default() };
+            let opts = RfeOptions { jobs, ..RfeOptions::default() };
             let sel = select_features_with(&dataset, 6, keep, &rfe_cfg, &opts);
             let _ = writeln!(
                 out,
@@ -448,7 +453,10 @@ pub fn train(args: &Args) -> CmdResult {
             sel.selected
         }
     };
-    let (model, summary) = train_combined(&dataset, &features, &arch(args)?, 6, &train_cfg, 0.25);
+    // The SGD epoch loops shard each minibatch over `--jobs` workers; the
+    // trained model is byte-identical at any worker count.
+    let (model, summary) =
+        train_combined_jobs(&dataset, &features, &arch(args)?, 6, &train_cfg, 0.25, jobs);
     model.save(out_path).map_err(|e| err_in("train", e.to_string()))?;
     let _ = writeln!(
         out,
@@ -472,7 +480,8 @@ pub fn compress(args: &Args) -> CmdResult {
         return Err(err("--x1 and --x2 must be in [0, 1]"));
     }
     let finetune = TrainConfig { epochs: args.get_usize("epochs", 80)?, ..TrainConfig::default() };
-    let compressed = compress_and_finetune(&model, &dataset, x1, x2, &finetune);
+    let compressed =
+        compress_and_finetune_jobs(&model, &dataset, x1, x2, &finetune, args.get_usize("jobs", 1)?);
     compressed.save(out_path).map_err(|e| err_in("compress", e.to_string()))?;
     Ok(format!(
         "compressed {} -> {} FLOPs ({:.1}% reduction) -> {out_path}\n",

@@ -6,14 +6,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use tinynn::{
-    prune_magnitude, prune_neurons, train_classifier_with, train_regressor_with, TrainConfig,
+    accuracy, mape, prune_magnitude, prune_neurons, train_classifier_parallel_with,
+    train_regressor_parallel_with, ClassificationData, RegressionData, TrainConfig, TrainPool,
     TrainScratch, ZeroMask,
 };
 
 use crate::datagen::DvfsDataset;
 use crate::features::FeatureSet;
 use crate::model::{CombinedModel, ModelArch};
-use crate::train::{evaluate, train_combined};
+use crate::train::{train_prepared, PreparedSplits};
 
 /// One point on a FLOPs-vs-quality curve (the axes of Fig. 3).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,12 +42,36 @@ pub fn layerwise_sweep(
     num_ops: usize,
     config: &TrainConfig,
 ) -> Vec<CompressionPoint> {
+    layerwise_sweep_jobs(dataset, features, shapes, num_ops, config, 1)
+}
+
+/// [`layerwise_sweep`] with the SGD fan-out running on `jobs` workers. The
+/// decision/calibrator splits are prepared **once** and shared by every
+/// shape (they do not depend on the architecture), so the sweep performs
+/// no per-retrain dataset derivation or cloning; each retrain also reuses
+/// one scratch and one worker team. Points are byte-identical at any
+/// `jobs`.
+///
+/// # Panics
+///
+/// As [`layerwise_sweep`].
+pub fn layerwise_sweep_jobs(
+    dataset: &DvfsDataset,
+    features: &FeatureSet,
+    shapes: &[(usize, usize)],
+    num_ops: usize,
+    config: &TrainConfig,
+    jobs: usize,
+) -> Vec<CompressionPoint> {
     assert!(!shapes.is_empty(), "the sweep needs at least one shape");
+    let prep = PreparedSplits::prepare(dataset, features, num_ops, config, 0.25);
+    let pool = TrainPool::new(jobs);
+    let mut scratch = TrainScratch::new();
     shapes
         .iter()
         .map(|&(layers, neurons)| {
             let arch = ModelArch::uniform(layers, neurons);
-            let (model, summary) = train_combined(dataset, features, &arch, num_ops, config, 0.25);
+            let (model, summary) = train_prepared(&prep, &arch, config, &pool, &mut scratch);
             CompressionPoint {
                 label: format!("{layers}x{neurons}"),
                 flops: model.flops(),
@@ -73,6 +98,51 @@ pub fn compress_model(model: &CombinedModel, x1: f32, x2: f32) -> CombinedModel 
     out
 }
 
+/// The normalized, split recovery-training datasets of the fine-tune step,
+/// derived from a `(model, dataset, seed)` triple exactly once. The splits
+/// depend only on the *unpruned* model's normalizers and feature set —
+/// never on the `(x1, x2)` pruning parameters — so a [`pruning_sweep`]
+/// prepares once and fine-tunes every point against borrowed splits
+/// instead of re-deriving (and cloning) the dataset per point.
+#[derive(Debug, Clone)]
+pub struct FinetuneSplits {
+    dec_train: ClassificationData,
+    dec_val: ClassificationData,
+    cal_train: RegressionData,
+    cal_val: RegressionData,
+}
+
+impl FinetuneSplits {
+    /// Derives and splits both heads' recovery datasets, transforming with
+    /// the model's own normalizers and seeding the split shuffles from
+    /// `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn prepare(
+        model: &CombinedModel,
+        dataset: &DvfsDataset,
+        config: &TrainConfig,
+    ) -> FinetuneSplits {
+        assert!(!dataset.is_empty(), "cannot fine-tune on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF17E);
+        let dec_data = dataset.decision_data(&model.feature_set, model.num_ops);
+        let dec_data = ClassificationData::new(
+            model.decision_norm.transform(&dec_data.x),
+            dec_data.y,
+            model.num_ops,
+        );
+        let (dec_train, dec_val) = dec_data.split(0.25, &mut rng);
+        let cal_data =
+            dataset.calibrator_data(&model.feature_set, model.num_ops, model.instr_scale);
+        let cal_data =
+            RegressionData::new(model.calibrator_norm.transform(&cal_data.x), cal_data.y);
+        let (cal_train, cal_val) = cal_data.split(0.25, &mut rng);
+        FinetuneSplits { dec_train, dec_val, cal_train, cal_val }
+    }
+}
+
 /// The full compression pipeline: two-stage pruning followed by a short
 /// sparsity-preserving fine-tune of both heads on the dataset (pruned
 /// weights stay frozen at zero, so the FLOPs reduction survives the
@@ -88,44 +158,66 @@ pub fn compress_and_finetune(
     x2: f32,
     config: &TrainConfig,
 ) -> CombinedModel {
+    compress_and_finetune_jobs(model, dataset, x1, x2, config, 1)
+}
+
+/// [`compress_and_finetune`] with the recovery SGD running on `jobs`
+/// workers — byte-identical at any `jobs`.
+///
+/// # Panics
+///
+/// As [`compress_and_finetune`].
+pub fn compress_and_finetune_jobs(
+    model: &CombinedModel,
+    dataset: &DvfsDataset,
+    x1: f32,
+    x2: f32,
+    config: &TrainConfig,
+    jobs: usize,
+) -> CombinedModel {
+    let splits = FinetuneSplits::prepare(model, dataset, config);
+    let pool = TrainPool::new(jobs);
+    // Both recovery trainings share one scratch, like `train_combined`.
+    let mut scratch = TrainScratch::new();
+    compress_and_finetune_prepared(model, &splits, x1, x2, config, &pool, &mut scratch)
+}
+
+/// [`compress_and_finetune`] against prepared [`FinetuneSplits`] — the
+/// inner loop of [`pruning_sweep_jobs`], which shares one set of splits,
+/// one worker team and one scratch across every `(x1, x2)` point.
+pub fn compress_and_finetune_prepared(
+    model: &CombinedModel,
+    splits: &FinetuneSplits,
+    x1: f32,
+    x2: f32,
+    config: &TrainConfig,
+    pool: &TrainPool,
+    scratch: &mut TrainScratch,
+) -> CombinedModel {
     let mut out = compress_model(model, x1, x2);
     // Recovery training uses a gentler step than from-scratch training: the
     // weights are already near a solution and the sparsity mask amplifies
     // effective step sizes on the surviving weights.
     let config = &TrainConfig { lr: config.lr * 0.3, ..config.clone() };
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF17E);
-
-    let dec_data = dataset.decision_data(&out.feature_set, out.num_ops);
-    let dec_data = tinynn::ClassificationData::new(
-        out.decision_norm.transform(&dec_data.x),
-        dec_data.y,
-        out.num_ops,
-    );
-    let (dec_train, dec_val) = dec_data.split(0.25, &mut rng);
     let dec_mask = ZeroMask::from_zeros(&out.decision);
-    // Both recovery trainings share one scratch, like `train_combined`.
-    let mut scratch = TrainScratch::new();
-    train_classifier_with(
+    train_classifier_parallel_with(
         &mut out.decision,
-        &dec_train,
-        &dec_val,
+        &splits.dec_train,
+        &splits.dec_val,
         config,
         Some(&dec_mask),
-        &mut scratch,
+        scratch,
+        pool,
     );
-
-    let cal_data = dataset.calibrator_data(&out.feature_set, out.num_ops, out.instr_scale);
-    let cal_data =
-        tinynn::RegressionData::new(out.calibrator_norm.transform(&cal_data.x), cal_data.y);
-    let (cal_train, cal_val) = cal_data.split(0.25, &mut rng);
     let cal_mask = ZeroMask::from_zeros(&out.calibrator);
-    train_regressor_with(
+    train_regressor_parallel_with(
         &mut out.calibrator,
-        &cal_train,
-        &cal_val,
+        &splits.cal_train,
+        &splits.cal_val,
         config,
         Some(&cal_mask),
-        &mut scratch,
+        scratch,
+        pool,
     );
     out
 }
@@ -133,7 +225,7 @@ pub fn compress_and_finetune(
 /// Quantizes both heads to INT8 weights (extension; the paper's module is
 /// FP32), returning a model whose weights carry the quantization error so
 /// the accuracy cost of an INT8 datapath can be measured with
-/// [`evaluate`].
+/// [`crate::train::evaluate`].
 pub fn quantize_model(model: &CombinedModel) -> CombinedModel {
     let mut out = model.clone();
     out.decision = tinynn::QuantizedMlp::quantize(&out.decision).dequantize();
@@ -153,17 +245,53 @@ pub fn pruning_sweep(
     params: &[(f32, f32)],
     finetune: &TrainConfig,
 ) -> Vec<CompressionPoint> {
+    pruning_sweep_jobs(model, dataset, params, finetune, 1)
+}
+
+/// [`pruning_sweep`] with the recovery SGD running on `jobs` workers. The
+/// fine-tune splits and the evaluation datasets are derived **once** (they
+/// depend only on the unpruned model and the dataset, never on the pruning
+/// parameters) and shared by every `(x1, x2)` point, as are the worker
+/// team and the training scratch. Points are byte-identical at any `jobs`.
+///
+/// # Panics
+///
+/// As [`pruning_sweep`].
+pub fn pruning_sweep_jobs(
+    model: &CombinedModel,
+    dataset: &DvfsDataset,
+    params: &[(f32, f32)],
+    finetune: &TrainConfig,
+    jobs: usize,
+) -> Vec<CompressionPoint> {
     assert!(!params.is_empty(), "the sweep needs at least one parameter pair");
+    let splits = FinetuneSplits::prepare(model, dataset, finetune);
+    let pool = TrainPool::new(jobs);
+    let mut scratch = TrainScratch::new();
+    // Every pruned variant keeps the parent's feature set, normalizers and
+    // op count, so the evaluation inputs are shared across points too
+    // (previously `evaluate` re-derived them per point).
+    let dec_eval = dataset.decision_data(&model.feature_set, model.num_ops);
+    let cal_eval = dataset.calibrator_data(&model.feature_set, model.num_ops, model.instr_scale);
     params
         .iter()
         .map(|&(x1, x2)| {
-            let pruned = compress_and_finetune(model, dataset, x1, x2, finetune);
-            let (accuracy, mape) = evaluate(&pruned, dataset);
+            let pruned = compress_and_finetune_prepared(
+                model,
+                &splits,
+                x1,
+                x2,
+                finetune,
+                &pool,
+                &mut scratch,
+            );
+            let acc = accuracy(&pruned.decision_forward_raw(&dec_eval.x), &dec_eval.y);
+            let m = mape(&pruned.calibrator_forward_raw(&cal_eval.x), &cal_eval.y);
             CompressionPoint {
                 label: format!("x1={x1:.2},x2={x2:.2}"),
                 flops: pruned.sparse_flops(),
-                accuracy,
-                mape,
+                accuracy: acc,
+                mape: m,
             }
         })
         .collect()
@@ -173,6 +301,7 @@ pub fn pruning_sweep(
 mod tests {
     use super::*;
     use crate::datagen::RawSample;
+    use crate::train::{evaluate, train_combined};
     use gpu_sim::{CounterId, EpochCounters};
 
     fn tiny_dataset(n: usize) -> DvfsDataset {
@@ -261,6 +390,23 @@ mod tests {
             (acc_p - acc_q).abs() < 0.08,
             "INT8 should barely move accuracy: {acc_p:.3} vs {acc_q:.3}"
         );
+    }
+
+    #[test]
+    fn sweeps_are_byte_identical_at_any_worker_count() {
+        let data = tiny_dataset(100);
+        let cfg = TrainConfig { epochs: 4, ..TrainConfig::default() };
+        let features = FeatureSet::refined();
+        let serial_layers = layerwise_sweep(&data, &features, &[(1, 6), (2, 10)], 6, &cfg);
+        let (model, _) =
+            train_combined(&data, &features, &ModelArch::paper_compressed(), 6, &cfg, 0.25);
+        let serial_prune = pruning_sweep(&model, &data, &[(0.3, 0.95), (0.6, 0.95)], &cfg);
+        for jobs in [2usize, 4] {
+            let layers = layerwise_sweep_jobs(&data, &features, &[(1, 6), (2, 10)], 6, &cfg, jobs);
+            assert_eq!(serial_layers, layers, "layerwise sweep diverged at {jobs} workers");
+            let prune = pruning_sweep_jobs(&model, &data, &[(0.3, 0.95), (0.6, 0.95)], &cfg, jobs);
+            assert_eq!(serial_prune, prune, "pruning sweep diverged at {jobs} workers");
+        }
     }
 
     #[test]

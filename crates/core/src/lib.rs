@@ -71,8 +71,9 @@ mod train;
 
 pub use asic::{estimate_asic, AsicConfig, AsicReport};
 pub use compress::{
-    compress_and_finetune, compress_model, layerwise_sweep, pruning_sweep, quantize_model,
-    CompressionPoint,
+    compress_and_finetune, compress_and_finetune_jobs, compress_and_finetune_prepared,
+    compress_model, layerwise_sweep, layerwise_sweep_jobs, pruning_sweep, pruning_sweep_jobs,
+    quantize_model, CompressionPoint, FinetuneSplits,
 };
 pub use controller::{SsmdvfsConfig, SsmdvfsGovernor};
 pub use datagen::{
@@ -91,4 +92,7 @@ pub use serve::{
     Decision, DecisionClient, DecisionRequest, DecisionService, PendingDecision, ServeConfig,
     ServeStats,
 };
-pub use train::{evaluate, train_combined, TrainSummary, INSTR_SCALE};
+pub use train::{
+    evaluate, train_combined, train_combined_jobs, train_prepared, PreparedSplits, TrainSummary,
+    INSTR_SCALE,
+};

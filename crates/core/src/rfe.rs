@@ -9,19 +9,23 @@
 //! # Parallelism and determinism
 //!
 //! Elimination rounds are inherently sequential (each round retrains on the
-//! survivors of the previous one), but *within* a round the per-column
-//! permutation-importance evaluations are independent. They fan out over
-//! [`crate::exec::parallel_map_indexed`]; every `(column, repeat)` shuffle
-//! draws from its own [`splitmix64`]-derived seed inside
-//! [`tinynn::column_importance`], so the importance vector — and therefore
-//! the selected feature set — is byte-identical to the serial result at any
-//! worker count.
+//! survivors of the previous one), but *within* a round two stages fan
+//! out, one after the other: the retrain shards its minibatch gradients
+//! over a persistent [`TrainPool`], and the per-column
+//! permutation-importance evaluations run on
+//! [`crate::exec::parallel_map_indexed`]. Both stages draw on the same
+//! `opts.jobs` budget and never overlap, so RFE×SGD nesting cannot
+//! oversubscribe the host. Every `(column, repeat)` shuffle draws from its
+//! own [`splitmix64`]-derived seed inside [`tinynn::column_importance`] and
+//! the sharded gradient reduces in fixed index order, so the importance
+//! vector — and therefore the selected feature set — is byte-identical to
+//! the serial result at any worker count.
 
 use gpu_sim::{CounterCategory, CounterId};
 use serde::{Deserialize, Serialize};
 use tinynn::{
-    accuracy, column_importance, splitmix64, train_classifier, ClassificationData, Matrix, Mlp,
-    Normalizer, TrainConfig,
+    accuracy, column_importance, splitmix64, train_classifier_parallel_with, ClassificationData,
+    Matrix, Mlp, Normalizer, TrainConfig, TrainPool, TrainScratch,
 };
 
 use crate::datagen::DvfsDataset;
@@ -46,8 +50,9 @@ pub struct FeatureSelection {
 /// Tuning knobs for [`select_features_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RfeOptions {
-    /// Worker threads for the per-column importance fan-out (`0` = one per
-    /// core). The result is identical at every worker count.
+    /// Worker threads for both the SGD gradient shards and the per-column
+    /// importance fan-out (`0` = one per core). The result is identical at
+    /// every worker count.
     pub jobs: usize,
     /// Shuffle repeats averaged per column importance. More repeats cost
     /// proportionally more forward passes but smooth the importance
@@ -84,6 +89,8 @@ fn train_and_score(
     data: &ClassificationData,
     seed: u64,
     config: &TrainConfig,
+    pool: &TrainPool,
+    scratch: &mut TrainScratch,
 ) -> (Mlp, Normalizer, ClassificationData, f64) {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
     let norm = Normalizer::fit(&data.x);
@@ -95,7 +102,8 @@ fn train_and_score(
     sizes.extend(&arch.decision_hidden);
     sizes.push(data.num_classes);
     let mut mlp = Mlp::new(&sizes, &mut rng);
-    let report = train_classifier(&mut mlp, &train, &val, config);
+    let report =
+        train_classifier_parallel_with(&mut mlp, &train, &val, config, None, scratch, pool);
     (mlp, norm, val, report.best_metric)
 }
 
@@ -144,8 +152,20 @@ pub fn select_features_with(
     assert!(opts.importance_repeats > 0, "at least one importance repeat is required");
     let candidate_set = FeatureSet::new(candidates.clone());
     let full_data = dataset.decision_data(&candidate_set, num_ops);
-    let (_, _, _, full_accuracy) =
-        train_and_score(&full_data, stage_seed(config.seed, FULL_STAGE), config);
+    // One worker team and one scratch serve every retrain of the run. The
+    // retrain (pool-parallel SGD) and importance fan-out
+    // (`exec::parallel_map_indexed`) are sequential phases, so the two
+    // parallel stages share the single `opts.jobs` budget instead of
+    // oversubscribing the host.
+    let pool = TrainPool::new(opts.jobs);
+    let mut scratch = TrainScratch::new();
+    let (_, _, _, full_accuracy) = train_and_score(
+        &full_data,
+        stage_seed(config.seed, FULL_STAGE),
+        config,
+        &pool,
+        &mut scratch,
+    );
 
     let mut active: Vec<usize> = (0..candidates.len()).collect();
     let mut eliminated = Vec::new();
@@ -162,7 +182,7 @@ pub fn select_features_with(
         let x = full_data.x.select_columns(&cols);
         let data = ClassificationData::new(x, full_data.y.clone(), num_ops);
         let round_seed = stage_seed(config.seed, round);
-        let (mlp, _norm, val, _) = train_and_score(&data, round_seed, config);
+        let (mlp, _norm, val, _) = train_and_score(&data, round_seed, config, &pool, &mut scratch);
         // Permutation importance on the validation split, one task per
         // *active* column — the preset column (last) is never a removal
         // candidate, so its importance is never computed. Each task derives
@@ -191,8 +211,13 @@ pub fn select_features_with(
     selected.push(CounterId::PowerTotalW);
     let selected_set = FeatureSet::new(selected);
     let selected_data = dataset.decision_data(&selected_set, num_ops);
-    let (_, _, _, selected_accuracy) =
-        train_and_score(&selected_data, stage_seed(config.seed, SELECTED_STAGE), config);
+    let (_, _, _, selected_accuracy) = train_and_score(
+        &selected_data,
+        stage_seed(config.seed, SELECTED_STAGE),
+        config,
+        &pool,
+        &mut scratch,
+    );
 
     FeatureSelection { selected: selected_set, eliminated, full_accuracy, selected_accuracy }
 }

@@ -1,11 +1,21 @@
 //! Offline training of the combined model.
+//!
+//! Training splits into two phases so sweep drivers never redo shared
+//! work: [`PreparedSplits::prepare`] derives, normalizes and splits the
+//! decision/calibrator datasets once, and [`train_prepared`] trains a model
+//! of a given architecture against those borrowed splits — the layer-wise
+//! and pruning sweeps in [`crate::compress`] call it in a loop without
+//! re-deriving (or cloning) the dataset per retrain. [`train_combined`] is
+//! the one-shot composition of the two, and [`train_combined_jobs`] runs
+//! the SGD minibatch fan-out on a worker pool; results are byte-identical
+//! at any worker count (see [`tinynn::train_classifier_parallel_with`]).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use tinynn::{
-    accuracy, mape, train_classifier_with, train_regressor_with, Mlp, Normalizer, TrainConfig,
-    TrainScratch,
+    accuracy, mape, splitmix64, train_classifier_parallel_with, train_regressor_parallel_with,
+    ClassificationData, Mlp, Normalizer, RegressionData, TrainConfig, TrainPool, TrainScratch,
 };
 
 use crate::datagen::DvfsDataset;
@@ -30,9 +40,153 @@ pub struct TrainSummary {
 /// regression target O(10).
 pub const INSTR_SCALE: f32 = 1_000.0;
 
+/// The normalized, split decision and calibrator datasets of one training
+/// problem, derived from a [`DvfsDataset`] exactly once. Sweep drivers that
+/// retrain many architectures against the same data prepare once and pass
+/// the splits by reference to [`train_prepared`] — no per-retrain dataset
+/// derivation, normalization or cloning.
+#[derive(Debug, Clone)]
+pub struct PreparedSplits {
+    features: FeatureSet,
+    num_ops: usize,
+    samples: usize,
+    dec_norm: Normalizer,
+    cal_norm: Normalizer,
+    dec_train: ClassificationData,
+    dec_val: ClassificationData,
+    cal_train: RegressionData,
+    cal_val: RegressionData,
+}
+
+impl PreparedSplits {
+    /// Derives, normalizes and splits both heads' datasets (holding out
+    /// `val_frac` of the samples), seeding the split shuffles from
+    /// `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `num_ops < 2`.
+    pub fn prepare(
+        dataset: &DvfsDataset,
+        features: &FeatureSet,
+        num_ops: usize,
+        config: &TrainConfig,
+        val_frac: f64,
+    ) -> PreparedSplits {
+        assert!(num_ops >= 2, "need at least two operating points");
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let _prof = obs::prof::scope("train.prepare");
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5A5A);
+        let dec_data = dataset.decision_data(features, num_ops);
+        let dec_norm = Normalizer::fit(&dec_data.x);
+        let dec_data =
+            ClassificationData::new(dec_norm.transform(&dec_data.x), dec_data.y, num_ops);
+        let (dec_train, dec_val) = dec_data.split(val_frac, &mut rng);
+        let cal_data = dataset.calibrator_data(features, num_ops, INSTR_SCALE);
+        let cal_norm = Normalizer::fit(&cal_data.x);
+        let cal_data = RegressionData::new(cal_norm.transform(&cal_data.x), cal_data.y);
+        let (cal_train, cal_val) = cal_data.split(val_frac, &mut rng);
+        PreparedSplits {
+            features: features.clone(),
+            num_ops,
+            samples: dataset.len(),
+            dec_norm,
+            cal_norm,
+            dec_train,
+            dec_val,
+            cal_train,
+            cal_val,
+        }
+    }
+
+    /// Number of samples in the source dataset.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+}
+
+/// Trains a [`CombinedModel`] of the given architecture against prepared
+/// splits. Weight init is seeded from `config.seed`, SGD shards fan out on
+/// `pool`, and every retrain reuses `scratch` — the inner loop of the
+/// layer-wise and pruning sweeps.
+///
+/// # Panics
+///
+/// Panics if the architecture and splits disagree on widths.
+pub fn train_prepared(
+    prep: &PreparedSplits,
+    arch: &ModelArch,
+    config: &TrainConfig,
+    pool: &TrainPool,
+    scratch: &mut TrainScratch,
+) -> (CombinedModel, TrainSummary) {
+    let _span = obs::span!("train", "train_combined:{} samples", prep.samples);
+    let _prof = obs::prof::scope("train.combined");
+    // Weight init draws from its own decorrelated stream (the split
+    // shuffles already consumed the `seed ^ 0x5A5A` stream in `prepare`).
+    let mut rng = StdRng::seed_from_u64(splitmix64(config.seed ^ 0x5A5A));
+
+    // Decision head. The minimum-frequency labels are dominated by the
+    // lowest point (memory-tolerant contexts qualify at almost every
+    // preset), so the decision head always trains class-balanced.
+    let config = &TrainConfig { class_balance: true, ..config.clone() };
+    let mut dec_sizes = vec![prep.features.len() + 1];
+    dec_sizes.extend(&arch.decision_hidden);
+    dec_sizes.push(prep.num_ops);
+    let mut decision = Mlp::new(&dec_sizes, &mut rng);
+    let dec_report = train_classifier_parallel_with(
+        &mut decision,
+        &prep.dec_train,
+        &prep.dec_val,
+        config,
+        None,
+        scratch,
+        pool,
+    );
+
+    // Calibrator head.
+    let mut cal_sizes = vec![prep.features.len() + 2];
+    cal_sizes.extend(&arch.calibrator_hidden);
+    cal_sizes.push(1);
+    let mut calibrator = Mlp::new(&cal_sizes, &mut rng);
+    let cal_report = train_regressor_parallel_with(
+        &mut calibrator,
+        &prep.cal_train,
+        &prep.cal_val,
+        config,
+        None,
+        scratch,
+        pool,
+    );
+
+    let model = CombinedModel {
+        decision,
+        calibrator,
+        feature_set: prep.features.clone(),
+        decision_norm: prep.dec_norm.clone(),
+        calibrator_norm: prep.cal_norm.clone(),
+        instr_scale: INSTR_SCALE,
+        num_ops: prep.num_ops,
+    };
+    let summary = TrainSummary {
+        decision_accuracy: dec_report.best_metric,
+        calibrator_mape: cal_report.best_metric,
+        flops: model.flops(),
+        samples: prep.samples,
+    };
+    obs::gauge!("train.decision_accuracy").set(summary.decision_accuracy);
+    obs::gauge!("train.calibrator_mape").set(summary.calibrator_mape);
+    // Pipeline-level epoch counter (both heads), distinct from the
+    // per-loop tinynn.train.epochs: this is the number a live scrape of a
+    // training run rates as "train epochs/s".
+    obs::counter!("train.epochs")
+        .inc((dec_report.train_loss.len() + cal_report.train_loss.len()) as u64);
+    (model, summary)
+}
+
 /// Trains a [`CombinedModel`] of the given architecture on a generated
 /// dataset, holding out `val_frac` of the samples for early stopping and
-/// for the reported metrics.
+/// for the reported metrics. Serial; see [`train_combined_jobs`].
 ///
 /// # Panics
 ///
@@ -45,68 +199,32 @@ pub fn train_combined(
     config: &TrainConfig,
     val_frac: f64,
 ) -> (CombinedModel, TrainSummary) {
-    assert!(num_ops >= 2, "need at least two operating points");
-    assert!(!dataset.is_empty(), "cannot train on an empty dataset");
-    let _span = obs::span!("train", "train_combined:{} samples", dataset.len());
-    let _prof = obs::prof::scope("train.combined");
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5A5A);
+    train_combined_jobs(dataset, features, arch, num_ops, config, val_frac, 1)
+}
 
-    // Decision head.
-    let dec_data = dataset.decision_data(features, num_ops);
-    let dec_norm = Normalizer::fit(&dec_data.x);
-    let dec_data =
-        tinynn::ClassificationData::new(dec_norm.transform(&dec_data.x), dec_data.y, num_ops);
-    let (dec_train, dec_val) = dec_data.split(val_frac, &mut rng);
-    // The minimum-frequency labels are dominated by the lowest point
-    // (memory-tolerant contexts qualify at almost every preset), so the
-    // decision head always trains class-balanced.
-    let config = &TrainConfig { class_balance: true, ..config.clone() };
-    let mut dec_sizes = vec![features.len() + 1];
-    dec_sizes.extend(&arch.decision_hidden);
-    dec_sizes.push(num_ops);
+/// [`train_combined`] with the SGD minibatch fan-out running on `jobs`
+/// workers (`0` = one per core). The trained model is byte-identical at
+/// any `jobs`.
+///
+/// # Panics
+///
+/// As [`train_combined`].
+pub fn train_combined_jobs(
+    dataset: &DvfsDataset,
+    features: &FeatureSet,
+    arch: &ModelArch,
+    num_ops: usize,
+    config: &TrainConfig,
+    val_frac: f64,
+    jobs: usize,
+) -> (CombinedModel, TrainSummary) {
+    let prep = PreparedSplits::prepare(dataset, features, num_ops, config, val_frac);
+    let pool = TrainPool::new(jobs);
     // Both heads train through one scratch: the buffers are sized by the
     // first head and re-shaped (without reallocating what already fits)
     // for the second.
     let mut scratch = TrainScratch::new();
-    let mut decision = Mlp::new(&dec_sizes, &mut rng);
-    let dec_report =
-        train_classifier_with(&mut decision, &dec_train, &dec_val, config, None, &mut scratch);
-
-    // Calibrator head.
-    let cal_data = dataset.calibrator_data(features, num_ops, INSTR_SCALE);
-    let cal_norm = Normalizer::fit(&cal_data.x);
-    let cal_data = tinynn::RegressionData::new(cal_norm.transform(&cal_data.x), cal_data.y);
-    let (cal_train, cal_val) = cal_data.split(val_frac, &mut rng);
-    let mut cal_sizes = vec![features.len() + 2];
-    cal_sizes.extend(&arch.calibrator_hidden);
-    cal_sizes.push(1);
-    let mut calibrator = Mlp::new(&cal_sizes, &mut rng);
-    let cal_report =
-        train_regressor_with(&mut calibrator, &cal_train, &cal_val, config, None, &mut scratch);
-
-    let model = CombinedModel {
-        decision,
-        calibrator,
-        feature_set: features.clone(),
-        decision_norm: dec_norm,
-        calibrator_norm: cal_norm,
-        instr_scale: INSTR_SCALE,
-        num_ops,
-    };
-    let summary = TrainSummary {
-        decision_accuracy: dec_report.best_metric,
-        calibrator_mape: cal_report.best_metric,
-        flops: model.flops(),
-        samples: dataset.len(),
-    };
-    obs::gauge!("train.decision_accuracy").set(summary.decision_accuracy);
-    obs::gauge!("train.calibrator_mape").set(summary.calibrator_mape);
-    // Pipeline-level epoch counter (both heads), distinct from the
-    // per-loop tinynn.train.epochs: this is the number a live scrape of a
-    // training run rates as "train epochs/s".
-    obs::counter!("train.epochs")
-        .inc((dec_report.train_loss.len() + cal_report.train_loss.len()) as u64);
-    (model, summary)
+    train_prepared(&prep, arch, config, &pool, &mut scratch)
 }
 
 /// Re-evaluates an existing model on a dataset (e.g. after pruning),
@@ -228,5 +346,20 @@ mod tests {
         let (acc, m) = evaluate(&model, &data);
         assert!((0.0..=1.0).contains(&acc));
         assert!(m >= 0.0 && m.is_finite());
+    }
+
+    #[test]
+    fn parallel_combined_training_is_byte_identical() {
+        let data = synthetic_dataset(300);
+        let cfg = TrainConfig { epochs: 6, ..TrainConfig::default() };
+        let features = FeatureSet::refined();
+        let arch = ModelArch::paper_compressed();
+        let (serial, serial_summary) = train_combined(&data, &features, &arch, 6, &cfg, 0.25);
+        for jobs in [2usize, 4] {
+            let (parallel, summary) =
+                train_combined_jobs(&data, &features, &arch, 6, &cfg, 0.25, jobs);
+            assert_eq!(serial, parallel, "combined model diverged at {jobs} workers");
+            assert_eq!(serial_summary, summary, "summary diverged at {jobs} workers");
+        }
     }
 }

@@ -29,8 +29,7 @@ fn pipelined_same_key_requests_match_sequential_governor() {
 
     // Sequential reference: one governor, same counters in order.
     let mut gov = SsmdvfsGovernor::new(Arc::clone(&model), ctrl.clone());
-    let reference: Vec<usize> =
-        (0..256).map(|i| gov.decide(0, &counters_for(i), &table)).collect();
+    let reference: Vec<usize> = (0..256).map(|i| gov.decide(0, &counters_for(i), &table)).collect();
 
     // Served: pipeline all requests for (gpu 0, cluster 0) before waiting,
     // so the batcher drains multi-request batches with duplicate keys.
@@ -42,9 +41,7 @@ fn pipelined_same_key_requests_match_sequential_governor() {
     );
     let client = service.client();
     let pending: Vec<PendingDecision> = (0..256)
-        .map(|i| {
-            client.submit(DecisionRequest { gpu: 0, cluster: 0, counters: counters_for(i) })
-        })
+        .map(|i| client.submit(DecisionRequest { gpu: 0, cluster: 0, counters: counters_for(i) }))
         .collect();
     let served: Vec<usize> = pending.into_iter().map(|p| p.wait().op_index).collect();
     let stats = service.shutdown();

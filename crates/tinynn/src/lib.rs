@@ -46,6 +46,7 @@ mod matrix;
 mod metrics;
 mod mlp;
 mod optim;
+mod par;
 mod prune;
 mod quant;
 mod select;
@@ -54,13 +55,15 @@ mod train;
 
 pub use data::{ClassificationData, Normalizer, RegressionData};
 pub use loss::{
-    cross_entropy, cross_entropy_into, cross_entropy_weighted, cross_entropy_weighted_into, mse,
-    mse_into, softmax, softmax_in_place,
+    cross_entropy, cross_entropy_into, cross_entropy_shard_into, cross_entropy_weighted,
+    cross_entropy_weighted_into, cross_entropy_weighted_shard_into, mean_class_weight, mse,
+    mse_into, mse_shard_into, softmax, softmax_in_place,
 };
 pub use matrix::Matrix;
 pub use metrics::{accuracy, argmax, confusion_matrix, mape, mape_counted, mean_class_distance};
 pub use mlp::{Activation, Dense, ForwardCache, Gradients, InferScratch, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use par::TrainPool;
 pub use prune::{prune_magnitude, prune_neurons, prune_two_stage, ZeroMask};
 pub use quant::{QuantizedLayer, QuantizedMlp};
 pub use select::{
@@ -68,6 +71,7 @@ pub use select::{
 };
 pub use sparse::{CsrMatrix, InferenceNet, SparseLayer, SparseMlp};
 pub use train::{
-    train_classifier, train_classifier_masked, train_classifier_with, train_regressor,
-    train_regressor_masked, train_regressor_with, TrainConfig, TrainReport, TrainScratch,
+    grad_shards, shard_span, train_classifier, train_classifier_masked,
+    train_classifier_parallel_with, train_classifier_with, train_regressor, train_regressor_masked,
+    train_regressor_parallel_with, train_regressor_with, TrainConfig, TrainReport, TrainScratch,
 };

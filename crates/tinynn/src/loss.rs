@@ -119,6 +119,81 @@ pub fn cross_entropy_weighted_into(
     (loss / labels.len() as f64) as f32
 }
 
+/// [`cross_entropy_into`] for one *shard* of a larger batch: identical
+/// per-row gradient arithmetic (`softmax − onehot`, unnormalized), but the
+/// returned loss is the raw `f64` sum of the shard's per-row losses — the
+/// caller folds shard sums in fixed index order and divides by the full
+/// batch size once, so sharding never changes the batch loss it reports.
+///
+/// # Panics
+///
+/// As [`cross_entropy_into`].
+pub fn cross_entropy_shard_into(logits: &Matrix, labels: &[usize], grad: &mut Matrix) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "one label per logit row");
+    let classes = logits.cols();
+    grad.reshape(logits.rows(), classes);
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let grow = grad.row_mut(i);
+        grow.copy_from_slice(logits.row(i));
+        softmax_in_place(grow);
+        loss -= (grow[label].max(1e-12) as f64).ln();
+        grow[label] -= 1.0;
+    }
+    loss
+}
+
+/// [`cross_entropy_weighted_into`] for one shard of a larger batch. The
+/// batch-mean class weight is a *whole-batch* statistic, so the caller
+/// computes it once over the full batch's labels and passes it in as
+/// `mean_w` — per-row arithmetic is then identical to the monolithic
+/// variant regardless of how the batch was sharded. Returns the raw `f64`
+/// loss sum (see [`cross_entropy_shard_into`]).
+///
+/// # Panics
+///
+/// As [`cross_entropy_weighted_into`].
+pub fn cross_entropy_weighted_shard_into(
+    logits: &Matrix,
+    labels: &[usize],
+    class_weights: &[f32],
+    mean_w: f32,
+    grad: &mut Matrix,
+) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "one label per logit row");
+    let classes = logits.cols();
+    assert!(class_weights.len() >= classes, "need a weight per class");
+    grad.reshape(logits.rows(), classes);
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let w = class_weights[label] / mean_w;
+        let grow = grad.row_mut(i);
+        grow.copy_from_slice(logits.row(i));
+        softmax_in_place(grow);
+        loss -= f64::from(w) * (grow[label].max(1e-12) as f64).ln();
+        for g in grow.iter_mut() {
+            *g *= w;
+        }
+        grow[label] -= w;
+    }
+    loss
+}
+
+/// The batch-mean class weight [`cross_entropy_weighted_into`] normalizes
+/// by, exposed so the sharded training path can hoist it out of the shards
+/// (clamped away from zero exactly like the monolithic loss).
+pub fn mean_class_weight(labels: impl Iterator<Item = usize>, class_weights: &[f32]) -> f32 {
+    let mut sum = 0.0f32;
+    let mut n = 0usize;
+    for l in labels {
+        sum += class_weights[l];
+        n += 1;
+    }
+    (sum / n.max(1) as f32).max(1e-6)
+}
+
 /// Mean squared error over a batch of scalar predictions (the first output
 /// column is used).
 ///
@@ -153,9 +228,91 @@ pub fn mse_into(outputs: &Matrix, targets: &[f32], grad: &mut Matrix) -> f32 {
     (loss / targets.len() as f64) as f32
 }
 
+/// [`mse_into`] for one shard of a larger batch: identical per-row gradient
+/// arithmetic, raw `f64` squared-error sum returned (see
+/// [`cross_entropy_shard_into`]).
+///
+/// # Panics
+///
+/// Panics if batch sizes mismatch.
+pub fn mse_shard_into(outputs: &Matrix, targets: &[f32], grad: &mut Matrix) -> f64 {
+    assert_eq!(outputs.rows(), targets.len(), "one target per output row");
+    grad.reshape(outputs.rows(), outputs.cols());
+    grad.as_mut_slice().iter_mut().for_each(|v| *v = 0.0);
+    let mut loss = 0.0f64;
+    for (i, &t) in targets.iter().enumerate() {
+        let y = outputs.row(i)[0];
+        let err = y - t;
+        loss += (err as f64) * (err as f64);
+        grad.row_mut(i)[0] = 2.0 * err;
+    }
+    loss
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_losses_match_monolithic_on_a_whole_batch() {
+        // A single shard covering the whole batch must reproduce the
+        // monolithic loss and gradient exactly.
+        let logits = Matrix::from_rows(&[&[0.2, -1.0, 0.4], &[1.5, 0.1, -0.2]]);
+        let labels = [2usize, 0];
+        let (ml, mg) = cross_entropy(&logits, &labels);
+        let mut grad = Matrix::zeros(0, 0);
+        let sum = cross_entropy_shard_into(&logits, &labels, &mut grad);
+        assert_eq!((sum / labels.len() as f64) as f32, ml);
+        assert_eq!(grad, mg);
+
+        let weights = [2.0f32, 1.0, 0.5];
+        let (wl, wg) = cross_entropy_weighted(&logits, &labels, &weights);
+        let mean_w = mean_class_weight(labels.iter().copied(), &weights);
+        let wsum = cross_entropy_weighted_shard_into(&logits, &labels, &weights, mean_w, &mut grad);
+        assert_eq!((wsum / labels.len() as f64) as f32, wl);
+        assert_eq!(grad, wg);
+
+        let out = Matrix::from_rows(&[&[2.0], &[0.5]]);
+        let targets = [1.0f32, 1.0];
+        let (sl, sg) = mse(&out, &targets);
+        let ssum = mse_shard_into(&out, &targets, &mut grad);
+        assert_eq!((ssum / targets.len() as f64) as f32, sl);
+        assert_eq!(grad, sg);
+    }
+
+    #[test]
+    fn shard_rows_match_the_monolithic_gradient_rows() {
+        // Each shard's gradient rows equal the corresponding rows of the
+        // whole-batch gradient: per-row arithmetic is independent.
+        let logits = Matrix::from_rows(&[&[0.2, -1.0, 0.4], &[1.5, 0.1, -0.2], &[-0.3, 0.9, 0.0]]);
+        let labels = [2usize, 0, 1];
+        let weights = [2.0f32, 1.0, 0.5];
+        let mean_w = mean_class_weight(labels.iter().copied(), &weights);
+        let (_, full) = cross_entropy_weighted(&logits, &labels, &weights);
+        let mut grad = Matrix::zeros(0, 0);
+        let mut total = 0.0f64;
+        for (lo, hi) in [(0usize, 2usize), (2, 3)] {
+            let shard = logits.select_rows(&(lo..hi).collect::<Vec<_>>());
+            total += cross_entropy_weighted_shard_into(
+                &shard,
+                &labels[lo..hi],
+                &weights,
+                mean_w,
+                &mut grad,
+            );
+            for r in lo..hi {
+                assert_eq!(grad.row(r - lo), full.row(r), "row {r} diverged");
+            }
+        }
+        assert!(total.is_finite());
+    }
+
+    #[test]
+    fn mean_class_weight_clamps_away_from_zero() {
+        assert_eq!(mean_class_weight([0usize, 0].into_iter(), &[0.0, 1.0]), 1e-6);
+        let w = mean_class_weight([0usize, 1].into_iter(), &[1.0, 3.0]);
+        assert_eq!(w, 2.0);
+    }
 
     #[test]
     fn softmax_sums_to_one_and_orders() {

@@ -158,6 +158,54 @@ impl Gradients {
     pub fn empty() -> Gradients {
         Gradients { layers: Vec::new() }
     }
+
+    /// Overwrites `self` with `src`, reshaping buffers in place — the seed
+    /// of the fixed-order shard reduction (shard 0's gradients land here,
+    /// then the remaining shards [`Gradients::accumulate_into`] on top).
+    pub fn assign_from(&mut self, src: &Gradients) {
+        if self.layers.len() != src.layers.len() {
+            self.layers.resize(src.layers.len(), (Matrix::zeros(0, 0), Vec::new()));
+        }
+        for ((dw, db), (sw, sb)) in self.layers.iter_mut().zip(&src.layers) {
+            dw.reshape(sw.rows(), sw.cols());
+            dw.as_mut_slice().copy_from_slice(sw.as_slice());
+            db.clear();
+            db.extend_from_slice(sb);
+        }
+    }
+
+    /// Adds `self` element-wise into `dst`. Callers reduce per-shard
+    /// gradients by folding shards in ascending index order — a fixed-order
+    /// reduction, so the summed gradient is a pure function of the shard
+    /// partition and never of which worker computed which shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer shapes differ.
+    pub fn accumulate_into(&self, dst: &mut Gradients) {
+        assert_eq!(self.layers.len(), dst.layers.len(), "gradient layer count mismatch");
+        for ((sw, sb), (dw, db)) in self.layers.iter().zip(&mut dst.layers) {
+            assert_eq!((sw.rows(), sw.cols()), (dw.rows(), dw.cols()), "gradient shape mismatch");
+            assert_eq!(sb.len(), db.len(), "bias gradient length mismatch");
+            for (d, &s) in dw.as_mut_slice().iter_mut().zip(sw.as_slice()) {
+                *d += s;
+            }
+            for (d, &s) in db.iter_mut().zip(sb) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Divides every gradient element by `n` — the final batch-mean step of
+    /// the shard reduction (shards accumulate raw per-sample sums).
+    pub fn div_scalar(&mut self, n: f32) {
+        for (dw, db) in &mut self.layers {
+            dw.map_inplace(|v| v / n);
+            for b in db.iter_mut() {
+                *b /= n;
+            }
+        }
+    }
 }
 
 /// Cached intermediate activations from [`Mlp::forward_train`] /
@@ -402,12 +450,49 @@ impl Mlp {
         delta_tmp: &mut Matrix,
         grads: &mut Gradients,
     ) {
+        let batch = delta.rows() as f32;
+        self.backward_impl(cache, delta, delta_tmp, grads, Some(batch));
+    }
+
+    /// [`Mlp::backward_into`] without the batch-mean normalization: `grads`
+    /// receives *raw per-sample sums* (`dW = deltaᵀ @ input`, `db = Σ
+    /// delta`). This is the per-shard kernel of the data-parallel training
+    /// path — each shard backpropagates its row range independently, the
+    /// caller folds the shard sums in fixed index order
+    /// ([`Gradients::accumulate_into`]) and divides by the *full* batch size
+    /// once ([`Gradients::div_scalar`]), so the reduced gradient is
+    /// identical whether one worker or many computed the shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` does not match the cached output shape.
+    pub fn backward_batch_shard_into(
+        &self,
+        cache: &ForwardCache,
+        delta: &mut Matrix,
+        delta_tmp: &mut Matrix,
+        grads: &mut Gradients,
+    ) {
+        self.backward_impl(cache, delta, delta_tmp, grads, None);
+    }
+
+    /// Shared backprop body. `normalizer = Some(batch)` divides both `dW`
+    /// and `db` contributions by `batch` (the historical
+    /// [`Mlp::backward_into`] arithmetic, preserved bit-for-bit);
+    /// `None` leaves raw sums for the shard reduction.
+    fn backward_impl(
+        &self,
+        cache: &ForwardCache,
+        delta: &mut Matrix,
+        delta_tmp: &mut Matrix,
+        grads: &mut Gradients,
+        normalizer: Option<f32>,
+    ) {
         assert_eq!(
             (delta.rows(), delta.cols()),
             (cache.output().rows(), cache.output().cols()),
             "delta must match the cached output shape"
         );
-        let batch = delta.rows() as f32;
         if grads.layers.len() != self.layers.len() {
             grads.layers.resize(self.layers.len(), (Matrix::zeros(0, 0), Vec::new()));
         }
@@ -423,14 +508,27 @@ impl Mlp {
             }
             let input = &cache.activations[l];
             let (dw, db) = &mut grads.layers[l];
-            // dW = deltaᵀ @ input / batch  (out x in)
+            // dW = deltaᵀ @ input [/ batch]  (out x in)
             delta.transposed_matmul_into(input, dw);
-            dw.map_inplace(|v| v / batch);
+            if let Some(batch) = normalizer {
+                dw.map_inplace(|v| v / batch);
+            }
             db.clear();
             db.resize(layer.output_size(), 0.0);
-            for i in 0..delta.rows() {
-                for (b, &d) in db.iter_mut().zip(delta.row(i)) {
-                    *b += d / batch;
+            match normalizer {
+                Some(batch) => {
+                    for i in 0..delta.rows() {
+                        for (b, &d) in db.iter_mut().zip(delta.row(i)) {
+                            *b += d / batch;
+                        }
+                    }
+                }
+                None => {
+                    for i in 0..delta.rows() {
+                        for (b, &d) in db.iter_mut().zip(delta.row(i)) {
+                            *b += d;
+                        }
+                    }
                 }
             }
             // dL/d(input of layer l) = delta @ W  (batch x in)
@@ -637,6 +735,78 @@ mod tests {
             mlp.backward_into(&cache, &mut delta, &mut delta_tmp, &mut grads);
             assert_eq!(grads, fresh);
         }
+    }
+
+    #[test]
+    fn shard_backward_reduces_to_the_full_gradient() {
+        // Raw shard sums folded in fixed order and divided by the batch
+        // size must match the monolithic backward to float tolerance (the
+        // summation orders differ, so equality is approximate), and the dW
+        // of a single whole-batch shard must match bit-for-bit.
+        let mlp = Mlp::new(&[3, 6, 2], &mut rng());
+        let x = Matrix::from_rows(&[
+            &[0.4, -0.2, 0.9],
+            &[0.1, 0.8, -0.5],
+            &[-0.3, 0.5, 0.2],
+            &[0.7, -0.6, 0.1],
+        ]);
+        let cache = mlp.forward_train(&x);
+        let d_out = cache.output().clone();
+        let full = mlp.backward(&cache, &d_out);
+
+        // One shard covering the whole batch.
+        let mut delta = d_out.clone();
+        let mut tmp = Matrix::zeros(0, 0);
+        let mut whole = Gradients::empty();
+        mlp.backward_batch_shard_into(&cache, &mut delta, &mut tmp, &mut whole);
+        let mut reduced = Gradients::empty();
+        reduced.assign_from(&whole);
+        reduced.div_scalar(x.rows() as f32);
+        for ((dw, db), (fw, fb)) in reduced.layers.iter().zip(&full.layers) {
+            for (a, b) in dw.as_slice().iter().zip(fw.as_slice()) {
+                assert_eq!(a, b, "single-shard dW must match backward_into exactly");
+            }
+            for (a, b) in db.iter().zip(fb) {
+                assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()));
+            }
+        }
+
+        // Two shards of two rows each, folded in index order.
+        let mut shard_grads = Vec::new();
+        for rows in [[0usize, 1], [2, 3]] {
+            let sx = x.select_rows(&rows);
+            let scache = mlp.forward_train(&sx);
+            let mut sdelta = d_out.select_rows(&rows);
+            let mut sgrads = Gradients::empty();
+            mlp.backward_batch_shard_into(&scache, &mut sdelta, &mut tmp, &mut sgrads);
+            shard_grads.push(sgrads);
+        }
+        let mut sum = Gradients::empty();
+        sum.assign_from(&shard_grads[0]);
+        shard_grads[1].accumulate_into(&mut sum);
+        sum.div_scalar(x.rows() as f32);
+        for ((dw, db), (fw, fb)) in sum.layers.iter().zip(&full.layers) {
+            for (a, b) in dw.as_slice().iter().zip(fw.as_slice()) {
+                assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "sharded {a} vs full {b}");
+            }
+            for (a, b) in db.iter().zip(fb) {
+                assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn accumulate_shape_mismatch_rejected() {
+        let mut r = rng();
+        let a = Mlp::new(&[3, 5, 2], &mut r);
+        let b = Mlp::new(&[3, 6, 2], &mut r);
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3]]);
+        let ca = a.forward_train(&x);
+        let cb = b.forward_train(&x);
+        let ga = a.backward(&ca, &ca.output().clone());
+        let mut gb = b.backward(&cb, &cb.output().clone());
+        ga.accumulate_into(&mut gb);
     }
 
     #[test]
