@@ -84,6 +84,30 @@ print(f"serve baseline: {b['single_throughput_rps']:.0f} -> "
       f"p99 {b['batched_p99_us']:.0f} us")
 EOF
 
+echo "==> decide perf baseline (smoke, plan beats unfused path, decisions identical)"
+cargo run --release -p ssmdvfs-bench --bin perf_baseline -- --smoke --decide
+python3 - <<'EOF'
+import json
+b = json.load(open("target/ssmdvfs-artifacts/BENCH_decide.json"))
+for key in ("kernel_dense_ns", "kernel_csr_ns", "kernel_int8_ns",
+            "reference_decision_ns", "plan_decision_ns", "plan_quantized_ns",
+            "plan_memo_hit_ns", "memo_hit_rate"):
+    assert b[key] > 0, (key, b)
+assert b["smoke"] is True and b["kernel_csr_sparse"] is True, b
+assert b["decisions_identical"] is True, "plan/memo/reference decisions diverged"
+assert b["plan_decision_ns"] < b["reference_decision_ns"], \
+    f"fused plan must beat the unfused reference path: {b}"
+assert b["kernel_int8_ns"] < b["kernel_dense_ns"], \
+    f"INT8 kernel must beat the dense f32 kernel: {b}"
+assert b["plan_memo_hit_ns"] < b["plan_decision_ns"], b
+assert b["memo_hits"] > 0, "phase-structured replay produced no memo hits"
+print(f"decide baseline: kernels {b['kernel_dense_ns']:.0f}/"
+      f"{b['kernel_csr_ns']:.0f}/{b['kernel_int8_ns']:.0f} ns dense/csr/int8; "
+      f"decision {b['reference_decision_ns']:.0f} ns reference -> "
+      f"{b['plan_decision_ns']:.0f} ns plan, {b['plan_memo_hit_ns']:.0f} ns "
+      f"memo hit ({b['memo_hit_rate']*100:.1f}% hit rate, identical)")
+EOF
+
 echo "==> no stray print macros in library crates"
 # Library code logs through obs; println!/eprintln! are reserved for the
 # CLI binary and bench bin/ entry points. Comment lines are ignored.
@@ -170,8 +194,16 @@ assert "serve.deadline_misses" in m["counters"], sorted(m["counters"])
 assert m["counters"]["serve.deadline_misses"] == 0, m["counters"]
 assert any(h.startswith("serve.batch_size") for h in m["histograms"]), m
 assert any(h.startswith("serve.decision_latency_us") for h in m["histograms"]), m
-print("fleet metrics: serve.deadline_misses=0, batch/latency histograms present")
+decided = m["counters"].get("decide.memo_hits", 0) + m["counters"].get("decide.memo_misses", 0)
+assert decided > 0, ("no decide.* memo counters from the plan", sorted(m["counters"]))
+assert any(h.startswith("decide.plan_latency_ns") for h in m["histograms"]), m
+print(f"fleet metrics: serve.deadline_misses=0, batch/latency histograms present, "
+      f"{decided} plan decisions counted")
 EOF
+"$SSMDVFS_BIN" inspect --metrics "$OBS_TMP/fleet-metrics.json" \
+  | tee "$OBS_TMP/fleet-inspect.log"
+grep -q "memo hits" "$OBS_TMP/fleet-inspect.log"
+grep -q "plan decisions" "$OBS_TMP/fleet-inspect.log"
 python3 - "$OBS_TMP" <<'EOF'
 import json, sys, os
 tmp = sys.argv[1]

@@ -1,0 +1,85 @@
+//! Single-decision latency of the compiled fast path — the criterion
+//! counterpart of `perf_baseline --decide`.
+//!
+//! Compares the unfused reference (allocating `CombinedModel` methods, the
+//! pre-plan governor arithmetic) against the fused [`DecisionPlan`] in its
+//! exact-f32, quantized-INT8, and memo-hit configurations. The paper's
+//! microsecond-scale epoch budget leaves roughly 1 µs for the whole control
+//! step; every variant here must sit far inside that.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{CounterId, EpochCounters, GpuConfig};
+use ssmdvfs::plan::DecisionPlan;
+use ssmdvfs::{CombinedModel, SsmdvfsConfig};
+
+fn counters(instrs: f64, stall_frac: f64) -> EpochCounters {
+    let mut c = EpochCounters::zeroed();
+    c[CounterId::TotalInstrs] = instrs;
+    c[CounterId::TotalCycles] = 10_000.0;
+    c[CounterId::StallEmpty] = stall_frac * 10_000.0;
+    c[CounterId::StallMemLoad] = 120.0;
+    c[CounterId::PowerTotalW] = 3.4;
+    c[CounterId::L1ReadMiss] = (instrs * 0.07).floor();
+    c.recompute_derived();
+    c
+}
+
+fn bench_decision_path(c: &mut Criterion) {
+    let table = GpuConfig::small_test().vf_table;
+    let model = CombinedModel::synthetic(table.len(), 7);
+    let config = SsmdvfsConfig::new(0.1);
+    let active = counters(9_000.0, 0.05);
+    let starved = counters(400.0, 0.9);
+
+    let mut group = c.benchmark_group("decision_path");
+
+    // Unfused reference: the allocating model methods, as the governor ran
+    // them before the plan existed.
+    group.bench_function("reference_unfused", |b| {
+        let features = model.feature_set.extract(&active);
+        b.iter(|| {
+            let logits = model.decision_logits(&features, 0.1);
+            let op = model.decode_ordinal(&logits).min(table.len() - 1);
+            model.predict_instructions(&features, 0.1, op)
+        });
+    });
+
+    // Fused exact plan, memo disabled: alternate two distinct epochs so
+    // every iteration does the full feature → heads → decode pipeline.
+    group.bench_function("plan_exact", |b| {
+        let mut plan = DecisionPlan::compile(&model, &config);
+        plan.set_memo(false);
+        let mut slot = plan.new_slot();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let c = if flip { &active } else { &starved };
+            plan.decide_slot(&mut slot, c, table.len()).op
+        });
+    });
+
+    // Fused quantized plan: INT8 head kernels, same fused surroundings.
+    group.bench_function("plan_quantized", |b| {
+        let mut plan = DecisionPlan::compile(&model, &config);
+        let mut slot = plan.new_slot();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let c = if flip { &active } else { &starved };
+            plan.decide_slot_quantized(&mut slot, c, table.len()).op
+        });
+    });
+
+    // Memo hit: the same starved epoch repeated, the phase-locality case.
+    group.bench_function("plan_memo_hit", |b| {
+        let mut plan = DecisionPlan::compile(&model, &config);
+        let mut slot = plan.new_slot();
+        plan.decide_slot(&mut slot, &starved, table.len());
+        b.iter(|| plan.decide_slot(&mut slot, &starved, table.len()).op);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_path);
+criterion_main!(benches);

@@ -19,6 +19,12 @@
 //!   service at `--max-batch 1` (single-request baseline) vs `32`, with
 //!   p50/p99 decision latency, batch occupancy and a decision-stream
 //!   identity check between the two modes — written to `BENCH_serve.json`.
+//! * `--decide`: single-decision latency — ns/inference for the dense, CSR
+//!   and INT8 kernels on the compressed decision head, ns/decision for the
+//!   unfused reference path vs the compiled `DecisionPlan` (exact, INT8 and
+//!   memo-hit variants), plus the memo hit rate and a decision-stream
+//!   identity check on a phase-structured replay — written to
+//!   `BENCH_decide.json`.
 //!
 //! All JSON files land in the artifact directory so CI can diff runs.
 //! Pass `--smoke` (or set `SSMDVFS_SMOKE=1`) for a seconds-long run on
@@ -36,13 +42,14 @@ use ssmdvfs::exec::effective_jobs;
 use ssmdvfs::serve::{DecisionRequest, DecisionService, ServeConfig, ServeStats};
 use ssmdvfs::{
     generate_suite_with, generate_workload_jobs, select_features_with, CombinedModel,
-    DataGenConfig, DvfsDataset, RawSample, ReplayCache, RfeOptions, SsmdvfsConfig, SuiteOptions,
+    DataGenConfig, DecisionPlan, DvfsDataset, RawSample, ReplayCache, RfeOptions, SsmdvfsConfig,
+    SuiteOptions,
 };
 use ssmdvfs_bench::artifacts_dir;
 use tinynn::{
     grad_shards, prune_magnitude, train_classifier_parallel_with, train_classifier_with,
-    ClassificationData, InferScratch, InferenceNet, Matrix, Mlp, QuantizedMlp, TrainConfig,
-    TrainPool, TrainScratch,
+    ClassificationData, InferScratch, InferenceNet, Int8Net, Matrix, Mlp, QuantizedMlp,
+    TrainConfig, TrainPool, TrainScratch,
 };
 
 #[derive(Serialize)]
@@ -683,6 +690,264 @@ fn run_serve(smoke: bool) {
     );
 }
 
+#[derive(Serialize)]
+struct DecideBaseline {
+    smoke: bool,
+    /// Timed iterations per measurement (each taken as the best of several
+    /// rounds to shed scheduler noise).
+    iters: usize,
+    /// ns per single forward through the compressed [6,12,12,6] decision
+    /// head: the dense `Mlp`, the CSR engine on the 80 %-pruned net (the
+    /// same measurement BENCH_train tracks) and the flat-arena INT8 kernel.
+    kernel_dense_ns: f64,
+    kernel_csr_ns: f64,
+    kernel_int8_ns: f64,
+    /// Whether the pruned head actually compiled to the CSR program.
+    kernel_csr_sparse: bool,
+    /// ns per complete governor decision (feature extraction, calibration,
+    /// both heads, decode) through the unfused allocating model-method
+    /// path — what every decision cost before the compiled plan.
+    reference_decision_ns: f64,
+    /// Same complete decision through the compiled `DecisionPlan` arena
+    /// (exact f32 programs, memo disabled).
+    plan_decision_ns: f64,
+    /// The fused decision on the INT8 datapath
+    /// (`DecisionPlan::decide_slot_quantized`).
+    plan_quantized_ns: f64,
+    /// The memo short-circuit: a bit-identical repeated epoch replayed
+    /// without inference.
+    plan_memo_hit_ns: f64,
+    /// Epochs in the phase-structured replay below.
+    replay_epochs: usize,
+    memo_hits: u64,
+    memo_misses: u64,
+    /// Fraction of replay decisions answered by the memo.
+    memo_hit_rate: f64,
+    /// Whether plan-with-memo, plan-without-memo and the unfused reference
+    /// produced byte-identical decision streams on the replay.
+    decisions_identical: bool,
+}
+
+/// Best-of-`rounds` wrapper: each round times `iters` calls of `f` and the
+/// minimum mean survives, shedding scheduler and frequency noise.
+fn best_ns<F: FnMut()>(iters: usize, rounds: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+/// Phase-structured epoch counters: `epoch` walks through phases of
+/// `phase_len` identical epochs — active compute phases interleaved with
+/// starved (kernel-boundary) phases, the temporal locality the decision
+/// memo exploits.
+fn decide_counters(epoch: usize, phase_len: usize) -> EpochCounters {
+    let phase = epoch / phase_len;
+    let starved = phase % 3 == 2;
+    let mut c = EpochCounters::zeroed();
+    c[CounterId::TotalCycles] = 10_000.0;
+    c[CounterId::TotalInstrs] = if starved { 150.0 } else { 3_000.0 + 450.0 * (phase % 7) as f64 };
+    c[CounterId::StallEmpty] = if starved { 9_200.0 } else { 0.0 };
+    c[CounterId::StallMemLoad] = 400.0 + 60.0 * (phase % 5) as f64;
+    c[CounterId::PowerTotalW] = 4.0 + 0.3 * (phase % 4) as f64;
+    c[CounterId::L1ReadMiss] = 25.0 + (phase % 9) as f64;
+    c.recompute_derived();
+    c
+}
+
+/// The unfused reference decision: allocating `CombinedModel` methods plus
+/// a replica of the controller's calibration state machine — the exact
+/// arithmetic (and cost) of the pre-plan governor hot path.
+struct ReferenceDecider {
+    state: (f64, Option<f32>, f64), // (effective_preset, predicted, err_ewma)
+    config: SsmdvfsConfig,
+}
+
+impl ReferenceDecider {
+    fn new(config: SsmdvfsConfig) -> ReferenceDecider {
+        ReferenceDecider { state: (config.preset, None, 0.0), config }
+    }
+
+    fn decide(
+        &mut self,
+        model: &CombinedModel,
+        counters: &EpochCounters,
+        table_len: usize,
+    ) -> usize {
+        let (ref mut eff, ref mut pred, ref mut err) = self.state;
+        let features = model.feature_set.extract(counters);
+        let cycles = counters[CounterId::TotalCycles].max(1.0);
+        let starved = counters[CounterId::StallEmpty] / cycles > 0.2;
+        if self.config.calibration && !starved {
+            if let Some(predicted) = *pred {
+                let actual = counters.total_instructions() as f32;
+                if predicted > 0.0 {
+                    let rel_err = f64::from((predicted - actual) / predicted);
+                    *err = 0.7 * *err + 0.3 * rel_err;
+                    if *err > self.config.deadband {
+                        *eff = (*eff
+                            - self.config.gain
+                                * (*err - self.config.deadband)
+                                * self.config.preset)
+                            .max(self.config.min_preset);
+                    } else {
+                        *eff = (*eff + self.config.recovery * self.config.preset)
+                            .min(self.config.preset);
+                    }
+                }
+            }
+        }
+        let logits = model.decision_logits(&features, *eff as f32);
+        let op = model.decode_ordinal(&logits).min(table_len - 1);
+        *pred = Some(model.predict_instructions(&features, self.config.preset as f32, op));
+        op
+    }
+}
+
+fn run_decide(smoke: bool) {
+    let (iters, rounds, replay_epochs) =
+        if smoke { (20_000, 3, 2_000) } else { (1_000_000, 5, 50_000) };
+    let phase_len = 8;
+    eprintln!("[perf_baseline] decide: kernel + fused-plan latency (smoke={smoke})");
+
+    // --- Kernel micro-latencies on the compressed decision head. ---
+    let mut rng = StdRng::seed_from_u64(7);
+    let mlp = Mlp::new(&[6, 12, 12, 6], &mut rng);
+    let x = [0.4f32, -0.2, 1.1, 0.3, -0.8, 0.1];
+    let mut scratch = InferScratch::new();
+    let kernel_dense_ns = best_ns(iters, rounds, || {
+        std::hint::black_box(mlp.forward_one_into(std::hint::black_box(&x), &mut scratch));
+    });
+    let mut pruned = mlp.clone();
+    prune_magnitude(&mut pruned, 0.8);
+    let mut engine = InferenceNet::compile(&pruned);
+    let kernel_csr_sparse = engine.is_sparse();
+    let kernel_csr_ns = best_ns(iters, rounds, || {
+        std::hint::black_box(engine.infer(std::hint::black_box(&x)));
+    });
+    let mut int8 = Int8Net::compile(&mlp);
+    let kernel_int8_ns = best_ns(iters, rounds, || {
+        std::hint::black_box(int8.infer(std::hint::black_box(&x)));
+    });
+
+    // --- Full-decision latencies: unfused reference vs compiled plan. ---
+    let table = GpuConfig::small_test().vf_table;
+    let model = CombinedModel::synthetic(table.len(), 7);
+    let config = SsmdvfsConfig::new(0.10);
+    let active = decide_counters(0, phase_len);
+    let starved = decide_counters(2 * phase_len, phase_len);
+    let decision_iters = iters / 2;
+
+    let mut reference = ReferenceDecider::new(config.clone());
+    let reference_decision_ns = best_ns(decision_iters, rounds, || {
+        std::hint::black_box(reference.decide(&model, std::hint::black_box(&active), table.len()));
+    });
+
+    let mut plan = DecisionPlan::compile(&model, &config);
+    plan.set_memo(false);
+    let mut slot = plan.new_slot();
+    let plan_decision_ns = best_ns(decision_iters, rounds, || {
+        std::hint::black_box(plan.decide_slot(
+            &mut slot,
+            std::hint::black_box(&active),
+            table.len(),
+        ));
+    });
+    let mut quant_slot = plan.new_slot();
+    let plan_quantized_ns = best_ns(decision_iters, rounds, || {
+        std::hint::black_box(plan.decide_slot_quantized(
+            &mut quant_slot,
+            std::hint::black_box(&active),
+            table.len(),
+        ));
+    });
+    plan.set_memo(true);
+    let mut memo_slot = plan.new_slot();
+    plan.decide_slot(&mut memo_slot, &starved, table.len()); // warm the memo
+    let plan_memo_hit_ns = best_ns(decision_iters, rounds, || {
+        std::hint::black_box(plan.decide_slot(
+            &mut memo_slot,
+            std::hint::black_box(&starved),
+            table.len(),
+        ));
+    });
+
+    // --- Phase-structured replay: hit rate + three-way identity. ---
+    let mut with_memo = DecisionPlan::compile(&model, &config);
+    let mut without_memo = DecisionPlan::compile(&model, &config);
+    without_memo.set_memo(false);
+    let mut warm_slot = with_memo.new_slot();
+    let mut cold_slot = without_memo.new_slot();
+    let mut oracle = ReferenceDecider::new(config.clone());
+    let mut memo_hits = 0u64;
+    let mut decisions_identical = true;
+    for epoch in 0..replay_epochs {
+        let counters = decide_counters(epoch, phase_len);
+        let w = with_memo.decide_slot(&mut warm_slot, &counters, table.len());
+        let c = without_memo.decide_slot(&mut cold_slot, &counters, table.len());
+        let r = oracle.decide(&model, &counters, table.len());
+        memo_hits += w.memo_hit as u64;
+        decisions_identical &= w.op == c.op && c.op == r;
+    }
+    let memo_misses = replay_epochs as u64 - memo_hits;
+    let memo_hit_rate = memo_hits as f64 / replay_epochs as f64;
+
+    let baseline = DecideBaseline {
+        smoke,
+        iters,
+        kernel_dense_ns,
+        kernel_csr_ns,
+        kernel_int8_ns,
+        kernel_csr_sparse,
+        reference_decision_ns,
+        plan_decision_ns,
+        plan_quantized_ns,
+        plan_memo_hit_ns,
+        replay_epochs,
+        memo_hits,
+        memo_misses,
+        memo_hit_rate,
+        decisions_identical,
+    };
+    assert!(baseline.decisions_identical, "plan/memo/reference decision streams diverged");
+    assert!(baseline.memo_hit_rate > 0.0, "phase-structured replay produced no memo hits");
+    assert!(
+        baseline.kernel_int8_ns < baseline.kernel_dense_ns,
+        "INT8 kernel ({:.0} ns) must beat the dense kernel ({:.0} ns)",
+        baseline.kernel_int8_ns,
+        baseline.kernel_dense_ns
+    );
+    assert!(
+        baseline.plan_decision_ns < baseline.reference_decision_ns,
+        "compiled plan ({:.0} ns) must beat the unfused reference ({:.0} ns)",
+        baseline.plan_decision_ns,
+        baseline.reference_decision_ns
+    );
+    let path = artifacts_dir().join("BENCH_decide.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&path, &json).expect("baseline must be writable");
+    println!("{json}");
+    println!(
+        "[perf_baseline] kernels {:.0}/{:.0}/{:.0} ns dense/csr/int8; decision {:.0} ns reference -> {:.0} ns plan / {:.0} ns int8-plan / {:.0} ns memo-hit; hit rate {:.1}% over {} epochs, identical={} -> {}",
+        baseline.kernel_dense_ns,
+        baseline.kernel_csr_ns,
+        baseline.kernel_int8_ns,
+        baseline.reference_decision_ns,
+        baseline.plan_decision_ns,
+        baseline.plan_quantized_ns,
+        baseline.plan_memo_hit_ns,
+        baseline.memo_hit_rate * 100.0,
+        baseline.replay_epochs,
+        baseline.decisions_identical,
+        path.display()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke")
@@ -690,7 +955,8 @@ fn main() {
     let train = args.iter().any(|a| a == "--train");
     let sim = args.iter().any(|a| a == "--sim");
     let serve = args.iter().any(|a| a == "--serve");
-    let datagen = args.iter().any(|a| a == "--datagen") || (!train && !sim && !serve);
+    let decide = args.iter().any(|a| a == "--decide");
+    let datagen = args.iter().any(|a| a == "--datagen") || (!train && !sim && !serve && !decide);
     if datagen {
         run_datagen(smoke);
     }
@@ -702,5 +968,8 @@ fn main() {
     }
     if serve {
         run_serve(smoke);
+    }
+    if decide {
+        run_decide(smoke);
     }
 }

@@ -637,6 +637,25 @@ pub fn inspect(args: &Args) -> CmdResult {
             counter("sim.cache_hits"),
             counter("sim.cache_misses")
         );
+        let memo_hits = counter("decide.memo_hits");
+        let memo_misses = counter("decide.memo_misses");
+        if memo_hits + memo_misses > 0 {
+            let _ = writeln!(
+                out,
+                "decide    : {} memo hits, {} memo misses ({:.1}% hit rate)",
+                memo_hits,
+                memo_misses,
+                100.0 * memo_hits as f64 / (memo_hits + memo_misses) as f64
+            );
+        }
+        if let Some(h) = snapshot.histograms.get("decide.plan_latency_ns") {
+            let _ = writeln!(
+                out,
+                "decide    : {} plan decisions, mean latency {:.0} ns",
+                h.count,
+                h.mean()
+            );
+        }
     }
     Ok(out)
 }

@@ -15,11 +15,11 @@
 //!    Calibrator to produce the next prediction.
 
 use gpu_power::VfTable;
-use gpu_sim::{AuditRecord, AuditTrail, CounterId, DvfsGovernor, EpochCounters};
+use gpu_sim::{AuditRecord, AuditTrail, DvfsGovernor, EpochCounters};
 use serde::{Deserialize, Serialize};
-use tinynn::InferenceNet;
 
 use crate::model::CombinedModel;
+use crate::plan::{ClusterSlot, DecisionPlan};
 
 /// Tunables of the runtime controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,16 +66,6 @@ impl SsmdvfsConfig {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct ClusterState {
-    effective_preset: f64,
-    predicted_instructions: Option<f32>,
-    /// Exponentially smoothed relative prediction error; single-epoch
-    /// throughput variance (cache bursts, CTA boundaries) must not trigger
-    /// calibration, persistent shortfalls must.
-    err_ewma: f64,
-}
-
 /// The SSMDVFS DVFS governor.
 ///
 /// # Examples
@@ -97,27 +87,19 @@ pub struct SsmdvfsGovernor {
     /// deep-copying every layer.
     model: std::sync::Arc<CombinedModel>,
     config: SsmdvfsConfig,
-    clusters: Vec<ClusterState>,
+    clusters: Vec<ClusterSlot>,
     name: String,
     audit: Option<AuditTrail>,
-    /// Compiled decision head: a dense scratch-buffered engine, or a CSR
-    /// one when pruning left the head mostly zeros. Value-equal to
-    /// `model.decision.forward_one` either way.
-    decision_engine: InferenceNet,
-    /// Compiled calibrator head (same contract as `decision_engine`).
-    calibrator_engine: InferenceNet,
-    /// Reusable per-epoch buffers: the decision happens every 10 µs epoch
-    /// on every cluster, so the hot path must not allocate once warm.
-    features: Vec<f32>,
-    input: Vec<f32>,
-    logits: Vec<f32>,
-    probs: Vec<f32>,
+    /// The compiled fast path: feature extraction, normalization, both
+    /// heads, decode and the calibration clamp fused into one flat arena
+    /// (see [`DecisionPlan`]), with a per-cluster phase-locality memo.
+    plan: DecisionPlan,
 }
 
 impl SsmdvfsGovernor {
-    /// Creates a governor around a trained model, compiling both heads into
-    /// inference engines (sparse CSR when the head is mostly zeros, dense
-    /// otherwise).
+    /// Creates a governor around a trained model, compiling both heads (and
+    /// everything around them) into a fused [`DecisionPlan`] — CSR layer
+    /// programs when a head is mostly zeros, dense otherwise.
     pub fn new(
         model: impl Into<std::sync::Arc<CombinedModel>>,
         config: SsmdvfsConfig,
@@ -128,21 +110,8 @@ impl SsmdvfsGovernor {
         } else {
             format!("ssmdvfs-nocal[{:.0}%]", config.preset * 100.0)
         };
-        let decision_engine = InferenceNet::compile(&model.decision);
-        let calibrator_engine = InferenceNet::compile(&model.calibrator);
-        SsmdvfsGovernor {
-            model,
-            config,
-            clusters: Vec::new(),
-            name,
-            audit: None,
-            decision_engine,
-            calibrator_engine,
-            features: Vec::new(),
-            input: Vec::new(),
-            logits: Vec::new(),
-            probs: Vec::new(),
-        }
+        let plan = DecisionPlan::compile(&model, &config);
+        SsmdvfsGovernor { model, config, clusters: Vec::new(), name, audit: None, plan }
     }
 
     /// The controller configuration.
@@ -155,34 +124,22 @@ impl SsmdvfsGovernor {
         &self.model
     }
 
-    /// The compiled decision-head engine (introspection: sparsity, FLOPs).
-    pub fn decision_engine(&self) -> &InferenceNet {
-        &self.decision_engine
+    /// The compiled decision plan (introspection: engine choice, FLOPs,
+    /// memo state).
+    pub fn plan(&self) -> &DecisionPlan {
+        &self.plan
     }
 
-    /// The compiled calibrator-head engine.
-    pub fn calibrator_engine(&self) -> &InferenceNet {
-        &self.calibrator_engine
+    /// Mutable access to the compiled plan (e.g. to disable the decision
+    /// memo for an uncached benchmark run).
+    pub fn plan_mut(&mut self) -> &mut DecisionPlan {
+        &mut self.plan
     }
 
     /// The effective preset currently applied to `cluster` (equals the
     /// original preset until calibration adjusts it).
     pub fn effective_preset(&self, cluster: usize) -> f64 {
-        self.clusters.get(cluster).map_or(self.config.preset, |s| s.effective_preset)
-    }
-
-    fn state_mut(&mut self, cluster: usize) -> &mut ClusterState {
-        if cluster >= self.clusters.len() {
-            self.clusters.resize(
-                cluster + 1,
-                ClusterState {
-                    effective_preset: self.config.preset,
-                    predicted_instructions: None,
-                    err_ewma: 0.0,
-                },
-            );
-        }
-        &mut self.clusters[cluster]
+        self.clusters.get(cluster).map_or(self.config.preset, |s| s.state.effective_preset)
     }
 }
 
@@ -200,102 +157,36 @@ impl DvfsGovernor for SsmdvfsGovernor {
             "SsmdvfsGovernor::decide needs a non-empty VfTable; \
              run VfTable::validate() on tables loaded from disk"
         );
-        self.model.feature_set.extract_into(counters, &mut self.features);
-        let preset = self.config.preset;
-        // The prediction made *for* the epoch that just ended; captured
-        // before this call's own prediction overwrites it, so the audit
-        // trail pairs each prediction with the reality it was judged on.
-        let prev_predicted = self.clusters.get(cluster).and_then(|s| s.predicted_instructions);
-        let (gain, recovery, min_preset, deadband, calibration) = (
-            self.config.gain,
-            self.config.recovery,
-            self.config.min_preset,
-            self.config.deadband,
-            self.config.calibration,
-        );
-
-        // Epochs dominated by empty-pipeline stalls (the cluster ran out of
-        // work, e.g. at a kernel boundary) are excluded from calibration: an
-        // instruction shortfall there signals missing work, not a slow clock.
-        let cycles = counters[CounterId::TotalCycles].max(1.0);
-        let starved = counters[CounterId::StallEmpty] / cycles > 0.2;
-
-        let state = self.state_mut(cluster);
-        // Self-calibration on the epoch that just ended.
-        if calibration && !starved {
-            if let Some(predicted) = state.predicted_instructions {
-                let actual = counters.total_instructions() as f32;
-                if predicted > 0.0 {
-                    let rel_err = f64::from((predicted - actual) / predicted);
-                    state.err_ewma = 0.7 * state.err_ewma + 0.3 * rel_err;
-                    if state.err_ewma > deadband {
-                        // Persistently slower than the preset expectation:
-                        // tighten the effective preset.
-                        state.effective_preset = (state.effective_preset
-                            - gain * (state.err_ewma - deadband) * preset)
-                            .max(min_preset);
-                    } else {
-                        // On or ahead of expectation: relax toward the
-                        // original preset.
-                        state.effective_preset =
-                            (state.effective_preset + recovery * preset).min(preset);
-                    }
-                }
-            }
+        if cluster >= self.clusters.len() {
+            let fresh = self.plan.new_slot();
+            self.clusters.resize(cluster + 1, fresh);
         }
-        let effective_preset = state.effective_preset;
-        let effective = effective_preset as f32;
-
-        // One forward pass through the compiled decision engine yields both
-        // the decision and the logits the audit trail records. The engine
-        // path mirrors `CombinedModel::decision_logits` exactly — assemble
-        // `[features..., effective preset]`, normalize, infer — but through
-        // reusable buffers, so a warm governor allocates nothing per epoch
-        // (audit clones aside).
-        self.input.clear();
-        self.input.extend_from_slice(&self.features);
-        self.input.push(effective);
-        self.model.decision_norm.transform_one(&mut self.input);
-        let out = self.decision_engine.infer(&self.input);
-        self.logits.clear();
-        self.logits.extend_from_slice(out);
-        let op = if self.config.argmax_decode {
-            tinynn::argmax(&self.logits).min(table.len() - 1)
-        } else {
-            self.probs.clear();
-            self.probs.extend_from_slice(&self.logits);
-            self.model.decode_ordinal_in_place(&mut self.probs).min(table.len() - 1)
-        };
-        // The Calibrator always sees the original preset; this mirrors
-        // `CombinedModel::predict_instructions` through the compiled engine.
-        self.input.clear();
-        self.input.extend_from_slice(&self.features);
-        self.input.push(preset as f32);
-        self.input.push(op as f32 / (self.model.num_ops.max(2) - 1) as f32);
-        self.model.calibrator_norm.transform_one(&mut self.input);
-        let out = self.calibrator_engine.infer(&self.input);
-        let predicted = (out[0] * self.model.instr_scale).max(0.0);
-        self.state_mut(cluster).predicted_instructions = Some(predicted);
+        // The whole decision — feature extraction, calibration, both heads,
+        // decode — runs inside the compiled plan's arena; a warm governor
+        // allocates nothing per epoch (audit clones aside).
+        let d = self.plan.decide_slot(&mut self.clusters[cluster], counters, table.len());
 
         if let Some(trail) = self.audit.as_mut() {
-            let point = table.point(op);
+            let point = table.point(d.op);
             trail.record(AuditRecord {
                 seq: 0, // stamped by the trail
                 cluster,
-                features: self.features.clone(),
-                logits: self.logits.clone(),
-                preset,
-                effective_preset,
-                predicted_instructions: prev_predicted,
+                features: self.plan.features().to_vec(),
+                logits: self.plan.logits().to_vec(),
+                preset: self.config.preset,
+                effective_preset: d.effective_preset,
+                // The prediction made *for* the epoch that just ended,
+                // paired with the reality it was judged on.
+                predicted_instructions: d.prev_predicted,
                 actual_instructions: counters.total_instructions(),
-                next_predicted_instructions: Some(predicted),
-                starved,
-                op_index: op,
+                next_predicted_instructions: Some(d.predicted),
+                starved: d.starved,
+                op_index: d.op,
                 freq_mhz: point.freq_mhz(),
                 voltage_v: point.voltage_v(),
             });
         }
-        op
+        d.op
     }
 
     fn reset(&mut self) {
@@ -387,7 +278,7 @@ mod tests {
         let mut gov = SsmdvfsGovernor::new(model.clone(), SsmdvfsConfig::new(0.1));
         // First decision primes a prediction.
         gov.decide(0, &counters_with(8_000.0), &table);
-        let predicted = gov.clusters[0].predicted_instructions.unwrap();
+        let predicted = gov.clusters[0].state.predicted_instructions.unwrap();
         assert!(predicted >= 0.0);
         // Report far fewer instructions than predicted: preset must shrink
         // (if the model predicted anything positive).
@@ -404,8 +295,8 @@ mod tests {
         let mut gov = SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1));
         gov.decide(0, &counters_with(5_000.0), &table);
         // Force a tightened state, then exceed the prediction.
-        gov.clusters[0].effective_preset = 0.02;
-        gov.clusters[0].predicted_instructions = Some(100.0);
+        gov.clusters[0].state.effective_preset = 0.02;
+        gov.clusters[0].state.predicted_instructions = Some(100.0);
         gov.decide(0, &counters_with(1_000_000.0), &table);
         assert!(gov.effective_preset(0) > 0.02);
         assert!(gov.effective_preset(0) <= 0.1 + 1e-12);
@@ -417,7 +308,7 @@ mod tests {
         let mut gov =
             SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1).without_calibration());
         gov.decide(0, &counters_with(5_000.0), &table);
-        gov.clusters[0].predicted_instructions = Some(1_000_000.0);
+        gov.clusters[0].state.predicted_instructions = Some(1_000_000.0);
         gov.decide(0, &counters_with(1.0), &table);
         assert_eq!(gov.effective_preset(0), 0.1);
         assert!(gov.name().contains("nocal"));
@@ -481,7 +372,7 @@ mod tests {
         assert_eq!(rec.logits, logits);
         assert_eq!(op, model.decode_ordinal(&logits).min(table.len() - 1));
         assert_eq!(
-            gov.clusters[0].predicted_instructions,
+            gov.clusters[0].state.predicted_instructions,
             Some(model.predict_instructions(&features, 0.1, op))
         );
     }
@@ -494,8 +385,8 @@ mod tests {
         tinynn::prune_magnitude(&mut model.calibrator, 0.8);
         for instrs in [1_000.0, 5_000.0, 9_000.0] {
             let mut gov = SsmdvfsGovernor::new(model.clone(), SsmdvfsConfig::new(0.1));
-            assert!(gov.decision_engine().is_sparse(), "80 % pruned head must go CSR");
-            assert!(gov.decision_engine().flops() < model.decision.flops());
+            assert!(gov.plan().decision_is_sparse(), "80 % pruned head must go CSR");
+            assert!(gov.plan().decision_flops() < model.decision.flops());
             let counters = counters_with(instrs);
             let op = gov.decide(0, &counters, &table);
             let features = model.feature_set.extract(&counters);
@@ -509,7 +400,7 @@ mod tests {
         let mut gov = SsmdvfsGovernor::new(dummy_model(), SsmdvfsConfig::new(0.1));
         gov.decide(0, &counters_with(5_000.0), &table);
         gov.decide(1, &counters_with(5_000.0), &table);
-        gov.clusters[0].predicted_instructions = Some(1_000_000.0);
+        gov.clusters[0].state.predicted_instructions = Some(1_000_000.0);
         gov.decide(0, &counters_with(10.0), &table);
         assert!(gov.effective_preset(0) < 0.1);
         assert_eq!(gov.effective_preset(1), 0.1);

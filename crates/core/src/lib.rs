@@ -64,6 +64,7 @@ pub mod exec;
 pub mod failpoint;
 mod features;
 mod model;
+pub mod plan;
 mod replay_cache;
 mod rfe;
 pub mod serve;
@@ -84,6 +85,7 @@ pub use datagen::{
 pub use error::{Artifact, IoOp, SsmdvfsError};
 pub use features::FeatureSet;
 pub use model::{CombinedModel, ModelArch};
+pub use plan::{ClusterSlot, DecisionPlan, PlanDecision};
 pub use replay_cache::{fingerprint, ReplayCache};
 pub use rfe::{
     candidate_counters, select_features, select_features_with, FeatureSelection, RfeOptions,

@@ -11,21 +11,23 @@
 //!   (a GPU always maps to the same shard). Submission blocks while the
 //!   shard is full — backpressure, not loss.
 //! * One batcher thread per shard drains up to `max_batch` requests and
-//!   answers all of them with **one batched forward pass per head**
-//!   through the compiled [`InferenceNet`]s
-//!   ([`InferenceNet::infer_batch_into`]).
+//!   answers them through the shard's compiled
+//!   [`DecisionPlan`](crate::plan::DecisionPlan) — the same fused
+//!   single-allocation fast path the governor runs, including the
+//!   per-`(gpu, cluster)` phase-locality memo. Draining in batches
+//!   amortizes the queue wakeup over many sub-200 ns decisions.
 //! * A request carries an optional **deadline**; one that expires in the
 //!   queue is answered with the table's safe fallback operating point (the
 //!   default, highest-frequency point — never slow down an epoch on stale
 //!   information) and skips inference and calibration entirely.
 //!
-//! Batching never changes a decision. The batched dense kernel is
-//! bit-identical to the single-sample kernel (proptest-enforced in
-//! `tinynn`), and the self-calibration state is keyed per
-//! `(gpu, cluster)` with each key's requests applied in submission order,
-//! so the decision stream for any GPU is byte-identical to driving a
-//! private [`SsmdvfsGovernor`](crate::SsmdvfsGovernor) sequentially — at
-//! any shard count, batch size or client parallelism.
+//! Batching never changes a decision. The plan is byte-identical to the
+//! governor path (proptest-enforced in `tests/plan_equivalence.rs`), and
+//! the self-calibration state is keyed per `(gpu, cluster)` with each
+//! key's requests applied in submission order, so the decision stream for
+//! any GPU is byte-identical to driving a private
+//! [`SsmdvfsGovernor`](crate::SsmdvfsGovernor) sequentially — at any shard
+//! count, batch size or client parallelism.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -34,12 +36,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gpu_power::VfTable;
-use gpu_sim::{CounterId, DecisionSource, EpochCounters};
+use gpu_sim::{DecisionSource, EpochCounters};
 use serde::Serialize;
-use tinynn::{InferenceNet, Matrix};
 
 use crate::controller::SsmdvfsConfig;
 use crate::model::CombinedModel;
+use crate::plan::{ClusterSlot, DecisionPlan};
 
 /// Tunables of a [`DecisionService`].
 #[derive(Debug, Clone, PartialEq)]
@@ -189,33 +191,15 @@ impl Shard {
     }
 }
 
-/// Per-`(gpu, cluster)` self-calibration state — the service-side twin of
-/// the governor's per-cluster state, updated with identical arithmetic.
-struct CalState {
-    effective_preset: f64,
-    predicted_instructions: Option<f32>,
-    err_ewma: f64,
-}
-
-/// One shard's batcher: owns the compiled engines, the calibration state
-/// of every GPU mapped to the shard, and all inference scratch.
+/// One shard's batcher: owns the shard's compiled [`DecisionPlan`] and the
+/// decision slot (calibration state + memo) of every GPU mapped to the
+/// shard.
 struct ShardWorker {
-    model: Arc<CombinedModel>,
-    config: SsmdvfsConfig,
-    table: VfTable,
+    table_len: usize,
     fallback_op: usize,
-    decision_engine: InferenceNet,
-    calibrator_engine: InferenceNet,
-    states: HashMap<(usize, usize), CalState>,
+    plan: DecisionPlan,
+    slots: HashMap<(usize, usize), ClusterSlot>,
     live: Vec<Pending>,
-    features: Vec<f32>,
-    feat_buf: Vec<f32>,
-    probs: Vec<f32>,
-    ops: Vec<usize>,
-    dx: Matrix,
-    dout: Matrix,
-    cx: Matrix,
-    cout: Matrix,
     stats: ServeStats,
 }
 
@@ -226,25 +210,12 @@ impl ShardWorker {
         table: VfTable,
         fallback_op: usize,
     ) -> ShardWorker {
-        let decision_engine = InferenceNet::compile(&model.decision);
-        let calibrator_engine = InferenceNet::compile(&model.calibrator);
         ShardWorker {
-            model,
-            config,
-            table,
+            table_len: table.len(),
             fallback_op,
-            decision_engine,
-            calibrator_engine,
-            states: HashMap::new(),
+            plan: DecisionPlan::compile(&model, &config),
+            slots: HashMap::new(),
             live: Vec::new(),
-            features: Vec::new(),
-            feat_buf: Vec::new(),
-            probs: Vec::new(),
-            ops: Vec::new(),
-            dx: Matrix::zeros(0, 0),
-            dout: Matrix::zeros(0, 0),
-            cx: Matrix::zeros(0, 0),
-            cout: Matrix::zeros(0, 0),
             stats: ServeStats::default(),
         }
     }
@@ -258,9 +229,9 @@ impl ShardWorker {
     }
 
     /// Answers one drained batch: expired requests get the fallback point;
-    /// the rest share one batched forward pass per head. The per-request
-    /// arithmetic (feature extraction, calibration EWMA, normalization,
-    /// decode, prediction) mirrors `SsmdvfsGovernor::decide` exactly, so
+    /// the rest run in submission order through the shard's compiled
+    /// [`DecisionPlan`] against their `(gpu, cluster)` slot. The plan is
+    /// byte-identical to `SsmdvfsGovernor::decide` (memo included), so
     /// serving is byte-identical to sequential governing.
     fn process(&mut self, batch: &mut Vec<Pending>) {
         let now = Instant::now();
@@ -278,90 +249,14 @@ impl ShardWorker {
         if n == 0 {
             return;
         }
-        let f = self.model.feature_set.len();
-        let preset = self.config.preset;
-
-        // Phase 1: per-request calibration update + decision-input rows.
-        self.dx.reshape(n, f + 1);
-        self.feat_buf.clear();
-        for i in 0..n {
-            let p = &self.live[i];
-            self.model.feature_set.extract_into(&p.counters, &mut self.features);
-            self.feat_buf.extend_from_slice(&self.features);
-
-            let cycles = p.counters[CounterId::TotalCycles].max(1.0);
-            let starved = p.counters[CounterId::StallEmpty] / cycles > 0.2;
-            let state = self.states.entry((p.gpu, p.cluster)).or_insert(CalState {
-                effective_preset: preset,
-                predicted_instructions: None,
-                err_ewma: 0.0,
-            });
-            if self.config.calibration && !starved {
-                if let Some(predicted) = state.predicted_instructions {
-                    let actual = p.counters.total_instructions() as f32;
-                    if predicted > 0.0 {
-                        let rel_err = f64::from((predicted - actual) / predicted);
-                        state.err_ewma = 0.7 * state.err_ewma + 0.3 * rel_err;
-                        if state.err_ewma > self.config.deadband {
-                            state.effective_preset = (state.effective_preset
-                                - self.config.gain
-                                    * (state.err_ewma - self.config.deadband)
-                                    * preset)
-                                .max(self.config.min_preset);
-                        } else {
-                            state.effective_preset = (state.effective_preset
-                                + self.config.recovery * preset)
-                                .min(preset);
-                        }
-                    }
-                }
-            }
-            let effective = state.effective_preset as f32;
-            let row = self.dx.row_mut(i);
-            row[..f].copy_from_slice(&self.features);
-            row[f] = effective;
-            self.model.decision_norm.transform_one(row);
-        }
-
-        // Phase 2: ONE batched Decision-maker pass, then per-row decode.
-        self.decision_engine.infer_batch_into(&self.dx, &mut self.dout);
-        self.ops.clear();
-        for i in 0..n {
-            let logits = self.dout.row(i);
-            let op = if self.config.argmax_decode {
-                tinynn::argmax(logits).min(self.table.len() - 1)
-            } else {
-                self.probs.clear();
-                self.probs.extend_from_slice(logits);
-                self.model.decode_ordinal_in_place(&mut self.probs).min(self.table.len() - 1)
-            };
-            self.ops.push(op);
-        }
-
-        // Phase 3: ONE batched Calibrator pass (always sees the original
-        // preset) producing the next prediction per `(gpu, cluster)`.
-        self.cx.reshape(n, f + 2);
-        for i in 0..n {
-            let row = self.cx.row_mut(i);
-            row[..f].copy_from_slice(&self.feat_buf[i * f..(i + 1) * f]);
-            row[f] = preset as f32;
-            row[f + 1] = self.ops[i] as f32 / (self.model.num_ops.max(2) - 1) as f32;
-            self.model.calibrator_norm.transform_one(row);
-        }
-        self.calibrator_engine.infer_batch_into(&self.cx, &mut self.cout);
-
         obs::histogram!("serve.batch_size").record(n as f64);
         self.stats.batches += 1;
         self.stats.batched += n as u64;
         let answered: Vec<Pending> = self.live.drain(..).collect();
-        for (i, p) in answered.into_iter().enumerate() {
-            let predicted = (self.cout.row(i)[0] * self.model.instr_scale).max(0.0);
-            self.states
-                .get_mut(&(p.gpu, p.cluster))
-                .expect("state created in phase 1")
-                .predicted_instructions = Some(predicted);
-            let op = self.ops[i];
-            self.respond(p, op, false);
+        for p in answered {
+            let slot = self.slots.entry((p.gpu, p.cluster)).or_insert_with(|| self.plan.new_slot());
+            let d = self.plan.decide_slot(slot, &p.counters, self.table_len);
+            self.respond(p, d.op, false);
         }
     }
 }
@@ -526,6 +421,7 @@ impl DecisionSource for DecisionClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::CounterId;
 
     fn setup(serve: ServeConfig) -> (DecisionService, VfTable) {
         let table = gpu_sim::GpuConfig::small_test().vf_table;

@@ -520,16 +520,21 @@ impl Simulation {
         let config = Arc::clone(&self.config);
         let table = &config.vf_table;
         let default_ops = vec![table.default_index(); self.clusters.len()];
+        // One reusable decision buffer for the whole run: the epoch loop is
+        // the simulator's hottest path and must not allocate per epoch.
+        let mut ops: Vec<usize> = Vec::with_capacity(self.clusters.len());
         while !self.is_complete() && self.now < max_time {
-            let ops: Vec<usize> = match self.records.last() {
-                None => default_ops.clone(),
-                Some(record) => record
-                    .clusters
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| governor.decide(i, &c.counters, table))
-                    .collect(),
-            };
+            ops.clear();
+            match self.records.last() {
+                None => ops.extend_from_slice(&default_ops),
+                Some(record) => ops.extend(
+                    record
+                        .clusters
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| governor.decide(i, &c.counters, table)),
+                ),
+            }
             self.step_epoch(&ops);
         }
         obs::counter!("sim.runs").inc(1);

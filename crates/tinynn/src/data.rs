@@ -188,6 +188,17 @@ impl Normalizer {
         out
     }
 
+    /// Per-column means (the compiled-plan path fuses these into its
+    /// arena and must replicate [`Normalizer::transform_one`] exactly).
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Per-column standard deviations (see [`Normalizer::mean`]).
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+
     /// Standardizes one feature vector in place.
     ///
     /// # Panics

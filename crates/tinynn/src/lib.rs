@@ -65,7 +65,7 @@ pub use mlp::{Activation, Dense, ForwardCache, Gradients, InferScratch, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use par::TrainPool;
 pub use prune::{prune_magnitude, prune_neurons, prune_two_stage, ZeroMask};
-pub use quant::{QuantizedLayer, QuantizedMlp};
+pub use quant::{Int8Net, QuantizedLayer, QuantizedMlp};
 pub use select::{
     column_importance, permutation_importance, recursive_feature_elimination, splitmix64, RfeStep,
 };

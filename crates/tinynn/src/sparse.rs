@@ -85,6 +85,23 @@ impl CsrMatrix {
         }
     }
 
+    /// The row-pointer array: `row_ptr()[r]..row_ptr()[r+1]` indexes row
+    /// `r`'s entries (exposed so compiled decision plans can flatten the
+    /// matrix into their own arenas).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Column index of each stored value, ascending within a row.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The stored non-zero values, row-major.
+    pub fn vals(&self) -> &[f32] {
+        &self.vals
+    }
+
     /// Expands back to a dense matrix.
     pub fn to_dense(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, self.cols);
